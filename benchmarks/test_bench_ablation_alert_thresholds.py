@@ -1,0 +1,86 @@
+"""Ablation: per-signal alert thresholds (§3.1.1).
+
+IODA alerts when a signal drops below 99% (BGP) / 80% (AP) / 25%
+(Telescope) of a trailing median.  This bench sweeps the telescope
+threshold over a set of real event windows and quiet windows, measuring
+the detection/false-alert tradeoff that motivates the unusually low 25%.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_banner
+from repro.ioda.detectors import DETECTOR_CONFIGS
+from repro.signals.alerts import AlertDetector, DetectorConfig
+from repro.signals.entities import Entity, EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange
+from repro.world.scenario import STUDY_PERIOD
+
+
+def _sample_events(scenario, n=12):
+    events = [d for d in scenario.outages
+              if d.scope is EntityScope.COUNTRY
+              and d.severity >= 0.9
+              and STUDY_PERIOD.contains(d.span.start)
+              and d.span.duration >= HOUR]
+    stride = max(1, len(events) // n)
+    return events[::stride][:n]
+
+
+def _quiet_windows(scenario, n=8):
+    quiet_countries = ("JP", "DE", "AU", "CA", "SE", "NZ", "CH", "NL")
+    windows = []
+    for i, iso2 in enumerate(quiet_countries[:n]):
+        start = STUDY_PERIOD.start + (30 + 90 * i) * DAY
+        windows.append((iso2, TimeRange(start, start + 8 * DAY)))
+    return windows
+
+
+def test_bench_ablation_alert_thresholds(benchmark, pipeline_result,
+                                         platform):
+    scenario = pipeline_result.scenario
+    events = _sample_events(scenario)
+    quiet = _quiet_windows(scenario)
+    base = DETECTOR_CONFIGS[SignalKind.TELESCOPE]
+
+    def sweep():
+        results = {}
+        for threshold in (0.1, 0.25, 0.5, 0.8):
+            detector = AlertDetector(DetectorConfig(
+                threshold=threshold,
+                history_seconds=base.history_seconds,
+                min_history_fraction=base.min_history_fraction))
+            detected = 0
+            for event in events:
+                window = TimeRange(event.span.start - 4 * DAY,
+                                   event.span.end + 6 * HOUR)
+                series = platform.signal(
+                    Entity.country(event.country_iso2),
+                    SignalKind.TELESCOPE, window)
+                alerts = detector.detect(series)
+                if any(event.span.contains(a.time) for a in alerts):
+                    detected += 1
+            false_bins = 0
+            total_bins = 0
+            for iso2, window in quiet:
+                series = platform.signal(Entity.country(iso2),
+                                         SignalKind.TELESCOPE, window)
+                alerts = detector.detect(series)
+                false_bins += len(alerts)
+                total_bins += len(series)
+            results[threshold] = (detected / len(events),
+                                  false_bins / total_bins)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [f"{'Threshold':>10} {'Recall':>8} {'False-alert rate':>17}"]
+    for threshold, (recall, false_rate) in sorted(results.items()):
+        rows.append(f"{threshold:>10.2f} {recall:>8.2f} {false_rate:>17.4f}")
+    print_banner(
+        "Ablation — telescope alert threshold",
+        "IODA's 25% telescope threshold trades a little recall for far "
+        "fewer false alerts than BGP/AP-style thresholds would produce "
+        "on this high-variance signal",
+        rows)
+    assert results[0.25][0] >= 0.7
+    assert results[0.8][1] > 5 * max(results[0.25][1], 1e-6)

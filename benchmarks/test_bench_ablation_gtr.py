@@ -1,0 +1,61 @@
+"""Ablation: the Google-Transparency-style fourth signal (§3.1 fn. 2).
+
+IODA added the Google Transparency Report as a country-level signal after
+the paper's study period.  This bench quantifies what it would have
+bought: GTR sees *user activity*, so it corroborates the mobile-only
+shutdowns that the three infrastructure signals largely miss.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.gtr import GTRCorroborator, GTRSimulator
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import HOUR
+from repro.world.scenario import STUDY_PERIOD
+
+
+def test_bench_ablation_gtr(benchmark, pipeline_result):
+    scenario = pipeline_result.scenario
+    simulator = GTRSimulator(scenario)
+    corroborator = GTRCorroborator(simulator)
+
+    mobile_only = [d for d in scenario.shutdowns
+                   if d.scope is EntityScope.COUNTRY and d.mobile_only
+                   and d.span.duration >= 2 * HOUR
+                   and STUDY_PERIOD.contains(d.span.start)]
+    full = [d for d in scenario.shutdowns
+            if d.scope is EntityScope.COUNTRY and not d.mobile_only
+            and d.span.duration >= 2 * HOUR
+            and STUDY_PERIOD.contains(d.span.start)][:30]
+
+    def run():
+        mobile_hits = sum(
+            1 for d in mobile_only
+            if corroborator.corroborates(d.country_iso2, d.span))
+        full_hits = sum(
+            1 for d in full
+            if corroborator.corroborates(d.country_iso2, d.span))
+        return mobile_hits, full_hits
+
+    mobile_hits, full_hits = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    # How many mobile-only events did the IODA pipeline itself record?
+    records = pipeline_result.curated_records
+    ioda_mobile_hits = sum(
+        1 for d in mobile_only
+        if any(r.country_iso2 == d.country_iso2
+               and r.span.overlaps(d.span) for r in records))
+    rows = [
+        f"mobile-only shutdowns in period: {len(mobile_only)}",
+        f"  corroborated by GTR traffic:   {mobile_hits}",
+        f"  recorded by 3-signal IODA:     {ioda_mobile_hits}",
+        f"full blackouts sampled: {len(full)}; GTR corroborates "
+        f"{full_hits}",
+    ]
+    print_banner(
+        "Ablation — GTR as a fourth signal",
+        "GTR (user traffic) sees mobile-only shutdowns that BGP/AP/"
+        "telescope miss — the motivation for IODA adding it in 2022",
+        rows)
+    assert mobile_hits > ioda_mobile_hits
+    assert mobile_hits >= 0.8 * len(mobile_only)
+    assert full_hits >= 0.8 * len(full)

@@ -1,0 +1,45 @@
+"""Ablation: the 24-hour matching-lookback correction (§4).
+
+The paper discovered IODA events starting before the KIO local start date
+(publication-date errors, timezone slips) and widened the matching window
+by 24 hours.  This bench measures what the expansion buys: the number of
+matched IODA records with and without the lookback.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.core.matching import EventMatcher, MatchingConfig
+from repro.timeutils.timestamps import DAY, HOUR
+
+
+def test_bench_ablation_matching_window(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+    registry = merged.registry
+    kio = merged.kio_full_network
+    records = merged.ioda_records
+
+    def run_all():
+        results = {}
+        for lookback in (0, 6 * HOUR, 12 * HOUR, DAY, 2 * DAY):
+            matcher = EventMatcher(
+                registry, MatchingConfig(lookback=lookback))
+            matches = matcher.match(kio, records)
+            results[lookback] = (
+                len(matcher.matched_ioda_ids(matches)),
+                len(matcher.matched_kio_ids(matches)))
+        return results
+
+    results = benchmark(run_all)
+    rows = [f"{'Lookback':>10} {'IODA matched':>13} {'KIO matched':>12}"]
+    for lookback, (ioda_n, kio_n) in sorted(results.items()):
+        rows.append(f"{lookback // 3600:>9}h {ioda_n:>13} {kio_n:>12}")
+    print_banner(
+        "Ablation — KIO matching lookback window",
+        "Paper uses 24 h of lookback to rescue matches lost to "
+        "publication-date and timezone errors in KIO start dates",
+        rows)
+    no_lookback = results[0][0]
+    with_lookback = results[DAY][0]
+    assert with_lookback >= no_lookback
+    # Going far beyond 24 h buys little more.
+    assert results[2 * DAY][0] - results[DAY][0] <= \
+        max(2, (with_lookback - no_lookback))

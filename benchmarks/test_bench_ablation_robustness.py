@@ -1,0 +1,54 @@
+"""Ablation: Table 4 robustness specifications (§5.2, footnote 11).
+
+The paper notes the mobilization result "is robust to several different
+approaches": within-country analysis and week-level aggregation.  This
+bench runs both alternative specifications and prints them next to the
+day-level table.
+"""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.mobilization import mobilization_table
+from repro.analysis.robustness import (
+    weekly_mobilization_table,
+    within_country_rates,
+)
+from repro.analysis.subnational import subnational_stats
+
+
+def test_bench_ablation_robustness(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+
+    def run_all():
+        return (
+            mobilization_table(merged, pipeline_result.coups,
+                               pipeline_result.elections,
+                               pipeline_result.protests),
+            weekly_mobilization_table(merged, pipeline_result.coups,
+                                      pipeline_result.elections,
+                                      pipeline_result.protests),
+            within_country_rates(merged, pipeline_result.coups,
+                                 pipeline_result.elections,
+                                 pipeline_result.protests),
+        )
+
+    daily, weekly, within = benchmark(run_all)
+    rows = []
+    for label, table in (("day-level", daily), ("week-level", weekly),
+                         ("within shutdown countries", within)):
+        rows.append(f"-- {label} --")
+        for kind in ("election", "coup", "protest"):
+            rows.append(
+                f"  {kind:<9} shutdown risk ratio "
+                f"{table.risk_ratio(kind):8.1f}x")
+    stats = subnational_stats(pipeline_result.kio_events, merged.registry)
+    rows.append("-- subnational filtering rationale (§4) --")
+    rows.extend(f"  {row}" for row in stats.rows())
+    print_banner(
+        "Ablation — Table 4 robustness & subnational rationale",
+        "Week-level aggregation and within-country analysis preserve the "
+        "result; 85% of subnational shutdowns in India, 72% mobile-only",
+        rows)
+    for table in (weekly, within):
+        assert table.risk_ratio("coup") > 10
+        assert table.risk_ratio("protest") > 2
+    assert stats.top_country_iso2 == "IN"

@@ -1,0 +1,26 @@
+"""Figure 15: start weekday PDFs and the Friday-deficit binomial test."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.temporal import analyze_temporal
+from repro.timeutils.calendars import WEEKDAY_NAMES
+
+
+def test_bench_fig15_weekday(benchmark, pipeline_result):
+    analysis = benchmark(analyze_temporal, pipeline_result.merged)
+    shutdowns, outages = analysis.shutdowns, analysis.outages
+    rows = []
+    for name, stats in (("shutdowns", shutdowns), ("outages", outages)):
+        pdf = "  ".join(
+            f"{WEEKDAY_NAMES[i]} {p:.3f}" for i, p in
+            enumerate(stats.weekday_pdf))
+        rows.append(f"{name:<10} {pdf}")
+        rows.append(f"{name:<10} Friday-deficit two-tailed binomial "
+                    f"p-value: {stats.friday_p_value:.2e}")
+    print_banner(
+        "Figure 15 — start weekday PDFs (local time)",
+        "Shutdowns deficient on Fridays (p < 0.00065) — Friday weekends "
+        "in Syria/Iraq/Iran/Sudan/Algeria; outages uniform",
+        rows)
+    assert shutdowns.weekday_pdf[4] < 1 / 7
+    assert shutdowns.friday_p_value < 0.05
+    assert outages.friday_p_value > 0.05

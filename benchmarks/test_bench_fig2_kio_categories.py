@@ -1,0 +1,19 @@
+"""Figure 2: KIO events per category per year, 2016-2021."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.kio_trends import kio_trends
+from repro.kio.schema import KIOCategory
+
+
+def test_bench_fig2_kio_categories(benchmark, pipeline_result):
+    trends = benchmark(kio_trends, pipeline_result.kio_events)
+    print_banner(
+        "Figure 2 — KIO events per category per year",
+        "Totals grow ~75 (2016) to ~200 (2019); full-network shutdowns "
+        "are the dominant category with no sign of decline",
+        trends.rows())
+    assert set(trends.totals) == set(range(2016, 2022))
+    assert trends.totals[2019] > trends.totals[2016]
+    full_network = trends.series(KIOCategory.FULL_NETWORK)
+    assert full_network[-1][1] > 0.7 * max(count for _, count
+                                           in full_network)

@@ -1,0 +1,33 @@
+"""Figure 4: liberal-democracy score CDFs per country-year group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+from repro.analysis.institutions import institution_distributions
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_fig4_libdem(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+    table = group_country_years(merged, YEARS)
+
+    def compute():
+        return institution_distributions(
+            table, merged.registry, pipeline_result.vdem,
+            pipeline_result.worldbank)["liberal_democracy"]
+
+    dist = benchmark(compute)
+    rows = dist.rows()
+    shutdown_cdf = dist.cdfs[CountryYearGroup.SHUTDOWNS]
+    rows.append(f"max score among shutdown country-years: "
+                f"{max(shutdown_cdf.sorted_samples):.3f}")
+    print_banner(
+        "Figure 4 — liberal democracy score by group (CDF medians)",
+        "Medians: shutdowns 0.151 < outages 0.279 < neither 0.465; "
+        "shutdown maximum 0.481",
+        rows)
+    assert dist.median(CountryYearGroup.SHUTDOWNS) < \
+        dist.median(CountryYearGroup.OUTAGES) < \
+        dist.median(CountryYearGroup.NEITHER)
+    assert max(shutdown_cdf.sorted_samples) < 0.6

@@ -1,0 +1,32 @@
+"""Figure 5: military's capability to remove the regime, per group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+from repro.analysis.institutions import institution_distributions
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_fig5_military(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+    table = group_country_years(merged, YEARS)
+
+    def compute():
+        return institution_distributions(
+            table, merged.registry, pipeline_result.vdem,
+            pipeline_result.worldbank)["military_power"]
+
+    dist = benchmark(compute)
+    rows = dist.rows()
+    neither_zero = dist.cdfs[CountryYearGroup.NEITHER](0.0)
+    rows.append(f"fraction of Neither country-years at exactly 0: "
+                f"{neither_zero:.2f}")
+    print_banner(
+        "Figure 5 — military capable of removing regime (CDFs)",
+        "Over half of Neither country-years score 0; medians rise to "
+        "0.25 (outages) and 0.33 (shutdowns)",
+        rows)
+    assert neither_zero > 0.4
+    assert dist.median(CountryYearGroup.SHUTDOWNS) >= \
+        dist.median(CountryYearGroup.OUTAGES) > 0.0

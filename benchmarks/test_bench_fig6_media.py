@@ -1,0 +1,31 @@
+"""Figure 6: media bias and freedom of discussion (men), per group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+from repro.analysis.institutions import institution_distributions
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_fig6_media(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+    table = group_country_years(merged, YEARS)
+
+    def compute():
+        dists = institution_distributions(
+            table, merged.registry, pipeline_result.vdem,
+            pipeline_result.worldbank)
+        return dists["media_bias"], dists["freedom_discussion_men"]
+
+    media, freedom = benchmark(compute)
+    print_banner(
+        "Figure 6 — media bias & freedom of discussion for men (CDFs)",
+        "Shutdown and outage country-years skew toward bias / less "
+        "freedom; Neither clusters above the mean",
+        media.rows() + freedom.rows())
+    for dist in (media, freedom):
+        assert dist.median(CountryYearGroup.SHUTDOWNS) < \
+            dist.median(CountryYearGroup.NEITHER)
+        assert dist.median(CountryYearGroup.OUTAGES) < \
+            dist.median(CountryYearGroup.NEITHER)

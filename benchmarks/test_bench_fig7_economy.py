@@ -1,0 +1,30 @@
+"""Figure 7: GDP per capita (PPP) and broadband access, per group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+from repro.analysis.institutions import institution_distributions
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_fig7_economy(benchmark, pipeline_result):
+    merged = pipeline_result.merged
+    table = group_country_years(merged, YEARS)
+
+    def compute():
+        dists = institution_distributions(
+            table, merged.registry, pipeline_result.vdem,
+            pipeline_result.worldbank)
+        return dists["gdp_per_capita"], dists["broadband_fraction"]
+
+    gdp, broadband = benchmark(compute)
+    print_banner(
+        "Figure 7 — GDP per capita & broadband access (CDFs)",
+        "Shutdown country-years are poorest and least connected; "
+        "outage country-years in between; Neither richest",
+        gdp.rows() + broadband.rows())
+    for dist in (gdp, broadband):
+        assert dist.median(CountryYearGroup.SHUTDOWNS) <= \
+            dist.median(CountryYearGroup.OUTAGES) < \
+            dist.median(CountryYearGroup.NEITHER)

@@ -1,0 +1,34 @@
+"""Figure 8: state-owned address-space and eyeball fractions per group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+from repro.analysis.institutions import state_share_distributions
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_fig8_state_ownership(benchmark, pipeline_result):
+    table = group_country_years(pipeline_result.merged, YEARS)
+
+    def compute():
+        return state_share_distributions(
+            table, pipeline_result.state_shares)
+
+    shares = benchmark(compute)
+    addr = shares["state_owned_address_space"]
+    eyeballs = shares["state_owned_eyeballs"]
+    print_banner(
+        "Figure 8 — state share of address space & eyeballs (CDFs)",
+        "Shutdown curve clearly right-shifted; outage and neither "
+        "curves indistinguishable",
+        addr.rows() + eyeballs.rows())
+    for dist in (addr, eyeballs):
+        assert dist.median(CountryYearGroup.SHUTDOWNS) > \
+            dist.median(CountryYearGroup.OUTAGES) > \
+            dist.median(CountryYearGroup.NEITHER)
+        gap = abs(dist.median(CountryYearGroup.OUTAGES)
+                  - dist.median(CountryYearGroup.NEITHER))
+        shutdown_gap = (dist.median(CountryYearGroup.SHUTDOWNS)
+                        - dist.median(CountryYearGroup.NEITHER))
+        assert shutdown_gap > 1.5 * gap

@@ -1,0 +1,18 @@
+"""Table 2: merged-dataset event counts and top-5 countries."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.summary import summarize_merged
+
+
+def test_bench_table2_counts(benchmark, pipeline_result):
+    table = benchmark(summarize_merged, pipeline_result.merged)
+    print_banner(
+        "Table 2 — merged KIO-IODA dataset summary",
+        "KIO 82 (45 matched) | IODA shutdowns 182 (152 matched) | "
+        "714 outages; tops: Iraq/Myanmar/Syria (shutdowns), "
+        "Togo/Venezuela/Niger (outages); 219 total shutdowns in 35 "
+        "countries, outages in 150",
+        table.rows())
+    assert table.outage_total > 2 * table.union_shutdown_total
+    assert table.n_outage_countries > 100
+    assert table.ioda_matched_to_kio > 0.5 * table.ioda_shutdown_total

@@ -1,0 +1,19 @@
+"""Table 3: country-year counts per group."""
+
+from benchmarks.conftest import print_banner
+from repro.analysis.country_year import CountryYearGroup, \
+    group_country_years
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def test_bench_table3_country_years(benchmark, pipeline_result):
+    table = benchmark(group_country_years, pipeline_result.merged, YEARS)
+    print_banner(
+        "Table 3 — country-years per group",
+        "Shutdowns 55 | Outages 310 | Neither 514",
+        table.rows())
+    counts = table.counts()
+    assert counts[CountryYearGroup.SHUTDOWNS] < \
+        counts[CountryYearGroup.OUTAGES] < \
+        counts[CountryYearGroup.NEITHER]

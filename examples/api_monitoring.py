@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Programmatic monitoring against the IODA-style API.
+
+A downstream rapid-response tool would poll IODA's public API rather than
+scrape the dashboard.  This example drives :class:`repro.ioda.api.
+IODAClient` the way such a tool would:
+
+1. pull a week of three-signal data for a watched country,
+2. list the alert episodes the platform raised in that window,
+3. walk the paginated curated-event feed for the same country, and
+4. cross-check one event against the Google-Transparency-style traffic
+   signal (the post-study extension, §3.1 footnote 2).
+
+Run:  python examples/api_monitoring.py
+"""
+
+from pathlib import Path
+
+from repro.core.pipeline import ReproPipeline
+from repro.gtr import GTRCorroborator, GTRSimulator
+from repro.ioda.api import IODAClient
+from repro.ioda.platform import IODAPlatform
+from repro.signals.entities import Entity
+from repro.timeutils.timestamps import DAY, format_utc
+
+CACHE = Path(__file__).resolve().parent.parent / ".cache"
+
+
+def main() -> None:
+    result = ReproPipeline(cache_dir=CACHE).run()
+    platform = IODAPlatform(result.scenario)
+    client = IODAClient(platform, result.curated_records)
+
+    # Watch the country with the most curated events.
+    from collections import Counter
+    busiest = Counter(
+        r.country_iso2 for r in result.curated_records).most_common(1)[0][0]
+    country = result.scenario.registry.get(busiest)
+    print(f"Watching {country} (busiest in the curated feed)\n")
+
+    # 1. A week of signals around its first curated event.
+    first = client.get_events(country_iso2=busiest, limit=1).events[0]
+    window_start = first.span.start - 3 * DAY
+    window_end = first.span.end + 3 * DAY
+    payloads = client.get_all_signals(
+        Entity.country(busiest), window_start, window_end)
+    for name, payload in payloads.items():
+        low = min(payload.values)
+        high = max(payload.values)
+        print(f"signal {name:<15} bins={len(payload.values):5d}  "
+              f"range [{low:.0f}, {high:.0f}]")
+
+    # 2. Alerts in the window.
+    alerts = client.get_alerts(Entity.country(busiest), window_start,
+                               window_end)
+    print(f"\nalert episodes in window: {len(alerts)}")
+    for entry in alerts[:5]:
+        print(f"  {entry.signal.value:<15} {entry.episode.span}  "
+              f"depth={entry.episode.depth:.2f}")
+
+    # 3. The paginated event feed.
+    total = 0
+    offset = 0
+    while True:
+        page = client.get_events(country_iso2=busiest, offset=offset,
+                                 limit=25)
+        total += len(page.events)
+        if page.next_offset is None:
+            break
+        offset = page.next_offset
+    print(f"\ncurated events for {busiest}: {total}")
+
+    # 4. Cross-check the first event against GTR traffic.
+    corroborator = GTRCorroborator(GTRSimulator(result.scenario))
+    confirmed = corroborator.corroborates(busiest, first.span)
+    print(f"\nGTR cross-check of {format_utc(first.span.start)} event: "
+          f"{'confirmed' if confirmed else 'not confirmed'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Investigator briefs for notable events.
+
+Generates case-study briefs — the paper's Fig 1 / Table 1 narrative,
+programmatically — for three contrasting curated events: a KIO-matched
+shutdown, a cause-only shutdown, and a severe spontaneous outage.
+
+Run:  python examples/case_study_briefs.py
+"""
+
+from pathlib import Path
+
+from repro.analysis.case_study import build_case_study
+from repro.core.heuristics import ShutdownTriage
+from repro.core.pipeline import ReproPipeline
+from repro.ioda.platform import IODAPlatform
+
+CACHE = Path(__file__).resolve().parent.parent / ".cache"
+
+
+def build_triage(result) -> ShutdownTriage:
+    registry = result.merged.registry
+    libdem = {
+        (registry.by_name(r.country_name).iso2, r.year):
+            r.liberal_democracy
+        for r in result.vdem}
+    cells = set()
+    for dataset in (result.coups, result.elections, result.protests):
+        for record in dataset:
+            cells.add((registry.by_name(record.country_name).iso2,
+                       record.day))
+    return ShutdownTriage(registry, cells, libdem, result.state_shares)
+
+
+def main() -> None:
+    result = ReproPipeline(cache_dir=CACHE).run()
+    merged = result.merged
+    platform = IODAPlatform(result.scenario)
+    triage = build_triage(result)
+
+    picks = []
+    picks.append(("KIO-matched shutdown", next(
+        e for e in merged.ioda_shutdowns()
+        if e.via_kio_match and e.record.visible_in_all_signals)))
+    picks.append(("cause-only shutdown", next(
+        e for e in merged.ioda_shutdowns()
+        if e.via_cause and not e.via_kio_match)))
+    picks.append(("severe spontaneous outage", max(
+        merged.ioda_outages(), key=lambda e: e.record.duration_hours)))
+
+    for title, event in picks:
+        study = build_case_study(merged, platform,
+                                 event.record.record_id, triage)
+        print("=" * 64)
+        print(f"-- {title} --")
+        for row in study.rows():
+            print(row)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: observe one shutdown end-to-end.
+
+Generates the synthetic world, simulates IODA's three signals around one
+Syrian exam-season shutdown, runs the curation pipeline on that window,
+and matches the curated record against the KIO dataset — the full
+measurement-to-label path of the paper in a few seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, ScenarioGenerator, STUDY_PERIOD
+from repro.core.labeling import label_events
+from repro.core.matching import EventMatcher
+from repro.ioda.curation import CurationPipeline
+from repro.ioda.platform import IODAPlatform
+from repro.kio.compiler import KIOCompiler
+from repro.kio.harmonize import Harmonizer
+from repro.kio.snapshots import AnnualSnapshot
+from repro.timeutils.timestamps import TimeRange, format_utc
+from repro.world.disruptions import Cause
+
+
+def main() -> None:
+    print("1. Generating the synthetic world (seed 2023)...")
+    scenario = ScenarioGenerator(ScenarioConfig(seed=2023)).generate()
+    print(f"   {len(scenario.registry)} countries, "
+          f"{len(scenario.shutdowns)} ground-truth shutdowns, "
+          f"{len(scenario.outages)} spontaneous outages")
+
+    # Pick one exam-season shutdown in Syria.
+    event = next(d for d in scenario.shutdowns
+                 if d.country_iso2 == "SY" and d.cause is Cause.EXAM
+                 and STUDY_PERIOD.contains(d.span.start))
+    print(f"\n2. Ground truth: {event}")
+
+    print("\n3. Simulating IODA and curating the investigation window...")
+    platform = IODAPlatform(scenario)
+    pipeline = CurationPipeline(platform)
+    window = TimeRange(event.span.start - pipeline.config.window_lead,
+                       event.span.end + pipeline.config.window_tail)
+    records = pipeline.investigate("SY", window, STUDY_PERIOD)
+    for record in records:
+        print(f"   curated: {format_utc(record.start)} .. "
+              f"{format_utc(record.end)}  cause={record.cause!r}  "
+              f"visible in {record.n_signals_visible}/3 signals")
+
+    print("\n4. Compiling KIO and matching...")
+    compiler = KIOCompiler(scenario.seed, scenario.registry)
+    canonical = compiler.compile(scenario.shutdowns, scenario.restrictions,
+                                 scenario.config.years)
+    snapshots = [AnnualSnapshot.serialize(y, canonical)
+                 for y in scenario.config.years]
+    kio_events = Harmonizer().harmonize(snapshots)
+    matcher = EventMatcher(scenario.registry)
+    matches = matcher.match(
+        [e for e in kio_events if e.nationwide and e.is_full_network],
+        records)
+    labeled = label_events(records, matches)
+    for item in labeled:
+        provenance = []
+        if item.via_kio_match:
+            provenance.append("matched KIO")
+        if item.via_cause:
+            provenance.append("cause reporting")
+        print(f"   record {item.record.record_id}: "
+              f"label={item.label.value}  "
+              f"via {', '.join(provenance) or 'nothing'}")
+
+    assert any(item.is_shutdown for item in labeled), \
+        "the exam shutdown should be labeled a shutdown"
+    print("\nDone: the pipeline recovered the shutdown from observed "
+          "data alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of "Destination Unreachable: Characterizing
+Internet Outages and Shutdowns" (Bischof et al., SIGCOMM 2023).
+
+The package builds every system the paper depends on — a synthetic world
+of countries, AS topologies and political events; BGP, active-probing and
+network-telescope measurement substrates; the IODA platform with its alert
+and curation pipelines; the Access Now #KeepItOn reporting channel with
+its annual schema drift; and the sociopolitical dataset emitters — and
+then runs the paper's merge, matching, labeling, and analysis over the
+observed (not ground-truth) data.
+
+Quickstart::
+
+    from repro import ReproPipeline
+    from repro.analysis import summarize_merged
+
+    result = ReproPipeline().run()
+    for row in summarize_merged(result.merged).rows():
+        print(row)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-reproduction numbers.
+"""
+
+from repro.version import __version__
+from repro.core.pipeline import PipelineResult, ReproPipeline
+from repro.core.merge import MergedDataset, build_merged_dataset
+from repro.world.scenario import (
+    KIO_PERIOD,
+    STUDY_PERIOD,
+    ScenarioConfig,
+    ScenarioGenerator,
+    WorldScenario,
+)
+from repro.ioda.platform import IODAPlatform
+from repro.ioda.curation import CurationPipeline
+
+__all__ = [
+    "__version__",
+    "PipelineResult",
+    "ReproPipeline",
+    "MergedDataset",
+    "build_merged_dataset",
+    "KIO_PERIOD",
+    "STUDY_PERIOD",
+    "ScenarioConfig",
+    "ScenarioGenerator",
+    "WorldScenario",
+    "IODAPlatform",
+    "CurationPipeline",
+]

@@ -1,0 +1,99 @@
+"""Country-year grouping (Table 3 and the basis of §5.1).
+
+Each (country, year) is assigned to exactly one group:
+
+- **SHUTDOWNS** — at least one national-scale shutdown that year;
+- **OUTAGES** — no shutdown, but at least one spontaneous outage;
+- **NEITHER** — neither event class.
+
+A country contributes one observation per study year, so the same country
+can appear in different groups in different years (the paper's
+Myanmar-2018 example).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.merge import MergedDataset
+from repro.timeutils.timestamps import DAY
+
+__all__ = ["CountryYearGroup", "CountryYearTable", "group_country_years"]
+
+
+class CountryYearGroup(enum.Enum):
+    """The three groups of Table 3."""
+
+    SHUTDOWNS = "Shutdowns"
+    OUTAGES = "Outages"
+    NEITHER = "Neither"
+
+
+@dataclass(frozen=True)
+class CountryYearTable:
+    """Group assignment for every country-year plus the Table 3 counts."""
+
+    assignments: Mapping[Tuple[str, int], CountryYearGroup]
+
+    def count(self, group: CountryYearGroup) -> int:
+        return sum(1 for g in self.assignments.values() if g is group)
+
+    def counts(self) -> Dict[CountryYearGroup, int]:
+        """The three cells of Table 3."""
+        return {group: self.count(group) for group in CountryYearGroup}
+
+    def of(self, iso2: str, year: int) -> CountryYearGroup:
+        return self.assignments[(iso2.upper(), year)]
+
+    def country_years(self,
+                      group: CountryYearGroup) -> List[Tuple[str, int]]:
+        """All (iso2, year) pairs in a group, sorted."""
+        return sorted(key for key, g in self.assignments.items()
+                      if g is group)
+
+    def rows(self) -> List[str]:
+        counts = self.counts()
+        return [f"Country-years w/ {group.value}: {counts[group]}"
+                for group in CountryYearGroup]
+
+
+def _year_of(ts: int) -> int:
+    return time.gmtime(ts).tm_year
+
+
+def group_country_years(merged: MergedDataset,
+                        years: Iterable[int]) -> CountryYearTable:
+    """Assign every (registry country, year) to a Table 3 group.
+
+    Shutdown country-years come from both IODA-labeled shutdowns and
+    nationwide full-network KIO entries; outage country-years from the
+    remaining IODA events.
+    """
+    year_list = sorted(set(years))
+    shutdown_years = set()
+    outage_years = set()
+    for event in merged.ioda_shutdowns():
+        shutdown_years.add((event.record.country_iso2,
+                            _year_of(event.record.span.start)))
+    for kio_event in merged.kio_full_network:
+        iso2 = merged.registry.by_name(kio_event.country_name).iso2
+        shutdown_years.add(
+            (iso2, _year_of(kio_event.start_day * DAY)))
+    for event in merged.ioda_outages():
+        outage_years.add((event.record.country_iso2,
+                          _year_of(event.record.span.start)))
+
+    assignments: Dict[Tuple[str, int], CountryYearGroup] = {}
+    for country in merged.registry:
+        for year in year_list:
+            key = (country.iso2, year)
+            if key in shutdown_years:
+                assignments[key] = CountryYearGroup.SHUTDOWNS
+            elif key in outage_years:
+                assignments[key] = CountryYearGroup.OUTAGES
+            else:
+                assignments[key] = CountryYearGroup.NEITHER
+    return CountryYearTable(assignments=assignments)

@@ -1,0 +1,131 @@
+"""Figure data export.
+
+Every CDF/PDF figure in the paper is backed here by an exportable series:
+:func:`figure_series` computes, for each figure, a mapping from series
+label to the (x, y) points a plotting tool would draw, and
+:func:`write_csvs` dumps one CSV file per figure.  This is the "data
+behind the figures" artifact a reproduction package ships.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.country_year import group_country_years
+from repro.analysis.institutions import (
+    institution_distributions,
+    state_control_split,
+    state_share_distributions,
+)
+from repro.analysis.kio_trends import kio_trends
+from repro.analysis.observability import observability_table
+from repro.analysis.temporal import analyze_temporal
+from repro.core.pipeline import PipelineResult
+from repro.kio.schema import KIOCategory
+from repro.signals.kinds import SignalKind
+
+__all__ = ["figure_series", "write_csvs"]
+
+Points = List[Tuple[float, float]]
+FigureData = Dict[str, Points]
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def figure_series(result: PipelineResult) -> Dict[str, FigureData]:
+    """All figures' plottable series, keyed by figure id."""
+    merged = result.merged
+    figures: Dict[str, FigureData] = {}
+
+    trends = kio_trends(result.kio_events)
+    figures["fig02_kio_categories"] = {
+        category.value: [(float(year), float(count))
+                         for year, count in trends.series(category)]
+        for category in KIOCategory
+    }
+    figures["fig02_kio_categories"]["total"] = [
+        (float(year), float(total))
+        for year, total in sorted(trends.totals.items())]
+
+    table = group_country_years(merged, YEARS)
+    dists = institution_distributions(
+        table, merged.registry, result.vdem, result.worldbank)
+    for figure_id, field in (
+            ("fig04_liberal_democracy", "liberal_democracy"),
+            ("fig05_military_power", "military_power"),
+            ("fig06a_media_bias", "media_bias"),
+            ("fig06b_freedom_discussion", "freedom_discussion_men"),
+            ("fig07a_gdp_per_capita", "gdp_per_capita"),
+            ("fig07b_broadband", "broadband_fraction")):
+        figures[figure_id] = {
+            group.value: list(cdf.points())
+            for group, cdf in dists[field].cdfs.items()}
+
+    shares = state_share_distributions(table, result.state_shares)
+    figures["fig08a_state_address_space"] = {
+        group.value: list(cdf.points())
+        for group, cdf in
+        shares["state_owned_address_space"].cdfs.items()}
+    figures["fig08b_state_eyeballs"] = {
+        group.value: list(cdf.points())
+        for group, cdf in shares["state_owned_eyeballs"].cdfs.items()}
+
+    split = state_control_split(
+        table, merged.registry, result.vdem, result.state_shares)
+    for figure_id, key in (("fig09a_state_controlled", "state_controlled"),
+                           ("fig09b_non_state_controlled",
+                            "non_state_controlled")):
+        figures[figure_id] = {
+            group.value: list(cdf.points())
+            for group, cdf in split[key].cdfs.items()}
+
+    temporal = analyze_temporal(merged)
+    classes = (("shutdowns", temporal.shutdowns),
+               ("outages", temporal.outages))
+    figures["fig10_duration_hours"] = {
+        label: list(stats.durations_h.points()) for label, stats in classes}
+    figures["fig11_recurrence_days"] = {
+        label: list(stats.intervals_days.points())
+        for label, stats in classes if stats.intervals_days is not None}
+    figures["fig12_start_minute_utc"] = {
+        label: list(stats.minute_utc.points()) for label, stats in classes}
+    figures["fig13_start_minute_local"] = {
+        label: list(stats.minute_local.points())
+        for label, stats in classes}
+    figures["fig14_start_hour_local"] = {
+        label: list(stats.hour_local.points()) for label, stats in classes}
+    figures["fig15_weekday_pdf"] = {
+        label: [(float(i), p) for i, p in enumerate(stats.weekday_pdf)]
+        for label, stats in classes}
+
+    observability = observability_table(merged)
+    figures["fig16_observability_pct"] = {
+        "shutdowns": [
+            (float(i), observability.shutdown_pct[kind])
+            for i, kind in enumerate(SignalKind)
+        ] + [(float(len(SignalKind)), observability.shutdown_all_pct)],
+        "outages": [
+            (float(i), observability.outage_pct[kind])
+            for i, kind in enumerate(SignalKind)
+        ] + [(float(len(SignalKind)), observability.outage_all_pct)],
+    }
+    return figures
+
+
+def write_csvs(result: PipelineResult, directory: Path) -> List[Path]:
+    """Write one CSV per figure; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for figure_id, data in figure_series(result).items():
+        path = directory / f"{figure_id}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["series", "x", "y"])
+            for series, points in data.items():
+                for x, y in points:
+                    writer.writerow([series, x, y])
+        written.append(path)
+    return written

@@ -1,0 +1,62 @@
+"""Internet-user impact (§4's ">1 billion users" headline).
+
+The paper notes that the 35 countries with national-scale shutdowns
+together represent over a billion Internet users (DataReportal
+estimates).  This module computes the same aggregate from the merged
+dataset plus the DataReportal emitter, for shutdown and outage countries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.merge import MergedDataset
+from repro.datasets.datareportal import DataReportalDataset
+
+__all__ = ["UserImpact", "user_impact"]
+
+
+@dataclass(frozen=True)
+class UserImpact:
+    """Aggregate Internet users behind each event class."""
+
+    shutdown_users_millions: float
+    outage_users_millions: float
+    n_shutdown_countries: int
+    n_outage_countries: int
+    reference_year: int
+
+    def rows(self) -> List[str]:
+        return [
+            f"Internet users in shutdown countries "
+            f"({self.n_shutdown_countries} countries, "
+            f"{self.reference_year} estimates): "
+            f"{self.shutdown_users_millions:,.0f} M",
+            f"Internet users in outage countries "
+            f"({self.n_outage_countries} countries): "
+            f"{self.outage_users_millions:,.0f} M",
+        ]
+
+
+def user_impact(merged: MergedDataset,
+                datareportal: DataReportalDataset,
+                reference_year: int = 2021) -> UserImpact:
+    """Sum user estimates over shutdown and outage countries."""
+    registry = merged.registry
+    users: Dict[str, float] = {}
+    for record in datareportal:
+        if record.year == reference_year:
+            iso2 = registry.by_name(record.country_name).iso2
+            users[iso2] = record.users_millions
+    shutdown_countries = merged.shutdown_countries()
+    outage_countries = merged.outage_countries()
+    return UserImpact(
+        shutdown_users_millions=sum(
+            users.get(iso2, 0.0) for iso2 in shutdown_countries),
+        outage_users_millions=sum(
+            users.get(iso2, 0.0) for iso2 in outage_countries),
+        n_shutdown_countries=len(shutdown_countries),
+        n_outage_countries=len(outage_countries),
+        reference_year=reference_year,
+    )

@@ -1,0 +1,191 @@
+"""Institutional correlates: Figures 4-9.
+
+For each indicator, the analysis builds one ECDF per country-year group
+(Shutdowns / Outages / Neither).  Indicators come from the *emitted*
+datasets, resolved through the country registry — i.e. the analysis sees
+the same country-name variants and missing values the paper's did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.country_year import CountryYearGroup, CountryYearTable
+from repro.countries.registry import CountryRegistry
+from repro.datasets.vdem import VDemDataset
+from repro.datasets.worldbank import WorldBankDataset
+from repro.errors import DatasetError
+from repro.stats.ecdf import ECDF
+from repro.topology.metrics import StateShare
+
+__all__ = [
+    "GroupDistributions",
+    "institution_distributions",
+    "state_share_distributions",
+    "state_control_split",
+]
+
+
+@dataclass(frozen=True)
+class GroupDistributions:
+    """One indicator's per-group ECDFs (one CDF figure)."""
+
+    indicator: str
+    cdfs: Mapping[CountryYearGroup, ECDF]
+
+    def median(self, group: CountryYearGroup) -> float:
+        return self.cdfs[group].median
+
+    def medians(self) -> Dict[str, float]:
+        return {group.value: self.median(group)
+                for group in self.cdfs}
+
+    def rows(self) -> List[str]:
+        return [
+            f"{self.indicator} median [{group.value}]: "
+            f"{cdf.median:.3f} (n={cdf.n})"
+            for group, cdf in self.cdfs.items()
+        ]
+
+
+def _per_group(table: CountryYearTable,
+               value_of: Callable[[str, int], Optional[float]]
+               ) -> Dict[CountryYearGroup, List[float]]:
+    values: Dict[CountryYearGroup, List[float]] = {
+        group: [] for group in CountryYearGroup}
+    for (iso2, year), group in table.assignments.items():
+        value = value_of(iso2, year)
+        if value is not None:
+            values[group].append(value)
+    return values
+
+
+def _distributions(indicator: str, table: CountryYearTable,
+                   value_of: Callable[[str, int], Optional[float]]
+                   ) -> GroupDistributions:
+    grouped = _per_group(table, value_of)
+    empty = [g.value for g, vals in grouped.items() if not vals]
+    if empty:
+        raise DatasetError(
+            f"indicator {indicator!r} has empty groups: {empty}")
+    return GroupDistributions(
+        indicator=indicator,
+        cdfs={group: ECDF.from_samples(vals)
+              for group, vals in grouped.items()})
+
+
+def institution_distributions(
+        table: CountryYearTable,
+        registry: CountryRegistry,
+        vdem: VDemDataset,
+        worldbank: WorldBankDataset) -> Dict[str, GroupDistributions]:
+    """Figures 4-7: all six institutional/economic indicators.
+
+    Returns a dict keyed by indicator name:
+    ``liberal_democracy`` (Fig 4), ``military_power`` (Fig 5),
+    ``media_bias`` and ``freedom_discussion_men`` (Fig 6),
+    ``gdp_per_capita`` and ``broadband_fraction`` (Fig 7).
+    """
+    vdem_index: Dict[Tuple[str, int], dict] = {}
+    for record in vdem:
+        iso2 = registry.by_name(record.country_name).iso2
+        vdem_index[(iso2, record.year)] = {
+            "liberal_democracy": record.liberal_democracy,
+            "military_power": record.military_power,
+            "media_bias": record.media_bias,
+            "freedom_discussion_men": record.freedom_discussion_men,
+        }
+    wb_index: Dict[Tuple[str, int], dict] = {}
+    for wb_record in worldbank:
+        # The Data Bank's authoritative key is the alpha-3 code; fall
+        # back to name resolution for records without one.
+        if wb_record.country_code:
+            iso2 = registry.by_iso3(wb_record.country_code).iso2
+        else:
+            iso2 = registry.by_name(wb_record.country_name).iso2
+        wb_index[(iso2, wb_record.year)] = {
+            "gdp_per_capita": wb_record.gdp_per_capita_ppp,
+            # World Bank publishes per-100; the paper plots a fraction.
+            "broadband_fraction": (
+                None if wb_record.broadband_per_100 is None
+                else wb_record.broadband_per_100 / 100.0),
+        }
+
+    def from_index(index: Dict[Tuple[str, int], dict],
+                   field: str) -> Callable[[str, int], Optional[float]]:
+        def value_of(iso2: str, year: int) -> Optional[float]:
+            entry = index.get((iso2, year))
+            return None if entry is None else entry.get(field)
+        return value_of
+
+    results: Dict[str, GroupDistributions] = {}
+    for field in ("liberal_democracy", "military_power", "media_bias",
+                  "freedom_discussion_men"):
+        results[field] = _distributions(
+            field, table, from_index(vdem_index, field))
+    for field in ("gdp_per_capita", "broadband_fraction"):
+        results[field] = _distributions(
+            field, table, from_index(wb_index, field))
+    return results
+
+
+def state_share_distributions(
+        table: CountryYearTable,
+        state_shares: Mapping[str, StateShare]
+) -> Dict[str, GroupDistributions]:
+    """Figure 8: state-owned address-space and eyeball fractions per group.
+
+    Restricted, as in the paper, to countries with state-owned providers
+    (a nonzero share in at least one metric).
+    """
+    def addr(iso2: str, year: int) -> Optional[float]:
+        share = state_shares.get(iso2)
+        if share is None or (share.address_space_fraction == 0.0
+                             and share.eyeball_fraction == 0.0):
+            return None
+        return share.address_space_fraction
+
+    def eyeballs(iso2: str, year: int) -> Optional[float]:
+        share = state_shares.get(iso2)
+        if share is None or (share.address_space_fraction == 0.0
+                             and share.eyeball_fraction == 0.0):
+            return None
+        return share.eyeball_fraction
+
+    return {
+        "state_owned_address_space": _distributions(
+            "state_owned_address_space", table, addr),
+        "state_owned_eyeballs": _distributions(
+            "state_owned_eyeballs", table, eyeballs),
+    }
+
+
+def state_control_split(
+        table: CountryYearTable,
+        registry: CountryRegistry,
+        vdem: VDemDataset,
+        state_shares: Mapping[str, StateShare]
+) -> Dict[str, GroupDistributions]:
+    """Figure 9: liberal-democracy CDFs split by majority state control
+    of the address space (>50%, §5.1.1)."""
+    libdem: Dict[Tuple[str, int], float] = {}
+    for record in vdem:
+        iso2 = registry.by_name(record.country_name).iso2
+        libdem[(iso2, record.year)] = record.liberal_democracy
+
+    def value_for(controlled: bool
+                  ) -> Callable[[str, int], Optional[float]]:
+        def value_of(iso2: str, year: int) -> Optional[float]:
+            share = state_shares.get(iso2)
+            if share is None or share.state_controlled != controlled:
+                return None
+            return libdem.get((iso2, year))
+        return value_of
+
+    return {
+        "state_controlled": _distributions(
+            "state_controlled", table, value_for(True)),
+        "non_state_controlled": _distributions(
+            "non_state_controlled", table, value_for(False)),
+    }

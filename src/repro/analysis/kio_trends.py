@@ -1,0 +1,53 @@
+"""KIO category trends: Figure 2 (§3.2).
+
+Per year, the number of KIO events involving each restriction category
+(categories are not mutually exclusive and do not sum to the total) and
+the total number of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.kio.schema import KIOCategory, KIOEvent
+
+__all__ = ["KIOTrends", "kio_trends"]
+
+
+@dataclass(frozen=True)
+class KIOTrends:
+    """Figure 2's series."""
+
+    per_year: Mapping[int, Mapping[KIOCategory, int]]
+    totals: Mapping[int, int]
+
+    def series(self, category: KIOCategory) -> List[tuple[int, int]]:
+        """(year, count) points for one category line."""
+        return [(year, counts.get(category, 0))
+                for year, counts in sorted(self.per_year.items())]
+
+    def rows(self) -> List[str]:
+        lines = [f"{'Year':<6}{'Throttling':>11}{'Service':>9}"
+                 f"{'Shutdown':>10}{'Total':>7}"]
+        for year in sorted(self.per_year):
+            counts = self.per_year[year]
+            lines.append(
+                f"{year:<6}"
+                f"{counts.get(KIOCategory.THROTTLING, 0):>11}"
+                f"{counts.get(KIOCategory.SERVICE_BASED, 0):>9}"
+                f"{counts.get(KIOCategory.FULL_NETWORK, 0):>10}"
+                f"{self.totals[year]:>7}")
+        return lines
+
+
+def kio_trends(events: Sequence[KIOEvent]) -> KIOTrends:
+    """Count events per category per year."""
+    per_year: Dict[int, Dict[KIOCategory, int]] = {}
+    totals: Dict[int, int] = {}
+    for event in events:
+        counts = per_year.setdefault(event.year, {})
+        totals[event.year] = totals.get(event.year, 0) + 1
+        for category in event.categories:
+            counts[category] = counts.get(category, 0) + 1
+    return KIOTrends(per_year=per_year, totals=totals)

@@ -1,0 +1,79 @@
+"""Match timelines: Figure 3 (§4).
+
+For one KIO entry matched to a series of IODA events (e.g. an exam-season
+series), lay out the three bands of the figure: the KIO entry's local-date
+span, the matching window actually used (including the 24-hour lookback),
+and every matched IODA event's precise span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.matching import EventMatcher
+from repro.core.merge import MergedDataset
+from repro.kio.schema import KIOEvent
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["MatchTimeline", "match_timeline", "best_series_example"]
+
+
+@dataclass(frozen=True)
+class MatchTimeline:
+    """The three bands of one Figure 3 panel."""
+
+    country_iso2: str
+    kio_event: KIOEvent
+    kio_span_utc: TimeRange
+    match_window_utc: TimeRange
+    ioda_spans: Tuple[TimeRange, ...]
+
+    def rows(self) -> List[str]:
+        lines = [
+            f"Country: {self.country_iso2}",
+            f"KIO entry (local dates as UTC span): {self.kio_span_utc}",
+            f"Match window (with lookback):        {self.match_window_utc}",
+            f"Matched IODA events: {len(self.ioda_spans)}",
+        ]
+        lines.extend(f"  IODA: {span}" for span in self.ioda_spans)
+        return lines
+
+
+def match_timeline(merged: MergedDataset,
+                   kio_event_id: int) -> MatchTimeline:
+    """Build the timeline for one KIO entry."""
+    kio_event = next(e for e in merged.kio_full_network
+                     if e.event_id == kio_event_id)
+    matcher = EventMatcher(merged.registry)
+    window = matcher.kio_window_utc(kio_event)
+    kio_span = TimeRange(window.start + matcher.config.lookback, window.end)
+    matched_record_ids = {
+        m.ioda_record_id for m in merged.matches
+        if m.kio_event_id == kio_event_id}
+    spans = tuple(sorted(
+        (r.span for r in merged.ioda_records
+         if r.record_id in matched_record_ids),
+        key=lambda s: s.start))
+    iso2 = merged.registry.by_name(kio_event.country_name).iso2
+    return MatchTimeline(
+        country_iso2=iso2,
+        kio_event=kio_event,
+        kio_span_utc=kio_span,
+        match_window_utc=window,
+        ioda_spans=spans,
+    )
+
+
+def best_series_example(merged: MergedDataset,
+                        min_ioda_events: int = 4) -> Optional[int]:
+    """The KIO entry matched to the most IODA events (the figure's
+    exam-series examples), or None if nothing qualifies."""
+    counts: dict[int, int] = {}
+    for match in merged.matches:
+        counts[match.kio_event_id] = counts.get(match.kio_event_id, 0) + 1
+    qualified = [(n, event_id) for event_id, n in counts.items()
+                 if n >= min_ioda_events]
+    if not qualified:
+        return None
+    return max(qualified)[1]

@@ -1,0 +1,113 @@
+"""Mobilization events predict shutdowns: Table 4 (§5.2).
+
+Over all (country, local day) cells in the study period, compute the
+probability that a shutdown / spontaneous outage *starts* on a day with an
+election, coup, or protest versus days without one.  Protest coverage ends
+in 2019 (§5.2 footnote 9), so protest rows are computed on the 2018-2019
+subset of days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.merge import MergedDataset
+from repro.countries.registry import CountryRegistry
+from repro.datasets.coups import CoupDataset
+from repro.datasets.elections import ElectionDataset
+from repro.datasets.protests import PROTEST_DATA_END, ProtestDataset
+from repro.stats.contingency import ConditionalRates, DayLevelContingency
+from repro.timeutils.timestamps import DAY
+from repro.timeutils.timezones import local_date
+
+__all__ = ["MobilizationTable", "mobilization_table"]
+
+Cell = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class MobilizationTable:
+    """Table 4: per event kind, conditional shutdown/outage rates."""
+
+    rates: Mapping[str, Tuple[ConditionalRates, ConditionalRates]]
+
+    def rows(self) -> List[str]:
+        lines: List[str] = []
+        header = f"{'Event':<12} {'Pr(Shutdown)':>13} {'Pr(Outage)':>11}"
+        lines.append(header)
+        for kind, (shutdown, outage) in self.rates.items():
+            lines.append(
+                f"{kind.capitalize():<12} "
+                f"{shutdown.rate_given_condition:>13.4f} "
+                f"{outage.rate_given_condition:>11.4f}")
+            lines.append(
+                f"{'No ' + kind:<12} "
+                f"{shutdown.rate_given_not_condition:>13.4f} "
+                f"{outage.rate_given_not_condition:>11.4f}")
+        return lines
+
+    def risk_ratio(self, kind: str) -> float:
+        """How many times a shutdown is more likely on event days."""
+        return self.rates[kind][0].risk_ratio
+
+    def outage_risk_ratio(self, kind: str) -> float:
+        return self.rates[kind][1].risk_ratio
+
+
+def _event_cells(registry: CountryRegistry, dataset,
+                 day_attr: str = "day") -> Set[Cell]:
+    cells: Set[Cell] = set()
+    for record in dataset:
+        iso2 = registry.by_name(record.country_name).iso2
+        cells.add((iso2, getattr(record, day_attr)))
+    return cells
+
+
+def _start_day_cells(merged: MergedDataset, shutdown: bool) -> Set[Cell]:
+    events = (merged.ioda_shutdowns() if shutdown
+              else merged.ioda_outages())
+    cells: Set[Cell] = set()
+    for event in events:
+        iso2 = event.record.country_iso2
+        offset = merged.registry.get(iso2).utc_offset
+        cells.add((iso2, local_date(event.record.span.start, offset)))
+    if shutdown:
+        # KIO full-network entries are shutdowns too (their start day is
+        # already a local date).
+        for kio_event in merged.kio_full_network:
+            iso2 = merged.registry.by_name(kio_event.country_name).iso2
+            cells.add((iso2, kio_event.start_day))
+    return cells
+
+
+def mobilization_table(merged: MergedDataset,
+                       coups: CoupDataset,
+                       elections: ElectionDataset,
+                       protests: ProtestDataset) -> MobilizationTable:
+    """Compute Table 4."""
+    registry = merged.registry
+    first_day = merged.period.start // DAY
+    last_day = -(-merged.period.end // DAY)
+    days = range(first_day, last_day)
+    contingency = DayLevelContingency(
+        countries=[c.iso2 for c in registry], day_indices=days)
+
+    shutdown_cells = _start_day_cells(merged, shutdown=True)
+    outage_cells = _start_day_cells(merged, shutdown=False)
+
+    conditions: Dict[str, Tuple[Set[Cell], Optional[FrozenSet[int]]]] = {
+        "election": (_event_cells(registry, elections), None),
+        "coup": (_event_cells(registry, coups), None),
+        "protest": (
+            _event_cells(registry, protests),
+            frozenset(range(first_day, min(last_day, PROTEST_DATA_END)))),
+    }
+
+    rates: Dict[str, Tuple[ConditionalRates, ConditionalRates]] = {}
+    for kind, (cells, day_subset) in conditions.items():
+        rates[kind] = (
+            contingency.rates(cells, shutdown_cells, day_subset),
+            contingency.rates(cells, outage_cells, day_subset),
+        )
+    return MobilizationTable(rates=rates)

@@ -1,0 +1,66 @@
+"""Signal observability: Figure 16 (§5.3).
+
+For each signal, the percentage of shutdown and spontaneous-outage events
+whose curated record marks the signal as humanly visible, plus the
+percentage visible in all three signals simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.labeling import LabeledEvent
+from repro.core.merge import MergedDataset
+from repro.errors import SignalError
+from repro.signals.kinds import SignalKind
+
+__all__ = ["ObservabilityTable", "observability_table"]
+
+
+@dataclass(frozen=True)
+class ObservabilityTable:
+    """Figure 16's bars."""
+
+    shutdown_pct: Mapping[SignalKind, float]
+    outage_pct: Mapping[SignalKind, float]
+    shutdown_all_pct: float
+    outage_all_pct: float
+
+    def rows(self) -> List[str]:
+        lines = []
+        for kind in SignalKind:
+            lines.append(
+                f"{kind.label:<15} shutdowns {self.shutdown_pct[kind]:5.1f}%"
+                f"   outages {self.outage_pct[kind]:5.1f}%")
+        lines.append(
+            f"{'All (3-way)':<15} shutdowns {self.shutdown_all_pct:5.1f}%"
+            f"   outages {self.outage_all_pct:5.1f}%")
+        return lines
+
+
+def _percentages(events: Sequence[LabeledEvent]
+                 ) -> tuple[Dict[SignalKind, float], float]:
+    if not events:
+        raise SignalError("no events to summarize")
+    per_signal = {
+        kind: 100.0 * sum(
+            1 for e in events if e.record.human_visible[kind])
+        / len(events)
+        for kind in SignalKind
+    }
+    all_pct = 100.0 * sum(
+        1 for e in events if e.record.visible_in_all_signals) / len(events)
+    return per_signal, all_pct
+
+
+def observability_table(merged: MergedDataset) -> ObservabilityTable:
+    """Compute Figure 16 from the merged dataset."""
+    shutdown_pct, shutdown_all = _percentages(merged.ioda_shutdowns())
+    outage_pct, outage_all = _percentages(merged.ioda_outages())
+    return ObservabilityTable(
+        shutdown_pct=shutdown_pct,
+        outage_pct=outage_pct,
+        shutdown_all_pct=shutdown_all,
+        outage_all_pct=outage_all,
+    )

@@ -1,0 +1,65 @@
+"""Subnational shutdown statistics (§4).
+
+The paper justifies filtering to country-level events with two
+observations about subnational shutdowns: 85% of subnational full-network
+shutdowns occur in India (per KIO), and 72% of those affect only mobile
+networks — which IODA's active probing cannot see.  This module computes
+those statistics from the harmonized KIO dataset so the filtering rationale
+is itself reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.countries.registry import CountryRegistry
+from repro.kio.schema import KIOEvent, NetworkType
+
+__all__ = ["SubnationalStats", "subnational_stats"]
+
+
+@dataclass(frozen=True)
+class SubnationalStats:
+    """The §4 subnational filtering rationale, quantified."""
+
+    n_subnational_full_network: int
+    top_country_iso2: str
+    top_country_fraction: float
+    top_country_mobile_only_fraction: float
+
+    def rows(self) -> List[str]:
+        return [
+            f"subnational full-network KIO entries: "
+            f"{self.n_subnational_full_network}",
+            f"most-affected country: {self.top_country_iso2} "
+            f"({self.top_country_fraction:.0%} of entries)",
+            f"mobile-only among its entries: "
+            f"{self.top_country_mobile_only_fraction:.0%}",
+        ]
+
+
+def subnational_stats(kio_events: Sequence[KIOEvent],
+                      registry: CountryRegistry) -> SubnationalStats:
+    """Compute the subnational concentration statistics."""
+    subnational = [e for e in kio_events
+                   if e.is_full_network and not e.nationwide]
+    if not subnational:
+        return SubnationalStats(
+            n_subnational_full_network=0, top_country_iso2="",
+            top_country_fraction=0.0,
+            top_country_mobile_only_fraction=0.0)
+    counts = Counter(
+        registry.by_name(e.country_name).iso2 for e in subnational)
+    top_iso2, top_count = counts.most_common(1)[0]
+    top_events = [e for e in subnational
+                  if registry.by_name(e.country_name).iso2 == top_iso2]
+    mobile_only = sum(1 for e in top_events
+                      if e.networks is NetworkType.MOBILE)
+    return SubnationalStats(
+        n_subnational_full_network=len(subnational),
+        top_country_iso2=top_iso2,
+        top_country_fraction=top_count / len(subnational),
+        top_country_mobile_only_fraction=mobile_only / len(top_events),
+    )

@@ -1,0 +1,95 @@
+"""Table 2: merged dataset summary.
+
+Counts of country-level shutdown and spontaneous-outage events per source
+category, the match overlaps, and the top-5 countries per category.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.merge import MergedDataset
+
+__all__ = ["Table2", "summarize_merged"]
+
+
+@dataclass(frozen=True)
+class Table2:
+    """The cells of Table 2."""
+
+    kio_total: int
+    kio_matched_to_ioda: int
+    ioda_shutdown_total: int
+    ioda_matched_to_kio: int
+    outage_total: int
+    union_shutdown_total: int
+    top_kio_countries: Tuple[Tuple[str, int], ...]
+    top_ioda_shutdown_countries: Tuple[Tuple[str, int], ...]
+    top_outage_countries: Tuple[Tuple[str, int], ...]
+    n_shutdown_countries: int
+    n_outage_countries: int
+
+    def rows(self) -> List[str]:
+        """Human-readable rows in the table's layout."""
+        def fmt(tops: Tuple[Tuple[str, int], ...]) -> str:
+            return ", ".join(f"{iso2} ({count})" for iso2, count in tops)
+
+        return [
+            f"KIO country-level shutdown events: {self.kio_total} "
+            f"(matched to IODA: {self.kio_matched_to_ioda})",
+            f"IODA country-level shutdown events: "
+            f"{self.ioda_shutdown_total} "
+            f"(matched to KIO: {self.ioda_matched_to_kio})",
+            f"IODA country-level spontaneous outages: {self.outage_total}",
+            f"Union shutdown set: {self.union_shutdown_total} events "
+            f"in {self.n_shutdown_countries} countries",
+            f"Spontaneous outages span {self.n_outage_countries} countries",
+            f"Top KIO countries: {fmt(self.top_kio_countries)}",
+            f"Top IODA shutdown countries: "
+            f"{fmt(self.top_ioda_shutdown_countries)}",
+            f"Top outage countries: {fmt(self.top_outage_countries)}",
+        ]
+
+
+def _top(counter: Counter, n: int = 5) -> Tuple[Tuple[str, int], ...]:
+    """Top-n, extended through ties at the cut as the paper does."""
+    ranked = counter.most_common()
+    if len(ranked) <= n:
+        return tuple(ranked)
+    cutoff = ranked[n - 1][1]
+    return tuple((iso2, count) for iso2, count in ranked
+                 if count > cutoff or count == cutoff)[:n + 3]
+
+
+def summarize_merged(merged: MergedDataset) -> Table2:
+    """Compute Table 2 from the merged dataset."""
+    registry = merged.registry
+    kio_counter = Counter(
+        registry.by_name(e.country_name).iso2
+        for e in merged.kio_full_network)
+    ioda_shutdowns = merged.ioda_shutdowns()
+    ioda_sd_counter = Counter(
+        e.record.country_iso2 for e in ioda_shutdowns)
+    outages = merged.ioda_outages()
+    outage_counter = Counter(e.record.country_iso2 for e in outages)
+    matched_kio = {m.kio_event_id for m in merged.matches}
+    matched_ioda = {m.ioda_record_id for m in merged.matches}
+    return Table2(
+        kio_total=len(merged.kio_full_network),
+        kio_matched_to_ioda=sum(
+            1 for e in merged.kio_full_network
+            if e.event_id in matched_kio),
+        ioda_shutdown_total=len(ioda_shutdowns),
+        ioda_matched_to_kio=sum(
+            1 for e in ioda_shutdowns
+            if e.record.record_id in matched_ioda),
+        outage_total=len(outages),
+        union_shutdown_total=merged.total_shutdown_events(),
+        top_kio_countries=_top(kio_counter),
+        top_ioda_shutdown_countries=_top(ioda_sd_counter),
+        top_outage_countries=_top(outage_counter),
+        n_shutdown_countries=len(merged.shutdown_countries()),
+        n_outage_countries=len(merged.outage_countries()),
+    )

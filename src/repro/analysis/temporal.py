@@ -1,0 +1,175 @@
+"""Temporal fingerprints of shutdowns: Figures 10-15 (§5.3).
+
+All computations run over the "IODA shutdowns" and "IODA outages" sets —
+IODA-recorded events only, because only IODA provides fine-grained times.
+
+- **Durations** (Fig 10): ECDFs, plus the round-number fractions the
+  paper highlights (30-minute multiples; the 4.5/5.5/8/10-hour spikes).
+- **Recurrence intervals** (Fig 11): gaps between consecutive event
+  starts within a country, plus the fraction at exactly 1-4 days.
+- **Start minute, UTC and local** (Figs 12-13): on-the-hour and
+  half-hour concentrations.
+- **Start hour, local** (Fig 14): the 00:00-06:00 concentration.
+- **Start weekday, local** (Fig 15): the weekday PDF and the two-tailed
+  binomial test for the Friday deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.labeling import LabeledEvent
+from repro.core.merge import MergedDataset
+from repro.countries.registry import CountryRegistry
+from repro.errors import SignalError
+from repro.stats.binomial import binomial_test_two_tailed
+from repro.stats.descriptive import fraction_multiple_of
+from repro.stats.ecdf import ECDF
+from repro.timeutils.calendars import WEEKDAY_NAMES
+from repro.timeutils.timezones import (
+    local_hour_of_day,
+    local_minute_of_hour,
+    local_weekday,
+)
+
+__all__ = ["ClassTemporal", "TemporalAnalysis", "analyze_temporal"]
+
+_ROUND_DURATIONS_H = (4.5, 5.5, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class ClassTemporal:
+    """Temporal statistics for one event class."""
+
+    label: str
+    n_events: int
+    durations_h: ECDF
+    frac_duration_30min_multiple: float
+    frac_duration_round_hours: float
+    intervals_days: ECDF | None
+    frac_interval_1_to_4_days: float
+    frac_countries_recurring: float
+    minute_utc: ECDF
+    minute_local: ECDF
+    hour_local: ECDF
+    frac_on_hour_utc: float
+    frac_on_hour_or_half_utc: float
+    frac_on_hour_local: float
+    frac_start_00_to_06_local: float
+    weekday_pdf: Tuple[float, ...]
+    friday_p_value: float
+
+    def rows(self) -> List[str]:
+        lines = [
+            f"[{self.label}] n={self.n_events}",
+            f"  median duration: {self.durations_h.median:.2f} h",
+            f"  30-min-multiple durations: "
+            f"{self.frac_duration_30min_multiple:.1%}",
+            f"  4.5/5.5/8/10-hour durations: "
+            f"{self.frac_duration_round_hours:.1%}",
+            f"  median recurrence interval: "
+            + (f"{self.intervals_days.median:.1f} days"
+               if self.intervals_days else "n/a"),
+            f"  intervals at exactly 1-4 days: "
+            f"{self.frac_interval_1_to_4_days:.1%}",
+            f"  countries with recurrence: "
+            f"{self.frac_countries_recurring:.1%}",
+            f"  starts on the hour (UTC): {self.frac_on_hour_utc:.1%}; "
+            f"hour-or-half (UTC): {self.frac_on_hour_or_half_utc:.1%}",
+            f"  starts on the hour (local): {self.frac_on_hour_local:.1%}",
+            f"  starts 00:00-06:00 local: "
+            f"{self.frac_start_00_to_06_local:.1%}",
+            "  weekday PDF: " + ", ".join(
+                f"{WEEKDAY_NAMES[i]} {p:.3f}"
+                for i, p in enumerate(self.weekday_pdf)),
+            f"  Friday-deficit binomial p-value: {self.friday_p_value:.2e}",
+        ]
+        return lines
+
+
+@dataclass(frozen=True)
+class TemporalAnalysis:
+    """Figures 10-15 for both classes."""
+
+    shutdowns: ClassTemporal
+    outages: ClassTemporal
+
+    def rows(self) -> List[str]:
+        return self.shutdowns.rows() + self.outages.rows()
+
+
+def analyze_temporal(merged: MergedDataset) -> TemporalAnalysis:
+    """Run the full §5.3 temporal analysis."""
+    return TemporalAnalysis(
+        shutdowns=_class_temporal(
+            "IODA shutdowns", merged.ioda_shutdowns(), merged.registry),
+        outages=_class_temporal(
+            "IODA outages", merged.ioda_outages(), merged.registry),
+    )
+
+
+def _class_temporal(label: str, events: Sequence[LabeledEvent],
+                    registry: CountryRegistry) -> ClassTemporal:
+    if not events:
+        raise SignalError(f"no events in class {label!r}")
+    durations = [e.record.duration_hours for e in events]
+    starts_by_country: Dict[str, List[int]] = {}
+    minutes_utc: List[int] = []
+    minutes_local: List[int] = []
+    hours_local: List[int] = []
+    weekdays: List[int] = []
+    for event in events:
+        record = event.record
+        offset = registry.get(record.country_iso2).utc_offset
+        start = record.span.start
+        starts_by_country.setdefault(record.country_iso2, []).append(start)
+        minutes_utc.append((start % 3600) // 60)
+        minutes_local.append(local_minute_of_hour(start, offset))
+        hours_local.append(local_hour_of_day(start, offset))
+        weekdays.append(local_weekday(start, offset))
+
+    intervals: List[float] = []
+    recurring_countries = 0
+    for starts in starts_by_country.values():
+        ordered = sorted(starts)
+        if len(ordered) > 1:
+            recurring_countries += 1
+            intervals.extend(
+                (b - a) / 86400.0 for a, b in zip(ordered, ordered[1:]))
+
+    weekday_counts = [0] * 7
+    for day in weekdays:
+        weekday_counts[day] += 1
+    n = len(events)
+    friday_p = binomial_test_two_tailed(weekday_counts[4], n, 1.0 / 7.0)
+
+    return ClassTemporal(
+        label=label,
+        n_events=n,
+        durations_h=ECDF.from_samples(durations),
+        frac_duration_30min_multiple=fraction_multiple_of(
+            durations, 0.5, tolerance=1e-6),
+        frac_duration_round_hours=sum(
+            1 for d in durations
+            if any(abs(d - r) < 1e-6 for r in _ROUND_DURATIONS_H)) / n,
+        intervals_days=(ECDF.from_samples(intervals)
+                        if intervals else None),
+        frac_interval_1_to_4_days=(
+            sum(1 for gap in intervals
+                if any(abs(gap - k) < 1e-6 for k in (1, 2, 3, 4)))
+            / len(intervals) if intervals else 0.0),
+        frac_countries_recurring=(
+            recurring_countries / len(starts_by_country)),
+        minute_utc=ECDF.from_samples(minutes_utc),
+        minute_local=ECDF.from_samples(minutes_local),
+        hour_local=ECDF.from_samples(hours_local),
+        frac_on_hour_utc=sum(1 for m in minutes_utc if m == 0) / n,
+        frac_on_hour_or_half_utc=sum(
+            1 for m in minutes_utc if m in (0, 30)) / n,
+        frac_on_hour_local=sum(1 for m in minutes_local if m == 0) / n,
+        frac_start_00_to_06_local=sum(
+            1 for h in hours_local if h <= 6) / n,
+        weekday_pdf=tuple(c / n for c in weekday_counts),
+        friday_p_value=friday_p,
+    )

@@ -1,0 +1,67 @@
+"""Yearly event trends from the merged dataset.
+
+Figure 2 shows KIO's yearly trend; this module computes the IODA-side
+counterpart — shutdowns and spontaneous outages per year, and the number
+of distinct countries affected per year — useful for sanity-checking that
+a synthetic configuration does not concentrate all activity in one year.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.merge import MergedDataset
+
+__all__ = ["YearlyTrends", "yearly_trends"]
+
+
+@dataclass(frozen=True)
+class YearlyTrends:
+    """Per-year event and country counts."""
+
+    shutdowns: Mapping[int, int]
+    outages: Mapping[int, int]
+    shutdown_countries: Mapping[int, int]
+    outage_countries: Mapping[int, int]
+
+    def years(self) -> List[int]:
+        return sorted(set(self.shutdowns) | set(self.outages))
+
+    def rows(self) -> List[str]:
+        lines = [f"{'Year':<6}{'Shutdowns':>10}{'(countries)':>12}"
+                 f"{'Outages':>9}{'(countries)':>12}"]
+        for year in self.years():
+            lines.append(
+                f"{year:<6}{self.shutdowns.get(year, 0):>10}"
+                f"{self.shutdown_countries.get(year, 0):>12}"
+                f"{self.outages.get(year, 0):>9}"
+                f"{self.outage_countries.get(year, 0):>12}")
+        return lines
+
+
+def yearly_trends(merged: MergedDataset) -> YearlyTrends:
+    """Count labeled events per calendar year (UTC)."""
+    shutdown_counts: Counter = Counter()
+    outage_counts: Counter = Counter()
+    shutdown_country_sets: Dict[int, set] = {}
+    outage_country_sets: Dict[int, set] = {}
+    for event in merged.labeled:
+        year = time.gmtime(event.record.span.start).tm_year
+        iso2 = event.record.country_iso2
+        if event.is_shutdown:
+            shutdown_counts[year] += 1
+            shutdown_country_sets.setdefault(year, set()).add(iso2)
+        else:
+            outage_counts[year] += 1
+            outage_country_sets.setdefault(year, set()).add(iso2)
+    return YearlyTrends(
+        shutdowns=dict(shutdown_counts),
+        outages=dict(outage_counts),
+        shutdown_countries={y: len(s)
+                            for y, s in shutdown_country_sets.items()},
+        outage_countries={y: len(s)
+                          for y, s in outage_country_sets.items()},
+    )

@@ -1,0 +1,149 @@
+"""Route collectors synthesizing per-peer update streams.
+
+A :class:`Collector` owns a set of peers and, given a ground-truth
+:class:`ReachabilityTimeline` for a set of prefixes, emits the
+:class:`~repro.bgp.messages.BGPUpdate` stream each peer would record:
+withdrawals shortly after a prefix becomes unreachable, re-announcements on
+recovery, with per-peer propagation jitter and per-peer misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bgp.messages import BGPUpdate, UpdateType
+from repro.bgp.peers import PeerSpec
+from repro.errors import ConfigurationError
+from repro.net.ipv4 import Prefix
+from repro.rng import substream
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["ReachabilityTimeline", "Collector"]
+
+
+@dataclass
+class ReachabilityTimeline:
+    """Ground-truth reachability transitions for a set of prefixes.
+
+    Each prefix starts reachable at ``window.start``; ``transitions`` maps
+    a prefix to a time-ordered list of ``(time, reachable)`` changes inside
+    the window.
+    """
+
+    window: TimeRange
+    prefixes: Tuple[Prefix, ...]
+    transitions: Dict[Prefix, List[Tuple[int, bool]]] = field(
+        default_factory=dict)
+
+    def mark_down(self, prefixes: Iterable[Prefix], span: TimeRange) -> None:
+        """Mark ``prefixes`` unreachable during ``span``."""
+        clipped = span.intersect(self.window)
+        if clipped is None:
+            return
+        for prefix in prefixes:
+            changes = self.transitions.setdefault(prefix, [])
+            changes.append((clipped.start, False))
+            if clipped.end < self.window.end:
+                changes.append((clipped.end, True))
+            changes.sort()
+
+
+class Collector:
+    """One route collector with its peer sessions."""
+
+    def __init__(self, name: str, peers: Sequence[PeerSpec], seed: int,
+                 propagation_jitter_s: int = 90):
+        if not peers:
+            raise ConfigurationError(f"collector {name} has no peers")
+        for peer in peers:
+            if peer.collector != name:
+                raise ConfigurationError(
+                    f"peer {peer.peer_id} belongs to {peer.collector}, "
+                    f"not {name}")
+        self._name = name
+        self._peers = tuple(peers)
+        self._seed = seed
+        self._jitter = propagation_jitter_s
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def peers(self) -> Tuple[PeerSpec, ...]:
+        return self._peers
+
+    def updates(self, timeline: ReachabilityTimeline) -> List[BGPUpdate]:
+        """Synthesize the full update stream for this collector.
+
+        Every peer initially announces every prefix it carries (time =
+        window start), then mirrors the ground-truth transitions with
+        propagation jitter.  Peers with a nonzero ``session_flap_rate``
+        occasionally reset their session, withdrawing their whole table
+        and re-announcing it minutes later — a classic source of
+        single-peer visibility dips that the 50%-quorum rule absorbs.
+        Returns updates in time order.
+        """
+        updates: List[BGPUpdate] = []
+        for peer in self._peers:
+            rng = substream(self._seed, "collector", self._name,
+                            peer.peer_id)
+            carried = self._carried(peer, timeline.prefixes, rng)
+            for prefix in carried:
+                updates.append(BGPUpdate(
+                    time=timeline.window.start,
+                    collector=self._name,
+                    peer_id=peer.peer_id,
+                    update_type=UpdateType.ANNOUNCE,
+                    prefix=prefix,
+                ))
+                for when, reachable in timeline.transitions.get(prefix, []):
+                    jitter = int(rng.integers(0, self._jitter + 1))
+                    updates.append(BGPUpdate(
+                        time=min(when + jitter, timeline.window.end - 1),
+                        collector=self._name,
+                        peer_id=peer.peer_id,
+                        update_type=(UpdateType.ANNOUNCE if reachable
+                                     else UpdateType.WITHDRAW),
+                        prefix=prefix,
+                    ))
+            updates.extend(self._session_flaps(peer, carried, timeline,
+                                               rng))
+        updates.sort(key=BGPUpdate.sort_key)
+        return updates
+
+    def _session_flaps(self, peer: PeerSpec, carried: List[Prefix],
+                       timeline: ReachabilityTimeline,
+                       rng: np.random.Generator) -> List[BGPUpdate]:
+        """Whole-table withdraw/re-announce cycles from session resets."""
+        if peer.session_flap_rate <= 0.0 or not carried:
+            return []
+        window = timeline.window
+        n_days = max(1, window.duration // 86400)
+        n_flaps = int(rng.binomial(n_days, peer.session_flap_rate))
+        updates: List[BGPUpdate] = []
+        for _ in range(n_flaps):
+            reset_at = int(window.start
+                           + rng.integers(0, max(1, window.duration - 600)))
+            recovery = reset_at + int(rng.integers(60, 540))
+            for prefix in carried:
+                updates.append(BGPUpdate(
+                    time=reset_at, collector=self._name,
+                    peer_id=peer.peer_id,
+                    update_type=UpdateType.WITHDRAW, prefix=prefix))
+                updates.append(BGPUpdate(
+                    time=min(recovery, window.end - 1),
+                    collector=self._name, peer_id=peer.peer_id,
+                    update_type=UpdateType.ANNOUNCE, prefix=prefix))
+        return updates
+
+    @staticmethod
+    def _carried(peer: PeerSpec, prefixes: Tuple[Prefix, ...],
+                 rng: np.random.Generator) -> List[Prefix]:
+        """The subset of prefixes this peer carries (full feed minus
+        misses)."""
+        mask = rng.random(len(prefixes)) >= peer.miss_rate
+        return [prefix for prefix, keep in zip(prefixes, mask) if keep]

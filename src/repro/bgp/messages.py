@@ -1,0 +1,81 @@
+"""BGP update records and per-peer routing tables.
+
+The simulation works at the granularity that matters for outage detection:
+announcements and withdrawals of prefixes as seen by collector peers.  Path
+attributes are reduced to the origin ASN — IODA's visibility counting does
+not consult paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.ipv4 import Prefix
+
+__all__ = ["UpdateType", "BGPUpdate", "RouteTable"]
+
+
+class UpdateType(enum.Enum):
+    """Announcement or withdrawal."""
+
+    ANNOUNCE = "A"
+    WITHDRAW = "W"
+
+
+@dataclass(frozen=True, slots=True)
+class BGPUpdate:
+    """One update as recorded by a collector.
+
+    Sort key is (time, peer_id, prefix) so merged streams are
+    deterministic.
+    """
+
+    time: int
+    collector: str
+    peer_id: int
+    update_type: UpdateType
+    prefix: Prefix
+    origin_asn: Optional[int] = None
+
+    def sort_key(self) -> Tuple[int, str, int, int, int]:
+        return (self.time, self.collector, self.peer_id,
+                self.prefix.network, self.prefix.length)
+
+
+class RouteTable:
+    """The set of prefixes a single peer currently announces.
+
+    Applying updates in time order reconstructs the peer's view; the
+    BGPView queries :meth:`prefixes` at each bin boundary.
+    """
+
+    def __init__(self) -> None:
+        self._routes: Dict[Prefix, Optional[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def apply(self, update: BGPUpdate) -> None:
+        """Apply one update (announce inserts/replaces, withdraw removes)."""
+        if update.update_type is UpdateType.ANNOUNCE:
+            self._routes[update.prefix] = update.origin_asn
+        else:
+            self._routes.pop(update.prefix, None)
+
+    def prefixes(self) -> Set[Prefix]:
+        """Snapshot of currently announced prefixes."""
+        return set(self._routes)
+
+    def origin(self, prefix: Prefix) -> Optional[int]:
+        """Origin ASN announced for ``prefix`` (None if unannounced or
+        unknown)."""
+        return self._routes.get(prefix)
+
+    def slash24_count(self) -> int:
+        """Total /24-equivalents currently announced."""
+        return sum(p.num_slash24s for p in self._routes)

@@ -1,0 +1,56 @@
+"""Collector peers and the full-feed rule.
+
+IODA considers a peer full-feed if it carries more than 400k IPv4 prefixes
+(or 10k IPv6; we model IPv4 only).  Only full-feed peers count toward the
+50% visibility rule, since partial feeds would bias per-prefix visibility
+downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FULL_FEED_IPV4_THRESHOLD", "PeerSpec", "full_feed_peers"]
+
+#: Minimum IPv4 prefix count for a peer to be considered full-feed.
+FULL_FEED_IPV4_THRESHOLD = 400_000
+
+
+@dataclass(frozen=True)
+class PeerSpec:
+    """A BGP peer session at a collector.
+
+    ``ipv4_prefix_count`` is the size of the peer's global table (used for
+    the full-feed rule).  ``miss_rate`` is the probability the peer fails
+    to carry any given (reachable) prefix — real peers disagree at the
+    margin due to filtering and convergence.  ``session_flap_rate`` is the
+    per-day probability of a session reset that temporarily empties the
+    peer's table (a source of false visibility drops).
+    """
+
+    peer_id: int
+    collector: str
+    asn: int
+    ipv4_prefix_count: int
+    miss_rate: float = 0.02
+    session_flap_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ConfigurationError(f"bad miss_rate: {self.miss_rate}")
+        if not 0.0 <= self.session_flap_rate <= 1.0:
+            raise ConfigurationError(
+                f"bad session_flap_rate: {self.session_flap_rate}")
+
+    @property
+    def full_feed(self) -> bool:
+        """Whether the peer passes IODA's full-feed rule."""
+        return self.ipv4_prefix_count > FULL_FEED_IPV4_THRESHOLD
+
+
+def full_feed_peers(peers: Iterable[PeerSpec]) -> List[PeerSpec]:
+    """Filter to full-feed peers, preserving order."""
+    return [peer for peer in peers if peer.full_feed]

@@ -1,0 +1,44 @@
+"""BGPStream-style merged update iteration.
+
+The real IODA consumes RouteViews and RIS data through BGPStream, which
+presents updates from many collectors as one time-ordered stream.
+:class:`BGPStream` reproduces that interface over our synthetic collectors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Sequence
+
+from repro.bgp.collector import Collector, ReachabilityTimeline
+from repro.bgp.messages import BGPUpdate
+
+__all__ = ["BGPStream"]
+
+
+class BGPStream:
+    """Time-ordered merge of updates from multiple collectors."""
+
+    def __init__(self, collectors: Sequence[Collector]):
+        self._collectors = tuple(collectors)
+
+    @property
+    def collectors(self) -> tuple[Collector, ...]:
+        return self._collectors
+
+    def all_peers(self):
+        """All peers across all collectors."""
+        for collector in self._collectors:
+            yield from collector.peers
+
+    def updates(self, timeline: ReachabilityTimeline) -> Iterator[BGPUpdate]:
+        """Yield every collector's updates merged in time order.
+
+        Uses a k-way heap merge so memory stays proportional to the largest
+        single collector batch, mirroring how BGPStream interleaves MRT
+        dumps.
+        """
+        batches: List[List[BGPUpdate]] = [
+            collector.updates(timeline) for collector in self._collectors]
+        yield from heapq.merge(
+            *batches, key=BGPUpdate.sort_key)

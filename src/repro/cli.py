@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the pipeline from a shell:
+
+- ``run``      — run the full pipeline and print the headline tables.
+- ``report``   — regenerate EXPERIMENTS.md.
+- ``export``   — write the curated records and harmonized KIO events to
+  JSON files (the paper's released dataset artifact).
+- ``signals``  — print an ASCII rendering of a country's three signals
+  over a UTC time window.
+- ``triage``   — run the §7 triage heuristic over the most recent curated
+  events.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    analyze_temporal,
+    group_country_years,
+    observability_table,
+    summarize_merged,
+)
+from repro.analysis.report import build_report, render_markdown
+from repro.core.heuristics import ShutdownTriage
+from repro.core.pipeline import ReproPipeline
+from repro.io import dump_kio_events, dump_records, dump_records_csv
+from repro.ioda.platform import IODAPlatform
+from repro.signals.entities import Entity
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange, parse_utc
+from repro.world.scenario import ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+YEARS = [2018, 2019, 2020, 2021]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Destination Unreachable' "
+                    "(SIGCOMM 2023)")
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="scenario seed (default 2023)")
+    parser.add_argument("--cache-dir", type=Path, default=Path(".cache"),
+                        help="curation cache directory (default .cache)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("run", help="run the pipeline, print summaries")
+    report = commands.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md comparison")
+    report.add_argument("--output", type=Path,
+                        default=Path("EXPERIMENTS.md"))
+
+    export = commands.add_parser(
+        "export", help="export curated records and KIO events to JSON")
+    export.add_argument("--output-dir", type=Path, default=Path("export"))
+
+    figures = commands.add_parser(
+        "figures", help="export every figure's data series as CSV")
+    figures.add_argument("--output-dir", type=Path,
+                         default=Path("figures"))
+
+    signals = commands.add_parser(
+        "signals", help="render a country's signals over a window")
+    signals.add_argument("country", help="ISO code or name")
+    signals.add_argument("start", help="UTC start (YYYY-MM-DD[ HH:MM])")
+    signals.add_argument("end", help="UTC end (YYYY-MM-DD[ HH:MM])")
+
+    triage = commands.add_parser(
+        "triage", help="triage the most recent curated events")
+    triage.add_argument("--limit", type=int, default=10)
+    return parser
+
+
+def _pipeline(args: argparse.Namespace) -> ReproPipeline:
+    return ReproPipeline(
+        scenario_config=ScenarioConfig(seed=args.seed),
+        cache_dir=args.cache_dir)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = _pipeline(args).run()
+    print("== Table 2 ==")
+    print("\n".join(summarize_merged(result.merged).rows()))
+    print("\n== Table 3 ==")
+    print("\n".join(group_country_years(result.merged, YEARS).rows()))
+    print("\n== Figures 10-15 ==")
+    print("\n".join(analyze_temporal(result.merged).rows()))
+    print("\n== Figure 16 ==")
+    print("\n".join(observability_table(result.merged).rows()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = _pipeline(args).run()
+    rows = build_report(result)
+    args.output.write_text(render_markdown(rows, args.seed),
+                           encoding="utf-8")
+    print(f"wrote {args.output} ({len(rows)} comparison rows)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    result = _pipeline(args).run()
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    records_path = args.output_dir / "ioda_outage_records.json"
+    csv_path = args.output_dir / "ioda_outage_records.csv"
+    kio_path = args.output_dir / "kio_events.json"
+    dump_records(result.curated_records, records_path)
+    dump_records_csv(result.curated_records, csv_path)
+    dump_kio_events(result.kio_events, kio_path)
+    print(f"wrote {records_path} ({len(result.curated_records)} records)")
+    print(f"wrote {csv_path} (Table 1 layout)")
+    print(f"wrote {kio_path} ({len(result.kio_events)} events)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import write_csvs
+
+    result = _pipeline(args).run()
+    written = write_csvs(result, args.output_dir)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_signals(args: argparse.Namespace) -> int:
+    from repro.viz import sparkline
+
+    pipeline = _pipeline(args)
+    scenario = pipeline.build_scenario()
+    country = scenario.registry.lookup(args.country)
+    window = TimeRange(parse_utc(args.start), parse_utc(args.end))
+    platform = IODAPlatform(scenario)
+    print(f"{country} over {window}:")
+    for kind in SignalKind:
+        series = platform.signal(Entity.country(country.iso2), kind,
+                                 window)
+        print(f"  {kind.label:<15} |{sparkline(series)}|  "
+              f"max={series.values.max():.0f}")
+    return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    result = _pipeline(args).run()
+    merged = result.merged
+    registry = merged.registry
+    libdem = {
+        (registry.by_name(r.country_name).iso2, r.year):
+            r.liberal_democracy
+        for r in result.vdem}
+    cells = set()
+    for dataset in (result.coups, result.elections, result.protests):
+        for record in dataset:
+            cells.add((registry.by_name(record.country_name).iso2,
+                       record.day))
+    triage = ShutdownTriage(registry, cells, libdem, result.state_shares)
+    recent = sorted(merged.ioda_records,
+                    key=lambda r: r.span.start)[-args.limit:]
+    for record in recent:
+        year = time.gmtime(record.span.start).tm_year
+        assessment = triage.assess(record, year)
+        print("\n".join(assessment.rows()))
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "export": _cmd_export,
+    "figures": _cmd_figures,
+    "signals": _cmd_signals,
+    "triage": _cmd_triage,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's core contribution: merging, matching, and labeling.
+
+- :mod:`repro.core.matching` — KIO↔IODA event matching with local-time
+  windows and the 24-hour lookback expansion (§4).
+- :mod:`repro.core.labeling` — the shutdown / spontaneous-outage labeling
+  rules (§4 "Shutdown and Outage Dataset").
+- :mod:`repro.core.merge` — the merged event dataset.
+- :mod:`repro.core.pipeline` — end-to-end orchestration from scenario to
+  merged dataset and auxiliary datasets.
+- :mod:`repro.core.heuristics` — the §7 shutdown triage heuristic.
+- :mod:`repro.core.classifier` — a from-scratch logistic-regression
+  shutdown classifier (§7 future work).
+"""
+
+from repro.core.matching import EventMatcher, Match, MatchingConfig
+from repro.core.labeling import EventLabel, LabeledEvent, label_events
+from repro.core.merge import MergedDataset, build_merged_dataset
+from repro.core.pipeline import PipelineResult, ReproPipeline
+
+__all__ = [
+    "EventMatcher",
+    "Match",
+    "MatchingConfig",
+    "EventLabel",
+    "LabeledEvent",
+    "label_events",
+    "MergedDataset",
+    "build_merged_dataset",
+    "PipelineResult",
+    "ReproPipeline",
+]

@@ -1,0 +1,125 @@
+"""The §7 shutdown triage heuristic.
+
+The paper's future-work section sketches a tool asking four questions
+about a fresh disruption:
+
+1. Did it occur in a country that is an autocracy?
+2. Did it co-occur with an election, coup, or protest?
+3. Did it start on the hour in local time?
+4. Did all three of IODA's signals simultaneously drop?
+
+:class:`ShutdownTriage` scores a disruption on those four indicators (plus
+the optional state-control-of-address-space indicator from §5.1.1) and
+produces a graded assessment for investigators.  It is deliberately a
+transparent scorecard, not a model — the classifier in
+:mod:`repro.core.classifier` is the statistical counterpart.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Set, Tuple
+
+from repro.countries.registry import CountryRegistry
+from repro.ioda.records import OutageRecord
+from repro.timeutils.timezones import local_date, local_minute_of_hour
+from repro.topology.metrics import StateShare
+
+__all__ = ["TriageVerdict", "TriageAssessment", "ShutdownTriage"]
+
+
+class TriageVerdict(enum.Enum):
+    """Investigation priority."""
+
+    LIKELY_SHUTDOWN = "likely-shutdown"
+    POSSIBLE_SHUTDOWN = "possible-shutdown"
+    LIKELY_SPONTANEOUS = "likely-spontaneous"
+
+
+@dataclass(frozen=True)
+class TriageAssessment:
+    """Answers to the four questions plus the verdict."""
+
+    record_id: int
+    autocracy: bool
+    mobilization_event_same_day: bool
+    starts_on_local_hour: bool
+    all_signals_dropped: bool
+    state_controlled_address_space: Optional[bool]
+    score: int
+    verdict: TriageVerdict
+
+    def rows(self) -> List[str]:
+        def mark(flag: Optional[bool]) -> str:
+            if flag is None:
+                return "unknown"
+            return "yes" if flag else "no"
+
+        return [
+            f"record {self.record_id}: {self.verdict.value} "
+            f"(score {self.score}/4)",
+            f"  1. autocracy?                  {mark(self.autocracy)}",
+            f"  2. election/coup/protest day?  "
+            f"{mark(self.mobilization_event_same_day)}",
+            f"  3. starts on local hour?       "
+            f"{mark(self.starts_on_local_hour)}",
+            f"  4. all three signals dropped?  "
+            f"{mark(self.all_signals_dropped)}",
+            f"  +  state-controlled addresses? "
+            f"{mark(self.state_controlled_address_space)}",
+        ]
+
+
+class ShutdownTriage:
+    """Scores curated records with the paper's four questions.
+
+    ``mobilization_days`` is the set of (iso2, local day) cells with an
+    election, coup, or protest; ``libdem_by_country_year`` maps
+    (iso2, year) to the liberal-democracy score.
+    """
+
+    #: Liberal-democracy score below which a country counts as autocratic
+    #: (the paper's shutdown group maxes out at 0.481).
+    AUTOCRACY_THRESHOLD = 0.35
+
+    def __init__(self, registry: CountryRegistry,
+                 mobilization_days: Set[Tuple[str, int]],
+                 libdem_by_country_year: Mapping[Tuple[str, int], float],
+                 state_shares: Optional[Mapping[str, StateShare]] = None):
+        self._registry = registry
+        self._mobilization_days = mobilization_days
+        self._libdem = libdem_by_country_year
+        self._state_shares = state_shares or {}
+
+    def assess(self, record: OutageRecord, year: int) -> TriageAssessment:
+        """Assess one curated record."""
+        iso2 = record.country_iso2
+        offset = self._registry.get(iso2).utc_offset
+        libdem = self._libdem.get((iso2, year))
+        autocracy = (libdem is not None
+                     and libdem < self.AUTOCRACY_THRESHOLD)
+        day = local_date(record.span.start, offset)
+        mobilized = (iso2, day) in self._mobilization_days
+        on_hour = local_minute_of_hour(record.span.start, offset) == 0
+        all_dropped = record.visible_in_all_signals
+        share = self._state_shares.get(iso2)
+        state_controlled = None if share is None else share.state_controlled
+
+        score = sum((autocracy, mobilized, on_hour, all_dropped))
+        if score >= 3 or (mobilized and on_hour):
+            verdict = TriageVerdict.LIKELY_SHUTDOWN
+        elif score == 2:
+            verdict = TriageVerdict.POSSIBLE_SHUTDOWN
+        else:
+            verdict = TriageVerdict.LIKELY_SPONTANEOUS
+        return TriageAssessment(
+            record_id=record.record_id,
+            autocracy=autocracy,
+            mobilization_event_same_day=mobilized,
+            starts_on_local_hour=on_hour,
+            all_signals_dropped=all_dropped,
+            state_controlled_address_space=state_controlled,
+            score=score,
+            verdict=verdict,
+        )

@@ -1,0 +1,100 @@
+"""KIO ↔ IODA event matching (§4).
+
+KIO entries carry local *dates*; IODA records carry UTC timestamps.  The
+matcher:
+
+1. Resolves the KIO entry's country name through the registry and converts
+   its inclusive local-date range into a UTC interval using the country's
+   capital timezone — 00:00:00 local on the start date through 23:59:59
+   local on the end date.
+2. Matches an IODA record to a KIO entry when the IODA start time falls
+   inside that interval.
+3. Applies the paper's correction: the window is expanded by the 24 hours
+   *preceding* the KIO local start date, because KIO start dates are
+   sometimes publication dates or timezone-shifted (§4).  The expansion is
+   configurable so the ablation bench can measure what it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.countries.registry import CountryRegistry
+from repro.errors import MatchingError
+from repro.ioda.records import OutageRecord
+from repro.kio.schema import KIOEvent
+from repro.timeutils.timestamps import DAY, TimeRange
+
+__all__ = ["MatchingConfig", "Match", "EventMatcher"]
+
+
+@dataclass(frozen=True)
+class MatchingConfig:
+    """Matching window parameters."""
+
+    #: Seconds of lookback added before the KIO local start (paper: 24 h).
+    lookback: int = DAY
+
+    def __post_init__(self) -> None:
+        if self.lookback < 0:
+            raise MatchingError(f"negative lookback: {self.lookback}")
+
+
+@dataclass(frozen=True)
+class Match:
+    """One matched (KIO entry, IODA record) pair."""
+
+    kio_event_id: int
+    ioda_record_id: int
+
+
+class EventMatcher:
+    """Matches IODA outage records against KIO entries."""
+
+    def __init__(self, registry: CountryRegistry,
+                 config: MatchingConfig | None = None):
+        self._registry = registry
+        self._config = config or MatchingConfig()
+
+    @property
+    def config(self) -> MatchingConfig:
+        return self._config
+
+    def kio_window_utc(self, event: KIOEvent) -> TimeRange:
+        """The UTC matching interval for a KIO entry.
+
+        00:00:00 local on the start date through 23:59:59 local on the end
+        date (§4), minus the configured lookback.
+        """
+        country = self._registry.by_name(event.country_name)
+        offset = country.utc_offset.seconds
+        start_utc = event.start_day * DAY - offset
+        end_utc = (event.end_day + 1) * DAY - offset
+        return TimeRange(start_utc - self._config.lookback, end_utc)
+
+    def match(self, kio_events: Sequence[KIOEvent],
+              ioda_records: Sequence[OutageRecord]) -> List[Match]:
+        """All (KIO, IODA) pairs whose country agrees and whose IODA start
+        falls inside the KIO window."""
+        by_country: Dict[str, List[Tuple[TimeRange, KIOEvent]]] = {}
+        for event in kio_events:
+            country = self._registry.by_name(event.country_name)
+            by_country.setdefault(country.iso2, []).append(
+                (self.kio_window_utc(event), event))
+        matches: List[Match] = []
+        for record in ioda_records:
+            for window, event in by_country.get(record.country_iso2, []):
+                if window.contains(record.span.start):
+                    matches.append(Match(
+                        kio_event_id=event.event_id,
+                        ioda_record_id=record.record_id))
+        return matches
+
+    def matched_ioda_ids(self, matches: Sequence[Match]) -> frozenset[int]:
+        """IODA record ids appearing in any match."""
+        return frozenset(m.ioda_record_id for m in matches)
+
+    def matched_kio_ids(self, matches: Sequence[Match]) -> frozenset[int]:
+        """KIO event ids appearing in any match."""
+        return frozenset(m.kio_event_id for m in matches)

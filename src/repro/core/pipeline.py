@@ -1,0 +1,159 @@
+"""End-to-end orchestration.
+
+:class:`ReproPipeline` runs the whole reproduction: generate the synthetic
+world, observe it through the IODA platform and curation pipeline, compile
+and harmonize the KIO snapshots, emit the auxiliary datasets, and build
+the merged/labeled event dataset.  The curated-record stage dominates the
+cost, so it can be cached to disk (seed-keyed) and reloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro import io
+from repro.core.matching import MatchingConfig
+from repro.core.merge import MergedDataset, build_merged_dataset
+from repro.datasets import (
+    CoupDataset,
+    DataReportalDataset,
+    ElectionDataset,
+    ProtestDataset,
+    VDemDataset,
+    WorldBankDataset,
+)
+from repro.ioda.curation import CurationConfig, CurationPipeline
+from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.ioda.records import OutageRecord
+from repro.kio.compiler import KIOCompiler, KIOCompilerConfig
+from repro.kio.harmonize import Harmonizer
+from repro.kio.schema import KIOEvent
+from repro.kio.snapshots import AnnualSnapshot
+from repro.timeutils.timestamps import TimeRange
+from repro.topology.eyeballs import EyeballEstimates
+from repro.topology.geolocation import GeoDatabase
+from repro.topology.metrics import StateShare, compute_state_shares
+from repro.topology.prefix2as import Prefix2ASSnapshot
+from repro.topology.state_owned import StateOwnedASList
+from repro.world.scenario import (
+    STUDY_PERIOD,
+    ScenarioConfig,
+    ScenarioGenerator,
+    WorldScenario,
+)
+
+__all__ = ["PipelineResult", "ReproPipeline"]
+
+#: Bump when generator or curation semantics change, invalidating caches.
+CACHE_VERSION = 3
+
+
+@dataclass
+class PipelineResult:
+    """Everything the analysis layer needs."""
+
+    scenario: WorldScenario
+    curated_records: List[OutageRecord]
+    kio_events: List[KIOEvent]
+    merged: MergedDataset
+    vdem: VDemDataset
+    worldbank: WorldBankDataset
+    coups: CoupDataset
+    elections: ElectionDataset
+    protests: ProtestDataset
+    datareportal: DataReportalDataset
+    state_shares: dict[str, StateShare]
+
+
+class ReproPipeline:
+    """Runs (and caches) the full reproduction."""
+
+    def __init__(self, scenario_config: ScenarioConfig | None = None,
+                 platform_config: PlatformConfig | None = None,
+                 curation_config: CurationConfig | None = None,
+                 kio_config: KIOCompilerConfig | None = None,
+                 matching_config: MatchingConfig | None = None,
+                 study_period: TimeRange = STUDY_PERIOD,
+                 cache_dir: Optional[Path] = None):
+        self._scenario_config = scenario_config or ScenarioConfig()
+        self._platform_config = platform_config
+        self._curation_config = curation_config
+        self._kio_config = kio_config
+        self._matching_config = matching_config
+        self._study_period = study_period
+        self._cache_dir = cache_dir
+
+    # -- stages ----------------------------------------------------------------
+
+    def build_scenario(self) -> WorldScenario:
+        """Stage 1: the synthetic world."""
+        return ScenarioGenerator(self._scenario_config).generate()
+
+    def curate(self, scenario: WorldScenario) -> List[OutageRecord]:
+        """Stage 2: IODA observation + curation (cached when possible)."""
+        cache_path = self._record_cache_path()
+        if cache_path is not None and cache_path.exists():
+            return io.load_records(cache_path)
+        platform = IODAPlatform(scenario, self._platform_config)
+        pipeline = CurationPipeline(platform, self._curation_config)
+        records = pipeline.run(self._study_period)
+        if cache_path is not None:
+            io.dump_records(records, cache_path)
+        return records
+
+    def compile_kio(self, scenario: WorldScenario) -> List[KIOEvent]:
+        """Stage 3: KIO reporting → annual snapshots → harmonization."""
+        compiler = KIOCompiler(
+            scenario.seed, scenario.registry, self._kio_config)
+        years = list(scenario.config.years)
+        canonical = compiler.compile(
+            scenario.shutdowns, scenario.restrictions, years)
+        snapshots = [AnnualSnapshot.serialize(year, canonical)
+                     for year in years]
+        return Harmonizer().harmonize(snapshots)
+
+    def run(self) -> PipelineResult:
+        """Run every stage and assemble the result."""
+        scenario = self.build_scenario()
+        records = self.curate(scenario)
+        kio_events = self.compile_kio(scenario)
+        merged = build_merged_dataset(
+            scenario.registry, kio_events, records, self._study_period,
+            matching=self._matching_config)
+        seed = scenario.seed
+        prefix2as = Prefix2ASSnapshot.from_topology(scenario.topology, seed)
+        geo = GeoDatabase.from_topology(scenario.topology, seed)
+        eyeballs = EyeballEstimates.from_topology(scenario.topology, seed)
+        state_owned = StateOwnedASList.from_topology(scenario.topology, seed)
+        return PipelineResult(
+            scenario=scenario,
+            curated_records=records,
+            kio_events=kio_events,
+            merged=merged,
+            vdem=VDemDataset.from_profiles(
+                seed, scenario.registry, scenario.profiles),
+            worldbank=WorldBankDataset.from_profiles(
+                seed, scenario.registry, scenario.profiles),
+            coups=CoupDataset.from_events(
+                seed, scenario.registry, scenario.events),
+            elections=ElectionDataset.from_events(
+                seed, scenario.registry, scenario.events),
+            protests=ProtestDataset.from_events(
+                seed, scenario.registry, scenario.events),
+            datareportal=DataReportalDataset.from_profiles(
+                seed, scenario.registry, scenario.profiles),
+            state_shares=compute_state_shares(
+                prefix2as, geo, state_owned, eyeballs),
+        )
+
+    # -- cache -----------------------------------------------------------------
+
+    def _record_cache_path(self) -> Optional[Path]:
+        if self._cache_dir is None:
+            return None
+        key = (f"records-v{CACHE_VERSION}"
+               f"-seed{self._scenario_config.seed}"
+               f"-{self._study_period.start}-{self._study_period.end}.json")
+        return Path(self._cache_dir) / key

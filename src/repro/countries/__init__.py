@@ -1,0 +1,31 @@
+"""Country registry and name standardization.
+
+The paper's first merge step (§4) standardizes country names across datasets
+that disagree ("Ivory Coast" vs "Cote d'Ivoire", "Swaziland" vs "Eswatini",
+"Timor Leste" vs "Timor-Leste", long-form official names) and then keys
+everything on ISO-3166 alpha-2 codes.  This subpackage provides:
+
+- :mod:`repro.countries.data` — the static table of countries: ISO code,
+  canonical name, known name variants, capital-city UTC offset, workweek
+  custom, population, and the archetype hints used by the synthetic world
+  generator.
+- :mod:`repro.countries.names` — name normalization and alias resolution.
+- :mod:`repro.countries.registry` — the :class:`Country` record and the
+  :class:`CountryRegistry` lookup service.
+"""
+
+from repro.countries.registry import (
+    Archetype,
+    Country,
+    CountryRegistry,
+    default_registry,
+)
+from repro.countries.names import normalize_name
+
+__all__ = [
+    "Archetype",
+    "Country",
+    "CountryRegistry",
+    "default_registry",
+    "normalize_name",
+]

@@ -1,0 +1,52 @@
+"""ISO-3166 alpha-3 codes.
+
+The paper keys its merged data on alpha-2 codes, but several of its
+sources (the World Bank Data Bank most prominently) publish alpha-3
+codes.  The registry exposes both so emitters can publish whichever the
+real source uses and the merge layer can resolve either.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["ISO2_TO_ISO3"]
+
+ISO2_TO_ISO3: Mapping[str, str] = {
+    "SY": "SYR", "IQ": "IRQ", "IR": "IRN", "SA": "SAU", "YE": "YEM",
+    "JO": "JOR", "LB": "LBN", "IL": "ISR", "AE": "ARE", "KW": "KWT",
+    "QA": "QAT", "BH": "BHR", "OM": "OMN", "TR": "TUR", "PS": "PSE",
+    "DZ": "DZA", "SD": "SDN", "EG": "EGY", "LY": "LBY", "TN": "TUN",
+    "MA": "MAR", "ET": "ETH", "ER": "ERI", "SO": "SOM", "DJ": "DJI",
+    "KE": "KEN", "TZ": "TZA", "UG": "UGA", "RW": "RWA", "BI": "BDI",
+    "CD": "COD", "CG": "COG", "CM": "CMR", "NG": "NGA", "NE": "NER",
+    "TG": "TGO", "BJ": "BEN", "BF": "BFA", "ML": "MLI", "GN": "GIN",
+    "GW": "GNB", "SN": "SEN", "GM": "GMB", "SL": "SLE", "LR": "LBR",
+    "CI": "CIV", "GH": "GHA", "MR": "MRT", "TD": "TCD", "CF": "CAF",
+    "GA": "GAB", "GQ": "GNQ", "ST": "STP", "AO": "AGO", "ZM": "ZMB",
+    "ZW": "ZWE", "MW": "MWI", "MZ": "MOZ", "SZ": "SWZ", "LS": "LSO",
+    "BW": "BWA", "NA": "NAM", "ZA": "ZAF", "MG": "MDG", "MU": "MUS",
+    "KM": "COM", "SC": "SYC", "CV": "CPV", "SS": "SSD", "MM": "MMR",
+    "IN": "IND", "PK": "PAK", "BD": "BGD", "LK": "LKA", "NP": "NPL",
+    "BT": "BTN", "AF": "AFG", "KZ": "KAZ", "KG": "KGZ", "TJ": "TJK",
+    "TM": "TKM", "UZ": "UZB", "AZ": "AZE", "AM": "ARM", "GE": "GEO",
+    "CN": "CHN", "KP": "PRK", "KR": "KOR", "JP": "JPN", "MN": "MNG",
+    "TH": "THA", "VN": "VNM", "LA": "LAO", "KH": "KHM", "MY": "MYS",
+    "SG": "SGP", "ID": "IDN", "PH": "PHL", "TL": "TLS", "BN": "BRN",
+    "TW": "TWN", "PG": "PNG", "FJ": "FJI", "SB": "SLB", "VU": "VUT",
+    "WS": "WSM", "TO": "TON", "AU": "AUS", "NZ": "NZL", "RU": "RUS",
+    "BY": "BLR", "UA": "UKR", "MD": "MDA", "RO": "ROU", "PL": "POL",
+    "DE": "DEU", "FR": "FRA", "ES": "ESP", "PT": "PRT", "IT": "ITA",
+    "GB": "GBR", "IE": "IRL", "NL": "NLD", "BE": "BEL", "LU": "LUX",
+    "CH": "CHE", "AT": "AUT", "CZ": "CZE", "SK": "SVK", "HU": "HUN",
+    "SI": "SVN", "HR": "HRV", "BA": "BIH", "RS": "SRB", "ME": "MNE",
+    "MK": "MKD", "AL": "ALB", "GR": "GRC", "BG": "BGR", "SE": "SWE",
+    "NO": "NOR", "DK": "DNK", "FI": "FIN", "EE": "EST", "LV": "LVA",
+    "LT": "LTU", "IS": "ISL", "MT": "MLT", "CY": "CYP", "US": "USA",
+    "CA": "CAN", "MX": "MEX", "GT": "GTM", "BZ": "BLZ", "SV": "SLV",
+    "HN": "HND", "NI": "NIC", "CR": "CRI", "PA": "PAN", "CU": "CUB",
+    "DO": "DOM", "HT": "HTI", "JM": "JAM", "TT": "TTO", "BS": "BHS",
+    "BB": "BRB", "VE": "VEN", "CO": "COL", "EC": "ECU", "PE": "PER",
+    "BR": "BRA", "BO": "BOL", "PY": "PRY", "UY": "URY", "AR": "ARG",
+    "CL": "CHL", "GY": "GUY", "SR": "SUR",
+}

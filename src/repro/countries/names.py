@@ -1,0 +1,48 @@
+"""Country-name normalization.
+
+Real-world datasets disagree on country names for mundane reasons (§4 of the
+paper): languages ("Ivory Coast" vs "Cote d'Ivoire"), renames ("Swaziland"
+vs "Eswatini"), punctuation ("Timor Leste" vs "Timor-Leste"), and long
+official forms ("Venezuela, Bolivarian Republic of").  The synthetic dataset
+emitters in :mod:`repro.datasets` intentionally emit these variants, and the
+merge pipeline resolves them through :func:`normalize_name` plus the
+registry's alias table.
+
+:func:`normalize_name` is deliberately conservative: it only removes
+typographic noise (case, accents, punctuation, whitespace).  Semantic
+variants — renames and official long forms — are resolved by the explicit
+alias table in :mod:`repro.countries.data`, because aggressive word-stripping
+would conflate distinct countries (both Koreas and both Congos reduce to the
+same words once "Democratic", "People's" and "Republic" are dropped).
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["normalize_name"]
+
+_APOSTROPHES = re.compile(r"[‘’']")
+_PUNCTUATION = re.compile(r"[^a-z0-9 ]+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_name(name: str) -> str:
+    """Collapse a country name to a canonical lookup key.
+
+    Lowercases, strips accents, folds apostrophes into the preceding word
+    (so "Cote d'Ivoire" and "Cote dIvoire" agree), replaces remaining
+    punctuation with spaces, and collapses whitespace.
+
+    >>> normalize_name("Côte d'Ivoire")
+    'cote divoire'
+    >>> normalize_name("Timor Leste") == normalize_name("Timor-Leste")
+    True
+    """
+    decomposed = unicodedata.normalize("NFKD", name)
+    ascii_only = decomposed.encode("ascii", "ignore").decode("ascii")
+    lowered = ascii_only.lower().replace("&", " and ")
+    no_apostrophes = _APOSTROPHES.sub("", lowered)
+    cleaned = _PUNCTUATION.sub(" ", no_apostrophes)
+    return _WHITESPACE.sub(" ", cleaned).strip()

@@ -1,0 +1,35 @@
+"""Auxiliary dataset emitters (§3.3).
+
+Each module emits one of the paper's auxiliary datasets from world ground
+truth, with the source's real quirks — country-name variants, annual
+granularity, limited temporal coverage:
+
+- :mod:`repro.datasets.vdem` — V-Dem-style political indices.
+- :mod:`repro.datasets.worldbank` — World-Bank-style macroeconomics.
+- :mod:`repro.datasets.coups` — Powell/Thyne-style coup list.
+- :mod:`repro.datasets.elections` — IFES ElectionGuide-style election
+  dates (2018-2021 only, as manually collected by the paper).
+- :mod:`repro.datasets.protests` — Mass-Mobilization-style protest days
+  (coverage ends in 2019, §5.2 footnote 9).
+- :mod:`repro.datasets.datareportal` — DataReportal-style Internet user
+  estimates.
+"""
+
+from repro.datasets.vdem import VDemDataset, VDemRecord
+from repro.datasets.worldbank import WorldBankDataset, WorldBankRecord
+from repro.datasets.coups import CoupDataset, CoupRecord
+from repro.datasets.elections import ElectionDataset, ElectionRecord
+from repro.datasets.protests import ProtestDataset, ProtestRecord
+from repro.datasets.datareportal import (
+    DataReportalDataset,
+    InternetUsersRecord,
+)
+
+__all__ = [
+    "VDemDataset", "VDemRecord",
+    "WorldBankDataset", "WorldBankRecord",
+    "CoupDataset", "CoupRecord",
+    "ElectionDataset", "ElectionRecord",
+    "ProtestDataset", "ProtestRecord",
+    "DataReportalDataset", "InternetUsersRecord",
+]

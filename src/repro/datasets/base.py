@@ -1,0 +1,23 @@
+"""Shared helpers for dataset emitters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.countries.registry import Country
+
+__all__ = ["name_variant"]
+
+
+def name_variant(country: Country, rng: np.random.Generator,
+                 p_alias: float = 0.4) -> str:
+    """The name a dataset publisher might use for ``country``.
+
+    Each source tends to pick one convention and stick with it; emitters
+    therefore derive the rng per (dataset, country) so a country's name is
+    stable within a dataset but differs across datasets — exactly the
+    inconsistency the merge pipeline standardizes away (§4).
+    """
+    if country.aliases and rng.random() < p_alias:
+        return str(rng.choice(list(country.aliases)))
+    return country.name

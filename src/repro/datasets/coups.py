@@ -1,0 +1,62 @@
+"""Powell/Thyne-style global coup list.
+
+One row per coup or attempted coup with the country name and the (local)
+day it occurred.  Coverage of such headline events is effectively complete,
+so the emitter reproduces ground truth exactly apart from name variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.timeutils.timestamps import DAY
+from repro.world.events import EventKind, MobilizationEvent
+
+__all__ = ["CoupRecord", "CoupDataset"]
+
+
+@dataclass(frozen=True)
+class CoupRecord:
+    """One coup event."""
+
+    country_name: str
+    day: int  # local days-since-epoch
+    successful: bool
+
+
+class CoupDataset:
+    """The emitted coup list."""
+
+    def __init__(self, records: List[CoupRecord]):
+        self._records = records
+
+    @classmethod
+    def from_events(cls, seed: int, registry: CountryRegistry,
+                    events: Iterable[MobilizationEvent]) -> "CoupDataset":
+        records: List[CoupRecord] = []
+        for event in events:
+            if event.kind is not EventKind.COUP:
+                continue
+            country = registry.get(event.country_iso2)
+            rng = substream(seed, "coups", event.event_id)
+            local_day = (event.day_start_utc
+                         + country.utc_offset.seconds) // DAY
+            records.append(CoupRecord(
+                country_name=name_variant(
+                    country, substream(seed, "coups-name",
+                                       country.iso2)),
+                day=local_day,
+                successful=bool(rng.random() < 0.5),
+            ))
+        records.sort(key=lambda r: r.day)
+        return cls(records)
+
+    def __iter__(self) -> Iterator[CoupRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,58 @@
+"""DataReportal-style Internet user estimates.
+
+The paper uses DataReportal's per-country Internet user counts to estimate
+how many users live under governments that shut down the Internet (§4's
+"more than 1 billion Internet users" headline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.world.profiles import CountryYearProfile
+
+__all__ = ["InternetUsersRecord", "DataReportalDataset"]
+
+
+@dataclass(frozen=True)
+class InternetUsersRecord:
+    """Estimated Internet users in one country-year."""
+
+    country_name: str
+    year: int
+    users_millions: float
+
+
+class DataReportalDataset:
+    """The emitted estimates."""
+
+    def __init__(self, records: List[InternetUsersRecord]):
+        self._records = records
+
+    @classmethod
+    def from_profiles(cls, seed: int, registry: CountryRegistry,
+                      profiles: Dict[Tuple[str, int], CountryYearProfile]
+                      ) -> "DataReportalDataset":
+        records: List[InternetUsersRecord] = []
+        for (iso2, year), profile in sorted(profiles.items()):
+            country = registry.get(iso2)
+            rng = substream(seed, "datareportal", iso2, year)
+            records.append(InternetUsersRecord(
+                country_name=name_variant(
+                    country, substream(seed, "datareportal-name", iso2)),
+                year=year,
+                users_millions=float(
+                    profile.internet_users_millions
+                    * rng.lognormal(0.0, 0.05)),
+            ))
+        return cls(records)
+
+    def __iter__(self) -> Iterator[InternetUsersRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

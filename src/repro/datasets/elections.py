@@ -1,0 +1,72 @@
+"""IFES ElectionGuide-style election dates.
+
+The paper manually collected national election dates for 2018-2021 only;
+the emitter enforces the same coverage window.  Election calendars are
+public, so apart from name variants the data is exact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.timeutils.timestamps import DAY
+from repro.world.events import EventKind, MobilizationEvent
+
+__all__ = ["ElectionRecord", "ElectionDataset", "ELECTION_YEARS"]
+
+#: Years the paper collected election data for.
+ELECTION_YEARS = frozenset({2018, 2019, 2020, 2021})
+
+
+@dataclass(frozen=True)
+class ElectionRecord:
+    """One national election."""
+
+    country_name: str
+    day: int  # local days-since-epoch
+    election_type: str
+
+
+class ElectionDataset:
+    """The emitted election list."""
+
+    def __init__(self, records: List[ElectionRecord]):
+        self._records = records
+
+    @classmethod
+    def from_events(cls, seed: int, registry: CountryRegistry,
+                    events: Iterable[MobilizationEvent]
+                    ) -> "ElectionDataset":
+        records: List[ElectionRecord] = []
+        for event in events:
+            if event.kind is not EventKind.ELECTION:
+                continue
+            country = registry.get(event.country_iso2)
+            local_day = (event.day_start_utc
+                         + country.utc_offset.seconds) // DAY
+            year = time.gmtime(local_day * DAY).tm_year
+            if year not in ELECTION_YEARS:
+                continue
+            rng = substream(seed, "elections", event.event_id)
+            records.append(ElectionRecord(
+                country_name=name_variant(
+                    country, substream(seed, "elections-name",
+                                       country.iso2)),
+                day=local_day,
+                election_type=str(rng.choice(
+                    ["presidential", "parliamentary", "general",
+                     "referendum"])),
+            ))
+        records.sort(key=lambda r: r.day)
+        return cls(records)
+
+    def __iter__(self) -> Iterator[ElectionRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

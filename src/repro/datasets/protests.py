@@ -1,0 +1,70 @@
+"""Mass-Mobilization-style protest days.
+
+The Mass Mobilization in Autocracies data the paper uses only extends
+through 2019 (§5.2 footnote 9), so the emitter truncates there; Table 4's
+protest rows must be computed on the 2018-2019 subset.  Protest coverage
+is also less complete than coups or elections — smaller protests go
+unrecorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.timeutils.timestamps import DAY, utc
+from repro.world.events import EventKind, MobilizationEvent
+
+__all__ = ["ProtestRecord", "ProtestDataset", "PROTEST_DATA_END"]
+
+#: First day *not* covered by the protest dataset (coverage ends 2019).
+PROTEST_DATA_END = utc(2020, 1, 1) // DAY
+
+
+@dataclass(frozen=True)
+class ProtestRecord:
+    """One recorded protest day."""
+
+    country_name: str
+    day: int  # local days-since-epoch
+
+
+class ProtestDataset:
+    """The emitted protest-day list."""
+
+    def __init__(self, records: List[ProtestRecord]):
+        self._records = records
+
+    @classmethod
+    def from_events(cls, seed: int, registry: CountryRegistry,
+                    events: Iterable[MobilizationEvent],
+                    coverage: float = 0.9) -> "ProtestDataset":
+        records: List[ProtestRecord] = []
+        for event in events:
+            if event.kind is not EventKind.PROTEST:
+                continue
+            country = registry.get(event.country_iso2)
+            local_day = (event.day_start_utc
+                         + country.utc_offset.seconds) // DAY
+            if local_day >= PROTEST_DATA_END:
+                continue
+            rng = substream(seed, "protests", event.event_id)
+            if rng.random() >= coverage:
+                continue
+            records.append(ProtestRecord(
+                country_name=name_variant(
+                    country, substream(seed, "protests-name",
+                                       country.iso2)),
+                day=local_day,
+            ))
+        records.sort(key=lambda r: r.day)
+        return cls(records)
+
+    def __iter__(self) -> Iterator[ProtestRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,77 @@
+"""V-Dem-style political indices.
+
+Emits, per country-year, the four indices the paper uses:
+
+- ``liberal_democracy`` (``v2x_libdem``-like, Fig 4),
+- ``military_power`` ("military capable of removing regime", Fig 5),
+- ``media_bias`` and ``freedom_discussion_men`` (Fig 6; V-Dem-style
+  measurement-model scores centred near 0, lower = more authoritarian).
+
+Values come from world ground truth plus small measurement noise (V-Dem's
+indices are themselves estimates from expert surveys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.world.profiles import CountryYearProfile
+
+__all__ = ["VDemRecord", "VDemDataset"]
+
+
+@dataclass(frozen=True)
+class VDemRecord:
+    """One country-year of V-Dem-style indices."""
+
+    country_name: str
+    year: int
+    liberal_democracy: float
+    military_power: float
+    media_bias: float
+    freedom_discussion_men: float
+
+
+class VDemDataset:
+    """The emitted dataset, queryable by (name-as-published, year)."""
+
+    def __init__(self, records: List[VDemRecord]):
+        self._records = records
+
+    @classmethod
+    def from_profiles(cls, seed: int, registry: CountryRegistry,
+                      profiles: Dict[Tuple[str, int], CountryYearProfile],
+                      noise_sigma: float = 0.01) -> "VDemDataset":
+        records: List[VDemRecord] = []
+        for (iso2, year), profile in sorted(profiles.items()):
+            country = registry.get(iso2)
+            rng = substream(seed, "vdem", iso2, year)
+            published_name = name_variant(
+                country, substream(seed, "vdem-name", iso2))
+            records.append(VDemRecord(
+                country_name=published_name,
+                year=year,
+                liberal_democracy=float(max(0.0, min(
+                    1.0, profile.liberal_democracy
+                    + rng.normal(0.0, noise_sigma)))),
+                military_power=float(max(0.0, min(
+                    1.0, profile.military_power
+                    + (rng.normal(0.0, noise_sigma)
+                       if profile.military_power > 0 else 0.0)))),
+                media_bias=float(
+                    profile.media_bias + rng.normal(0.0, noise_sigma)),
+                freedom_discussion_men=float(
+                    profile.freedom_discussion_men
+                    + rng.normal(0.0, noise_sigma)),
+            ))
+        return cls(records)
+
+    def __iter__(self) -> Iterator[VDemRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

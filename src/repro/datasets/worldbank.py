@@ -1,0 +1,78 @@
+"""World-Bank-style macroeconomic indicators.
+
+GDP per capita (PPP dollars) and fixed-broadband subscriptions per 100
+people, per country-year.  The World Bank publishes broadband as
+subscriptions-per-100 rather than a population fraction; the merge layer
+converts, reproducing the unit mismatch real pipelines must handle.
+Coverage is imperfect: a few country-years are missing, as in the real
+Data Bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.countries.registry import CountryRegistry
+from repro.datasets.base import name_variant
+from repro.rng import substream
+from repro.world.profiles import CountryYearProfile
+
+__all__ = ["WorldBankRecord", "WorldBankDataset"]
+
+
+@dataclass(frozen=True)
+class WorldBankRecord:
+    """One country-year of macro indicators.
+
+    ``country_code`` is the ISO-3166 alpha-3 code the Data Bank keys its
+    exports on; the name column is decorative (and uses the Bank's own
+    long-form conventions), so merges should prefer the code.
+    """
+
+    country_name: str
+    country_code: str  # ISO-3166 alpha-3
+    year: int
+    gdp_per_capita_ppp: Optional[float]
+    broadband_per_100: Optional[float]
+
+
+class WorldBankDataset:
+    """The emitted dataset."""
+
+    def __init__(self, records: List[WorldBankRecord]):
+        self._records = records
+
+    @classmethod
+    def from_profiles(cls, seed: int, registry: CountryRegistry,
+                      profiles: Dict[Tuple[str, int], CountryYearProfile],
+                      missing_rate: float = 0.02) -> "WorldBankDataset":
+        records: List[WorldBankRecord] = []
+        for (iso2, year), profile in sorted(profiles.items()):
+            country = registry.get(iso2)
+            rng = substream(seed, "worldbank", iso2, year)
+            published_name = name_variant(
+                country, substream(seed, "worldbank-name", iso2))
+            gdp: Optional[float] = float(
+                profile.gdp_per_capita * rng.lognormal(0.0, 0.02))
+            broadband: Optional[float] = float(
+                profile.broadband_fraction * 100.0
+                * rng.lognormal(0.0, 0.03))
+            if rng.random() < missing_rate:
+                gdp = None
+            if rng.random() < missing_rate:
+                broadband = None
+            records.append(WorldBankRecord(
+                country_name=published_name,
+                country_code=country.iso3,
+                year=year,
+                gdp_per_capita_ppp=gdp,
+                broadband_per_100=broadband,
+            ))
+        return cls(records)
+
+    def __iter__(self) -> Iterator[WorldBankRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller embedding the pipeline can catch a single base class.  Subclasses are
+grouped by the subsystem that raises them; modules raise the most specific
+class that applies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CountryLookupError",
+    "TimeRangeError",
+    "PrefixError",
+    "SignalError",
+    "CurationError",
+    "SchemaError",
+    "MatchingError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A generator or pipeline was configured with invalid parameters."""
+
+
+class CountryLookupError(ReproError, KeyError):
+    """A country name or ISO code could not be resolved by the registry."""
+
+
+class TimeRangeError(ReproError, ValueError):
+    """A time range or bin specification is invalid (e.g., end < start)."""
+
+
+class PrefixError(ReproError, ValueError):
+    """An IPv4 address or prefix is malformed or out of range."""
+
+
+class SignalError(ReproError):
+    """A time-series signal operation failed (misaligned bins, empty series)."""
+
+
+class CurationError(ReproError):
+    """The outage curation pipeline rejected or could not process an event."""
+
+
+class SchemaError(ReproError):
+    """A dataset record does not conform to the expected (annual) schema."""
+
+
+class MatchingError(ReproError):
+    """KIO-IODA event matching was asked to relate incompatible events."""
+
+
+class DatasetError(ReproError):
+    """An auxiliary dataset emitter failed to produce or parse records."""

@@ -1,0 +1,163 @@
+"""JSON serialization for pipeline artifacts.
+
+The curated IODA record list is expensive to simulate (it replays every
+observation window through the three substrates), so the pipeline supports
+caching it to disk.  The serializers here are also the public export
+format for the dataset deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import SchemaError
+from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.signals.entities import EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = [
+    "record_to_dict", "record_from_dict",
+    "kio_event_to_dict", "kio_event_from_dict",
+    "dump_records", "load_records",
+    "dump_kio_events", "load_kio_events",
+    "dump_records_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def record_to_dict(record: OutageRecord) -> Dict[str, Any]:
+    """Serialize one curated outage record."""
+    return {
+        "record_id": record.record_id,
+        "country": record.country_iso2,
+        "start": record.span.start,
+        "end": record.span.end,
+        "scope": record.scope.value,
+        "auto_alerts": {k.value: v for k, v in record.auto_alerts.items()},
+        "human_visible": {
+            k.value: v for k, v in record.human_visible.items()},
+        "ioda_url": record.ioda_url,
+        "cause": record.cause,
+        "confirmation": record.confirmation.value,
+        "more_info": list(record.more_info),
+        "region_names": list(record.region_names),
+        "asns": list(record.asns),
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> OutageRecord:
+    """Deserialize one curated outage record."""
+    try:
+        return OutageRecord(
+            record_id=int(data["record_id"]),
+            country_iso2=str(data["country"]),
+            span=TimeRange(int(data["start"]), int(data["end"])),
+            scope=EntityScope(data["scope"]),
+            auto_alerts={SignalKind(k): bool(v)
+                         for k, v in data["auto_alerts"].items()},
+            human_visible={SignalKind(k): bool(v)
+                           for k, v in data["human_visible"].items()},
+            ioda_url=str(data["ioda_url"]),
+            cause=data.get("cause"),
+            confirmation=ConfirmationStatus(data["confirmation"]),
+            more_info=tuple(data.get("more_info", ())),
+            region_names=tuple(data.get("region_names", ())),
+            asns=tuple(int(a) for a in data.get("asns", ())),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SchemaError(f"malformed outage record: {exc}") from exc
+
+
+def kio_event_to_dict(event: KIOEvent) -> Dict[str, Any]:
+    """Serialize one harmonized KIO event."""
+    return {
+        "event_id": event.event_id,
+        "year": event.year,
+        "country_name": event.country_name,
+        "start_day": event.start_day,
+        "end_day": event.end_day,
+        "categories": [c.value for c in event.categories],
+        "networks": event.networks.value,
+        "nationwide": event.nationwide,
+        "regions": list(event.regions),
+        "description": event.description,
+    }
+
+
+def kio_event_from_dict(data: Dict[str, Any]) -> KIOEvent:
+    """Deserialize one harmonized KIO event."""
+    try:
+        return KIOEvent(
+            event_id=int(data["event_id"]),
+            year=int(data["year"]),
+            country_name=str(data["country_name"]),
+            start_day=int(data["start_day"]),
+            end_day=int(data["end_day"]),
+            categories=tuple(KIOCategory(c) for c in data["categories"]),
+            networks=NetworkType(data["networks"]),
+            nationwide=bool(data["nationwide"]),
+            regions=tuple(data.get("regions", ())),
+            description=str(data.get("description", "")),
+        )
+    except (KeyError, ValueError) as exc:
+        raise SchemaError(f"malformed KIO event: {exc}") from exc
+
+
+def _dump(path: Path, kind: str, items: List[Dict[str, Any]]) -> None:
+    payload = {"format": _FORMAT_VERSION, "kind": kind, "items": items}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _load(path: Path, kind: str) -> List[Dict[str, Any]]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != _FORMAT_VERSION:
+        raise SchemaError(f"unsupported format in {path}")
+    if payload.get("kind") != kind:
+        raise SchemaError(
+            f"{path} holds {payload.get('kind')!r}, expected {kind!r}")
+    return payload["items"]
+
+
+def dump_records(records: Sequence[OutageRecord], path: Path) -> None:
+    """Write curated records to a JSON file."""
+    _dump(path, "outage-records", [record_to_dict(r) for r in records])
+
+
+def load_records(path: Path) -> List[OutageRecord]:
+    """Read curated records from a JSON file."""
+    return [record_from_dict(d) for d in _load(path, "outage-records")]
+
+
+def dump_kio_events(events: Sequence[KIOEvent], path: Path) -> None:
+    """Write harmonized KIO events to a JSON file."""
+    _dump(path, "kio-events", [kio_event_to_dict(e) for e in events])
+
+
+def dump_records_csv(records: Sequence[OutageRecord], path: Path) -> None:
+    """Write curated records as a CSV in the paper's Table 1 layout.
+
+    The paper's released dataset is a spreadsheet with exactly these
+    columns; :meth:`OutageRecord.as_row` supplies each row.
+    """
+    import csv
+
+    if not records:
+        raise SchemaError("refusing to write an empty records CSV")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(records[0].as_row().keys())
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(dict(record.as_row()))
+
+
+def load_kio_events(path: Path) -> List[KIOEvent]:
+    """Read harmonized KIO events from a JSON file."""
+    return [kio_event_from_dict(d) for d in _load(path, "kio-events")]

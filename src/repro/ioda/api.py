@@ -1,0 +1,112 @@
+"""IODA-style public query API.
+
+The real IODA exposes signals, alerts and events through a public REST
+API that the paper's authors queried alongside the dashboard (§3.1.2).
+:class:`IODAClient` is the equivalent programmatic facade over the
+simulated platform: time-windowed signal queries, alert listings, and a
+paginated event feed over a curated record list — the interface a
+downstream tool (like the paper's proposed rapid-response triage) would
+build against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TimeRangeError
+from repro.ioda.dashboard import Dashboard, DashboardEntry
+from repro.ioda.platform import IODAPlatform
+from repro.ioda.records import OutageRecord
+from repro.signals.entities import Entity
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["SignalPayload", "EventPage", "IODAClient"]
+
+
+@dataclass(frozen=True)
+class SignalPayload:
+    """One signal's data as the API would return it."""
+
+    entity: str
+    signal: str
+    from_ts: int
+    until_ts: int
+    step: int
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class EventPage:
+    """One page of the curated-event feed."""
+
+    events: Tuple[OutageRecord, ...]
+    next_offset: Optional[int]
+    total: int
+
+
+class IODAClient:
+    """Programmatic query interface over the platform."""
+
+    def __init__(self, platform: IODAPlatform,
+                 records: Sequence[OutageRecord] = ()):
+        self._platform = platform
+        self._dashboard = Dashboard(platform)
+        self._records = sorted(records, key=lambda r: r.span.start)
+
+    # -- signals --------------------------------------------------------------
+
+    def get_signal(self, entity: Entity, signal: SignalKind,
+                   from_ts: int, until_ts: int) -> SignalPayload:
+        """Signal values for an entity over [from_ts, until_ts)."""
+        if until_ts <= from_ts:
+            raise TimeRangeError(
+                f"until ({until_ts}) must exceed from ({from_ts})")
+        series = self._platform.signal(
+            entity, signal, TimeRange(from_ts, until_ts))
+        return SignalPayload(
+            entity=str(entity),
+            signal=signal.value,
+            from_ts=series.start,
+            until_ts=series.end,
+            step=series.width,
+            values=tuple(float(v) for v in series.values),
+        )
+
+    def get_all_signals(self, entity: Entity, from_ts: int,
+                        until_ts: int) -> Dict[str, SignalPayload]:
+        """All three signals keyed by signal name."""
+        return {kind.value: self.get_signal(entity, kind, from_ts,
+                                            until_ts)
+                for kind in SignalKind}
+
+    # -- alerts ----------------------------------------------------------------
+
+    def get_alerts(self, entity: Entity, from_ts: int,
+                   until_ts: int) -> List[DashboardEntry]:
+        """Alert episodes for an entity over a window."""
+        return self._dashboard.entries(
+            entity, TimeRange(from_ts, until_ts))
+
+    # -- events -----------------------------------------------------------------
+
+    def get_events(self, country_iso2: Optional[str] = None,
+                   from_ts: Optional[int] = None,
+                   until_ts: Optional[int] = None,
+                   offset: int = 0, limit: int = 50) -> EventPage:
+        """Paginated curated-event feed with optional filters."""
+        if limit <= 0:
+            raise TimeRangeError(f"limit must be positive: {limit}")
+        filtered = [
+            record for record in self._records
+            if (country_iso2 is None
+                or record.country_iso2 == country_iso2.upper())
+            and (from_ts is None or record.span.start >= from_ts)
+            and (until_ts is None or record.span.start < until_ts)
+        ]
+        page = filtered[offset:offset + limit]
+        next_offset = (offset + limit
+                       if offset + limit < len(filtered) else None)
+        return EventPage(events=tuple(page), next_offset=next_offset,
+                         total=len(filtered))

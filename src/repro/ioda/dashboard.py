@@ -1,0 +1,77 @@
+"""The IODA outage dashboard: alert listing and URL helpers.
+
+The paper's curators start from the dashboard's recent-alert list (§3.1.2);
+:class:`Dashboard` reproduces that view over a platform and a set of
+observation windows, listing alert episodes per entity and signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.ioda.detectors import detector_for
+from repro.ioda.platform import IODAPlatform
+from repro.signals.alerts import AlertEpisode, group_alerts
+from repro.signals.entities import Entity, EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["Dashboard", "DashboardEntry", "ioda_url"]
+
+_BASE_URL = "https://ioda.example.org/dashboard"
+
+
+def ioda_url(entity: Entity, span: TimeRange) -> str:
+    """The dashboard URL a curator would record for an outage."""
+    scope_path = {
+        EntityScope.COUNTRY: "country",
+        EntityScope.REGION: "region",
+        EntityScope.AS: "asn",
+    }[entity.scope]
+    return (f"{_BASE_URL}/{scope_path}/{entity.identifier}"
+            f"?from={span.start}&until={span.end}")
+
+
+@dataclass(frozen=True)
+class DashboardEntry:
+    """One row of the recent-alerts view."""
+
+    entity: Entity
+    signal: SignalKind
+    episode: AlertEpisode
+
+    @property
+    def url(self) -> str:
+        return ioda_url(self.entity, self.episode.span)
+
+
+class Dashboard:
+    """Alert listing over a platform."""
+
+    def __init__(self, platform: IODAPlatform):
+        self._platform = platform
+
+    def entries(self, entity: Entity,
+                window: TimeRange) -> List[DashboardEntry]:
+        """All alert episodes for one entity within a window."""
+        listed: List[DashboardEntry] = []
+        for kind in SignalKind:
+            series = self._platform.signal(entity, kind, window)
+            alerts = detector_for(kind).detect(series)
+            for episode in group_alerts(alerts, series.width):
+                listed.append(DashboardEntry(
+                    entity=entity, signal=kind, episode=episode))
+        listed.sort(key=lambda e: e.episode.span.start)
+        return listed
+
+    def episodes_by_signal(
+            self, entity: Entity, window: TimeRange
+    ) -> Dict[SignalKind, List[AlertEpisode]]:
+        """Alert episodes grouped per signal (curation's working view)."""
+        grouped: Dict[SignalKind, List[AlertEpisode]] = {}
+        for kind in SignalKind:
+            series = self._platform.signal(entity, kind, window)
+            alerts = detector_for(kind).detect(series)
+            grouped[kind] = group_alerts(alerts, series.width)
+        return grouped

@@ -1,0 +1,290 @@
+"""Signal generation: projecting ground truth through the substrates.
+
+:class:`IODAPlatform` is the measurement system.  Given a
+:class:`~repro.world.scenario.WorldScenario`, it can produce, for any
+entity and observation window, the three signals IODA publishes:
+
+- **BGP** — visible /24s per 5-minute bin, via the vectorized
+  :func:`repro.bgp.view.visible_slash24_series` over the entity's
+  prefixes.
+- **Active Probing** — up /24 blocks per 10-minute round, via
+  :class:`repro.probing.scheduler.ActiveProbingRun` over a sampled set of
+  non-mobile blocks (mobile networks are invisible to probing, §4).
+- **Telescope** — unique source IPs per 5-minute bin, via
+  :func:`repro.telescope.counter.unique_source_series`.
+
+Ground truth enters only as per-bin *up fractions*: each disruption
+overlapping the window removes its affected share of the entity's address
+space for its duration, with the shares differing per signal exactly where
+the measurement physics differ (mobile-only events do not move the probing
+signal).  Measurement artifacts multiply the affected signal globally.
+
+Signals are deterministic per (seed, entity, window start) so repeated
+queries — e.g. the curation pipeline's control-group checks — observe
+consistent data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.bgp.view import visible_slash24_series
+from repro.errors import ConfigurationError, SignalError
+from repro.probing.blocks import ProbedBlock, sample_blocks
+from repro.probing.scheduler import ActiveProbingRun
+from repro.rng import substream
+from repro.signals.entities import Entity, EntityScope
+from repro.signals.kinds import SignalKind
+from repro.signals.series import TimeSeries
+from repro.telescope.counter import unique_source_series
+from repro.timeutils.timestamps import TimeRange, bin_floor
+from repro.topology.generator import CountryNetwork
+from repro.world.disruptions import Cause, GroundTruthDisruption
+from repro.world.scenario import WorldScenario
+
+__all__ = ["PlatformConfig", "IODAPlatform"]
+
+#: Cause-specific per-signal severity damping.  A power outage leaves many
+#: routers announcing from UPS/generator power, so BGP visibility falls far
+#: less than data-plane reachability; link-saturating DDoS likewise rarely
+#: tears down BGP sessions.  Telescope traffic needs live end hosts, so it
+#: follows the data plane.
+_SIGNAL_DAMPING: Mapping[Cause, Mapping[SignalKind, float]] = {
+    Cause.POWER_OUTAGE: {SignalKind.BGP: 0.45},
+    Cause.DDOS: {SignalKind.BGP: 0.35},
+}
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Measurement-layer knobs."""
+
+    n_full_feed_peers: int = 24
+    bgp_peer_miss_rate: float = 0.02
+    max_probed_blocks: int = 128
+    telescope_overdispersion: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n_full_feed_peers < 2:
+            raise ConfigurationError("need at least 2 full-feed peers")
+        if self.max_probed_blocks < 8:
+            raise ConfigurationError("need at least 8 probed blocks")
+
+
+@dataclass
+class _CountryCache:
+    network: CountryNetwork
+    prefix_sizes: Tuple[int, ...]
+    blocks: List[ProbedBlock]
+    mobile_addr_share: float
+    region_shares: Mapping[str, float]
+    as_addr_shares: Mapping[int, float]
+
+
+class IODAPlatform:
+    """The simulated IODA measurement platform."""
+
+    def __init__(self, scenario: WorldScenario,
+                 config: PlatformConfig | None = None):
+        self._scenario = scenario
+        self._config = config or PlatformConfig()
+        self._cache: Dict[str, _CountryCache] = {}
+        self._disruptions_by_country: Dict[
+            str, List[GroundTruthDisruption]] = {}
+        for disruption in scenario.all_disruptions():
+            self._disruptions_by_country.setdefault(
+                disruption.country_iso2, []).append(disruption)
+
+    @property
+    def scenario(self) -> WorldScenario:
+        return self._scenario
+
+    @property
+    def config(self) -> PlatformConfig:
+        return self._config
+
+    # -- public query interface ------------------------------------------------
+
+    def signal(self, entity: Entity, kind: SignalKind,
+               window: TimeRange) -> TimeSeries:
+        """One signal for one entity over a window."""
+        iso2 = entity.country_iso2
+        if iso2 is None:
+            return self._as_signal(entity, kind, window)
+        cache = self._country(iso2)
+        region = (entity.identifier.split("-", 1)[1]
+                  if entity.scope is EntityScope.REGION else None)
+        return self._entity_signal(cache, kind, window, region_name=region)
+
+    def signals(self, entity: Entity,
+                window: TimeRange) -> Dict[SignalKind, TimeSeries]:
+        """All three signals for one entity over a window."""
+        return {kind: self.signal(entity, kind, window)
+                for kind in SignalKind}
+
+    def country_signals(self, iso2: str,
+                        window: TimeRange) -> Dict[SignalKind, TimeSeries]:
+        """Convenience: all three country-level signals."""
+        return self.signals(Entity.country(iso2), window)
+
+    # -- internals: caches ------------------------------------------------------
+
+    def _country(self, iso2: str) -> _CountryCache:
+        iso2 = iso2.upper()
+        cached = self._cache.get(iso2)
+        if cached is not None:
+            return cached
+        network = self._scenario.topology.get(iso2)
+        prefix_sizes = tuple(
+            prefix.num_slash24s
+            for network_as in network.ases
+            for prefix in network_as.prefixes)
+        total24 = max(1, network.total_slash24s)
+        mobile24 = sum(a.num_slash24s for a in network.ases if a.mobile)
+        block_rng = substream(self._scenario.seed, "probing-blocks", iso2)
+        blocks = sample_blocks(
+            network, block_rng, max_blocks=self._config.max_probed_blocks)
+        cache = _CountryCache(
+            network=network,
+            prefix_sizes=prefix_sizes,
+            blocks=blocks,
+            mobile_addr_share=mobile24 / total24,
+            region_shares={r.name: r.share for r in network.regions},
+            as_addr_shares={
+                int(a.asn): a.num_slash24s / total24 for a in network.ases},
+        )
+        self._cache[iso2] = cache
+        return cache
+
+    # -- internals: up-fraction construction -------------------------------------
+
+    def _up_fraction(self, cache: _CountryCache, kind: SignalKind,
+                     window: TimeRange, bin_width: int,
+                     region_name: Optional[str]) -> np.ndarray:
+        start = bin_floor(window.start, bin_width)
+        n_bins = -(-(window.end - start) // bin_width)
+        down = np.zeros(n_bins, dtype=np.float64)
+        iso2 = cache.network.country.iso2
+        for disruption in self._disruptions_by_country.get(iso2, []):
+            if not disruption.span.overlaps(window):
+                continue
+            share = self._affected_share(
+                cache, disruption, kind, region_name)
+            if share <= 0.0:
+                continue
+            first = max(0, (disruption.span.start - start) // bin_width)
+            last = min(n_bins, -(-(disruption.span.end - start) // bin_width))
+            down[first:last] += share
+        return np.clip(1.0 - down, 0.0, 1.0)
+
+    def _affected_share(self, cache: _CountryCache,
+                        disruption: GroundTruthDisruption, kind: SignalKind,
+                        region_name: Optional[str]) -> float:
+        """Fraction of the *queried entity's* signal the disruption removes.
+
+        The entity is the country when ``region_name`` is None, else one
+        region.  Mobile-only disruptions do not move Active Probing at all
+        (probed blocks exclude mobile space).
+        """
+        if disruption.mobile_only and kind is SignalKind.ACTIVE_PROBING:
+            return 0.0
+        severity = disruption.severity
+        severity *= _SIGNAL_DAMPING.get(disruption.cause, {}).get(kind, 1.0)
+        if disruption.mobile_only:
+            severity *= cache.mobile_addr_share
+
+        if region_name is not None:
+            # Region-level view.
+            if disruption.scope is EntityScope.REGION:
+                return (severity
+                        if disruption.region_name == region_name else 0.0)
+            if disruption.scope is EntityScope.COUNTRY:
+                return severity
+            # AS-scope events spread across regions by address share.
+            return severity * cache.as_addr_shares.get(
+                disruption.asn or -1, 0.0)
+
+        # Country-level view.
+        if disruption.scope is EntityScope.COUNTRY:
+            return severity
+        if disruption.scope is EntityScope.REGION:
+            return severity * cache.region_shares.get(
+                disruption.region_name or "", 0.0)
+        return severity * cache.as_addr_shares.get(disruption.asn or -1, 0.0)
+
+    def _artifact_multiplier(self, kind: SignalKind, window: TimeRange,
+                             bin_width: int) -> np.ndarray:
+        start = bin_floor(window.start, bin_width)
+        n_bins = -(-(window.end - start) // bin_width)
+        factor = np.ones(n_bins, dtype=np.float64)
+        for artifact in self._scenario.artifacts:
+            if artifact.signal is not kind:
+                continue
+            if not artifact.span.overlaps(window):
+                continue
+            first = max(0, (artifact.span.start - start) // bin_width)
+            last = min(n_bins, -(-(artifact.span.end - start) // bin_width))
+            factor[first:last] *= (1.0 - artifact.depth)
+        return factor
+
+    # -- internals: per-signal generation -----------------------------------------
+
+    def _entity_signal(self, cache: _CountryCache, kind: SignalKind,
+                       window: TimeRange,
+                       region_name: Optional[str]) -> TimeSeries:
+        iso2 = cache.network.country.iso2
+        bin_width = kind.bin_width
+        up = self._up_fraction(cache, kind, window, bin_width, region_name)
+        scale = (cache.region_shares.get(region_name, 0.0)
+                 if region_name is not None else 1.0)
+        rng = substream(self._scenario.seed, "platform", kind.value, iso2,
+                        region_name or "", window.start)
+        if kind is SignalKind.BGP:
+            series = visible_slash24_series(
+                window, self._scaled_prefixes(cache, scale), up, rng,
+                n_full_feed_peers=self._config.n_full_feed_peers,
+                miss_rate=self._config.bgp_peer_miss_rate)
+        elif kind is SignalKind.ACTIVE_PROBING:
+            blocks = cache.blocks
+            if region_name is not None:
+                keep = max(8, int(len(blocks) * scale))
+                blocks = blocks[:keep]
+            if not blocks:
+                series = TimeSeries.zeros(window, bin_width)
+            else:
+                run = ActiveProbingRun(blocks)
+                series = run.up_count_series(window, up, rng)
+        else:
+            intensity = cache.network.ibr_intensity * max(scale, 0.02)
+            series = unique_source_series(
+                window, intensity, up,
+                cache.network.country.utc_offset.seconds, rng,
+                overdispersion=self._config.telescope_overdispersion)
+        factor = self._artifact_multiplier(kind, window, bin_width)
+        series.values[:] = np.round(series.values * factor)
+        return series
+
+    @staticmethod
+    def _scaled_prefixes(cache: _CountryCache, scale: float) -> List[int]:
+        if scale >= 1.0:
+            return list(cache.prefix_sizes)
+        keep = max(1, int(len(cache.prefix_sizes) * scale))
+        return list(cache.prefix_sizes[:keep])
+
+    def _as_signal(self, entity: Entity, kind: SignalKind,
+                   window: TimeRange) -> TimeSeries:
+        """AS-level signals: derived from the owning country's view."""
+        asn = int(entity.identifier)
+        network_as = self._scenario.topology.find_as(asn)
+        if network_as is None:
+            raise SignalError(f"unknown ASN {asn}")
+        cache = self._country(network_as.record.country_iso2)
+        share = cache.as_addr_shares.get(asn, 0.0)
+        country_series = self._entity_signal(
+            cache, kind, window, region_name=None)
+        scaled = country_series.scale(max(share, 0.01))
+        scaled.values[:] = np.round(scaled.values)
+        return scaled

@@ -1,0 +1,114 @@
+"""The curated outage record (Table 1 of the paper).
+
+Every field of the paper's record schema is represented: start and end
+times, country, per-signal automated-alert flags, per-signal
+visible-by-human flags, scope, the IODA dashboard URL, the cause, the
+confirmation status, and free-form additional information.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import CurationError
+from repro.signals.entities import EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange, format_utc
+
+__all__ = ["ConfirmationStatus", "OutageRecord"]
+
+
+class ConfirmationStatus(enum.Enum):
+    """How solid the external corroboration of the record is."""
+
+    CONFIRMED = "Confirmed"
+    LIKELY = "Likely"
+    UNCONFIRMED = "Unconfirmed"
+
+
+@dataclass(frozen=True)
+class OutageRecord:
+    """One row of the manually curated IODA outage dataset.
+
+    ``auto_alerts`` and ``human_visible`` map each signal to whether IODA
+    generated an automated alert and whether a reviewer could see a
+    significant drop, respectively (the six TRUE/FALSE columns of
+    Table 1).  ``cause`` is free text distilled from reporting
+    ("Government-ordered", "Exam-related", "Cable cut", ...) or ``None``
+    when no explanation was found.
+    """
+
+    record_id: int
+    country_iso2: str
+    span: TimeRange
+    scope: EntityScope
+    auto_alerts: Mapping[SignalKind, bool]
+    human_visible: Mapping[SignalKind, bool]
+    ioda_url: str
+    cause: Optional[str] = None
+    confirmation: ConfirmationStatus = ConfirmationStatus.UNCONFIRMED
+    more_info: Tuple[str, ...] = ()
+    region_names: Tuple[str, ...] = ()
+    asns: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        missing = [kind for kind in SignalKind
+                   if kind not in self.auto_alerts
+                   or kind not in self.human_visible]
+        if missing:
+            raise CurationError(
+                f"record {self.record_id} missing signal flags: {missing}")
+        if not any(self.human_visible.values()):
+            raise CurationError(
+                f"record {self.record_id} has no humanly visible signal; "
+                "it should not have been recorded")
+
+    @property
+    def start(self) -> int:
+        return self.span.start
+
+    @property
+    def end(self) -> int:
+        return self.span.end
+
+    @property
+    def duration_hours(self) -> float:
+        return self.span.duration / 3600.0
+
+    @property
+    def n_signals_visible(self) -> int:
+        """How many of the three signals showed the outage to a reviewer."""
+        return sum(1 for visible in self.human_visible.values() if visible)
+
+    @property
+    def visible_in_all_signals(self) -> bool:
+        """Whether all three signals dropped (the "All" bar of Fig 16)."""
+        return self.n_signals_visible == len(SignalKind)
+
+    def is_cause_shutdown(self) -> bool:
+        """Whether the recorded cause labels this a shutdown (§4)."""
+        if self.cause is None:
+            return False
+        lowered = self.cause.lower()
+        return "government" in lowered or "exam" in lowered
+
+    def as_row(self) -> Mapping[str, str]:
+        """Render the record as the flat tabular row of Table 1."""
+        row = {
+            "Start time": format_utc(self.span.start),
+            "End time": format_utc(self.span.end),
+            "Country": self.country_iso2,
+            "Scope": self.scope.value,
+            "IODA URL": self.ioda_url,
+            "Cause": self.cause or "",
+            "Confirmation Status": self.confirmation.value,
+            "More Info": "; ".join(self.more_info),
+        }
+        for kind in SignalKind:
+            row[f"IODA {kind.label} Auto Alert"] = (
+                "TRUE" if self.auto_alerts[kind] else "FALSE")
+            row[f"IODA {kind.label} visible by human"] = (
+                "TRUE" if self.human_visible[kind] else "FALSE")
+        return row

@@ -1,0 +1,31 @@
+"""The Access Now #KeepItOn (KIO) dataset machinery (§3.2).
+
+- :mod:`repro.kio.schema` — the canonical (harmonized) KIO event record.
+- :mod:`repro.kio.compiler` — models Access Now's reporting process: it
+  observes ground-truth intentional disruptions through a civil-society
+  channel with realistic imperfections (incomplete coverage, date-only
+  granularity in local time, publication-date errors, series collapsed
+  into single entries) and emits *raw annual snapshots*.
+- :mod:`repro.kio.snapshots` — the raw snapshot formats: Access Now
+  changed field names, value conventions and structure across years, and
+  the emitters reproduce that drift.
+- :mod:`repro.kio.harmonize` — the harmonizer that re-unifies the annual
+  snapshots into canonical records (the manual curation step the paper
+  describes performing).
+"""
+
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.kio.compiler import KIOCompiler, KIOCompilerConfig
+from repro.kio.snapshots import AnnualSnapshot, SNAPSHOT_DIALECTS
+from repro.kio.harmonize import Harmonizer
+
+__all__ = [
+    "KIOCategory",
+    "KIOEvent",
+    "NetworkType",
+    "KIOCompiler",
+    "KIOCompilerConfig",
+    "AnnualSnapshot",
+    "SNAPSHOT_DIALECTS",
+    "Harmonizer",
+]

@@ -1,0 +1,206 @@
+"""Modelling Access Now's reporting process.
+
+The compiler turns ground-truth intentional disruptions into the raw rows
+of KIO annual snapshots.  It reproduces the imperfections the paper had to
+work around in §4:
+
+- **Coverage** is incomplete: a series is reported with probability
+  ``p_report``; civil society catches most national blackouts but not all.
+- **Series collapse**: all disruptions sharing a ``series_id`` (an exam
+  season, a post-coup curfew campaign) become one entry spanning first to
+  last day, with only a categorical union of restriction types.
+- **Date-only granularity**: entries carry local start/end dates, not
+  times.
+- **Publication-date errors**: with probability ``p_publication_date``,
+  the recorded start date is the date the story was *published* (one to
+  three days late).  With probability ``p_timezone_slip``, the date is
+  off by one day because the reporting outlet used its own timezone.
+- **Name variants**: country names are emitted in whatever form a source
+  used (canonical name or any registry alias).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.countries.registry import Country, CountryRegistry
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.rng import substream
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import DAY
+from repro.timeutils.timezones import local_date
+from repro.world.disruptions import GroundTruthDisruption, RestrictionEpisode
+
+__all__ = ["KIOCompilerConfig", "KIOCompiler"]
+
+
+@dataclass(frozen=True)
+class KIOCompilerConfig:
+    """Reporting-channel noise parameters."""
+
+    p_report_national: float = 0.85
+    p_report_subnational: float = 0.75
+    p_report_restriction: float = 0.8
+    p_publication_date: float = 0.12
+    p_timezone_slip: float = 0.05
+    p_alias_name: float = 0.35
+
+
+class KIOCompiler:
+    """Compiles ground truth into harmonized KIO events.
+
+    The output is canonical :class:`KIOEvent` objects; the snapshot
+    emitters (:mod:`repro.kio.snapshots`) then serialize them into the
+    year-specific raw dialects, and the harmonizer parses them back.
+    """
+
+    def __init__(self, seed: int, registry: CountryRegistry,
+                 config: KIOCompilerConfig | None = None):
+        self._seed = seed
+        self._registry = registry
+        self._config = config or KIOCompilerConfig()
+        self._ids = itertools.count(1)
+
+    def compile(self, shutdowns: Sequence[GroundTruthDisruption],
+                restrictions: Sequence[RestrictionEpisode],
+                years: Iterable[int]) -> List[KIOEvent]:
+        """All KIO events for the given years."""
+        year_set = set(years)
+        events: List[KIOEvent] = []
+        events.extend(self._shutdown_entries(shutdowns, year_set))
+        events.extend(self._restriction_entries(restrictions, year_set))
+        events.sort(key=lambda e: (e.year, e.start_day, e.country_name))
+        return events
+
+    # -- shutdowns ---------------------------------------------------------------
+
+    def _shutdown_entries(self, shutdowns: Sequence[GroundTruthDisruption],
+                          years: set[int]) -> Iterable[KIOEvent]:
+        for key, group in self._grouped(shutdowns).items():
+            country = self._registry.get(group[0].country_iso2)
+            rng = substream(self._seed, "kio", country.iso2, key)
+            national = group[0].scope is EntityScope.COUNTRY
+            p_report = (self._config.p_report_national if national
+                        else self._config.p_report_subnational)
+            if rng.random() >= p_report:
+                continue
+            start_day = min(
+                local_date(d.span.start, country.utc_offset) for d in group)
+            end_day = max(
+                local_date(d.span.end - 1, country.utc_offset)
+                for d in group)
+            year = _year_of_day(start_day)
+            if year not in years:
+                continue
+            start_day = self._distort_start(start_day, rng)
+            categories = self._categories(group)
+            networks = self._networks(group)
+            regions = tuple(sorted({
+                d.region_name for d in group if d.region_name}))
+            yield KIOEvent(
+                event_id=next(self._ids),
+                year=year,
+                country_name=self._name_variant(country, rng),
+                start_day=start_day,
+                end_day=max(end_day, start_day),
+                categories=categories,
+                networks=networks,
+                nationwide=national,
+                regions=regions,
+                description=self._description(group),
+            )
+
+    def _grouped(self, shutdowns: Sequence[GroundTruthDisruption]
+                 ) -> Dict[str, List[GroundTruthDisruption]]:
+        """Group disruptions into reporting units (series or singleton)."""
+        groups: Dict[str, List[GroundTruthDisruption]] = {}
+        for disruption in shutdowns:
+            key = (disruption.series_id
+                   or f"single-{disruption.disruption_id}")
+            groups.setdefault(key, []).append(disruption)
+        for group in groups.values():
+            group.sort(key=lambda d: d.span.start)
+        return groups
+
+    def _distort_start(self, start_day: int,
+                       rng: np.random.Generator) -> int:
+        if rng.random() < self._config.p_publication_date:
+            return start_day + int(rng.integers(1, 4))
+        if rng.random() < self._config.p_timezone_slip:
+            return start_day + int(rng.choice([-1, 1]))
+        return start_day
+
+    @staticmethod
+    def _categories(group: Sequence[GroundTruthDisruption]
+                    ) -> Tuple[KIOCategory, ...]:
+        names = {r for d in group for r in d.restrictions}
+        categories = [KIOCategory.FULL_NETWORK]
+        if "service-based" in names:
+            categories.append(KIOCategory.SERVICE_BASED)
+        if "throttling" in names:
+            categories.append(KIOCategory.THROTTLING)
+        return tuple(categories)
+
+    @staticmethod
+    def _networks(group: Sequence[GroundTruthDisruption]) -> NetworkType:
+        if all(d.mobile_only for d in group):
+            return NetworkType.MOBILE
+        return NetworkType.BOTH
+
+    @staticmethod
+    def _description(group: Sequence[GroundTruthDisruption]) -> str:
+        first = group[0]
+        parts = [f"cause={first.cause.value}", f"n_events={len(group)}"]
+        if first.trigger_event_id is not None:
+            parts.append(f"trigger={first.trigger_event_id}")
+        return "; ".join(parts)
+
+    # -- soft restrictions ----------------------------------------------------------
+
+    def _restriction_entries(self,
+                             restrictions: Sequence[RestrictionEpisode],
+                             years: set[int]) -> Iterable[KIOEvent]:
+        category_map = {
+            "service-based": KIOCategory.SERVICE_BASED,
+            "throttling": KIOCategory.THROTTLING,
+        }
+        for episode in restrictions:
+            country = self._registry.get(episode.country_iso2)
+            rng = substream(self._seed, "kio-restriction",
+                            episode.episode_id)
+            if rng.random() >= self._config.p_report_restriction:
+                continue
+            start_day = local_date(episode.span.start, country.utc_offset)
+            year = _year_of_day(start_day)
+            if year not in years:
+                continue
+            yield KIOEvent(
+                event_id=next(self._ids),
+                year=year,
+                country_name=self._name_variant(country, rng),
+                start_day=start_day,
+                end_day=local_date(episode.span.end - 1, country.utc_offset),
+                categories=tuple(category_map[r]
+                                 for r in episode.restrictions),
+                networks=NetworkType.BOTH,
+                nationwide=True,
+                description="soft restriction",
+            )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _name_variant(self, country: Country,
+                      rng: np.random.Generator) -> str:
+        if country.aliases and rng.random() < self._config.p_alias_name:
+            return str(rng.choice(list(country.aliases)))
+        return country.name
+
+
+def _year_of_day(days_since_epoch: int) -> int:
+    """Calendar year of a local day index."""
+    return time.gmtime(days_since_epoch * DAY).tm_year

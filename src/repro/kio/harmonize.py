@@ -1,0 +1,160 @@
+"""Harmonizing KIO annual snapshots back into canonical records.
+
+This is the manual-curation step the paper performs on the real KIO data
+("We manually curated and homogenized the annual snapshots", §3.2),
+expressed as code: one parser per dialect, strict about what it accepts —
+an unknown field layout raises :class:`~repro.errors.SchemaError` rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.kio.snapshots import AnnualSnapshot, RawRow
+from repro.timeutils.timestamps import DAY
+
+__all__ = ["Harmonizer"]
+
+_V1_TYPE = {
+    "full": KIOCategory.FULL_NETWORK,
+    "service": KIOCategory.SERVICE_BASED,
+    "throttle": KIOCategory.THROTTLING,
+}
+_V2_TYPE = {
+    "full network": KIOCategory.FULL_NETWORK,
+    "service-based": KIOCategory.SERVICE_BASED,
+    "throttling": KIOCategory.THROTTLING,
+}
+_V1_NETWORK = {
+    "mobile": NetworkType.MOBILE,
+    "fixed": NetworkType.BROADBAND,
+    "all": NetworkType.BOTH,
+}
+_V2_NETWORK = {
+    "mobile": NetworkType.MOBILE,
+    "fixed-line": NetworkType.BROADBAND,
+    "mobile and fixed-line": NetworkType.BOTH,
+}
+
+
+def _parse_date(text: str, fmt: str) -> int:
+    try:
+        parsed = time.strptime(text, fmt)
+    except ValueError as exc:
+        raise SchemaError(f"unparseable date {text!r}: {exc}") from None
+    return calendar.timegm(parsed) // DAY
+
+
+def _require(row: RawRow, key: str) -> object:
+    try:
+        return row[key]
+    except KeyError:
+        raise SchemaError(f"row missing field {key!r}: {sorted(row)}") \
+            from None
+
+
+class Harmonizer:
+    """Parses raw snapshots of every dialect into canonical events."""
+
+    def __init__(self) -> None:
+        self._parsers: Mapping[str, Callable[[RawRow, int], KIOEvent]] = {
+            "v1": self._parse_v1,
+            "v2": self._parse_v2,
+            "v3": self._parse_v3,
+        }
+
+    def harmonize(self,
+                  snapshots: Sequence[AnnualSnapshot]) -> List[KIOEvent]:
+        """Parse all snapshots, returning time-ordered canonical events."""
+        events: List[KIOEvent] = []
+        for snapshot in snapshots:
+            parser = self._parsers.get(snapshot.dialect)
+            if parser is None:
+                raise SchemaError(
+                    f"unknown KIO dialect {snapshot.dialect!r}")
+            for row in snapshot.rows:
+                events.append(parser(row, snapshot.year))
+        events.sort(key=lambda e: (e.year, e.start_day, e.country_name))
+        return events
+
+    # -- dialect parsers -------------------------------------------------------
+
+    def _parse_v1(self, row: RawRow, year: int) -> KIOEvent:
+        scope = str(_require(row, "scope"))
+        nationwide = scope.strip().lower() == "national"
+        regions = () if nationwide else tuple(
+            part for part in (s.strip() for s in scope.split(";"))
+            if part and part != "regional")
+        categories = tuple(
+            self._lookup(_V1_TYPE, part.strip(), "shutdown_type")
+            for part in str(_require(row, "shutdown_type")).split(","))
+        return KIOEvent(
+            event_id=int(row.get("event_id", 0)),
+            year=year,
+            country_name=str(_require(row, "country")),
+            start_day=_parse_date(str(_require(row, "start")), "%d/%m/%Y"),
+            end_day=_parse_date(str(_require(row, "end")), "%d/%m/%Y"),
+            categories=categories,
+            networks=self._lookup(
+                _V1_NETWORK, str(_require(row, "network")), "network"),
+            nationwide=nationwide,
+            regions=regions,
+        )
+
+    def _parse_v2(self, row: RawRow, year: int) -> KIOEvent:
+        scope = str(_require(row, "Geographic Scope")).strip()
+        nationwide = scope.lower() == "nationwide"
+        regions = () if nationwide else tuple(
+            part for part in (s.strip() for s in scope.split(","))
+            if part and part.lower() != "subnational")
+        categories = tuple(
+            self._lookup(_V2_TYPE, part.strip(), "Type of Shutdown")
+            for part in str(_require(row, "Type of Shutdown")).split("|"))
+        return KIOEvent(
+            event_id=int(row.get("event_id", 0)),
+            year=year,
+            country_name=str(_require(row, "Country")),
+            start_day=_parse_date(
+                str(_require(row, "Start Date")), "%Y-%m-%d"),
+            end_day=_parse_date(str(_require(row, "End Date")), "%Y-%m-%d"),
+            categories=categories,
+            networks=self._lookup(
+                _V2_NETWORK, str(_require(row, "Networks Affected")),
+                "Networks Affected"),
+            nationwide=nationwide,
+            regions=regions,
+        )
+
+    def _parse_v3(self, row: RawRow, year: int) -> KIOEvent:
+        area = _require(row, "area")
+        if not isinstance(area, dict):
+            raise SchemaError(f"v3 'area' must be an object: {area!r}")
+        raw_categories = _require(row, "categories")
+        if not isinstance(raw_categories, (list, tuple)):
+            raise SchemaError(
+                f"v3 'categories' must be a list: {raw_categories!r}")
+        return KIOEvent(
+            event_id=int(row.get("event_id", 0)),
+            year=year,
+            country_name=str(_require(row, "country_name")),
+            start_day=_parse_date(
+                str(_require(row, "start_date")), "%Y-%m-%d"),
+            end_day=_parse_date(str(_require(row, "end_date")), "%Y-%m-%d"),
+            categories=tuple(KIOCategory(c) for c in raw_categories),
+            networks=NetworkType(str(_require(row, "affected_networks"))),
+            nationwide=bool(area.get("nationwide", False)),
+            regions=tuple(area.get("regions", ())),
+        )
+
+    @staticmethod
+    def _lookup(table: Dict[str, object], key: str, field: str):
+        try:
+            return table[key.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown {field} value: {key!r}") from None

@@ -1,0 +1,76 @@
+"""Canonical KIO event records.
+
+The harmonized schema the analysis consumes.  KIO events carry *local
+dates*, not times (§4): ``start_day`` and ``end_day`` are local calendar
+days, encoded as days-since-epoch of the local midnight (see
+:func:`repro.timeutils.timezones.local_date`).  A single entry may span
+weeks and cover a whole series of distinct disruptions (exam seasons,
+post-coup curfews).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["KIOCategory", "NetworkType", "KIOEvent"]
+
+
+class KIOCategory(enum.Enum):
+    """Restriction categories (not mutually exclusive, §3.2)."""
+
+    FULL_NETWORK = "full-network"
+    SERVICE_BASED = "service-based"
+    THROTTLING = "throttling"
+
+
+class NetworkType(enum.Enum):
+    """Which access networks an event affected."""
+
+    MOBILE = "mobile"
+    BROADBAND = "broadband"
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class KIOEvent:
+    """One harmonized KIO entry.
+
+    ``country_name`` is the name string as it appeared in the snapshot
+    (variants preserved so that country resolution remains the merge
+    pipeline's job).  ``nationwide`` distinguishes country-scale events
+    from subnational ones; ``regions`` lists affected areas when known.
+    """
+
+    event_id: int
+    year: int
+    country_name: str
+    start_day: int          # local days-since-epoch
+    end_day: int            # local days-since-epoch, inclusive
+    categories: Tuple[KIOCategory, ...]
+    networks: NetworkType
+    nationwide: bool
+    regions: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_day < self.start_day:
+            raise SchemaError(
+                f"KIO event {self.event_id}: end day precedes start day")
+        if not self.categories:
+            raise SchemaError(
+                f"KIO event {self.event_id}: no categories")
+
+    @property
+    def is_full_network(self) -> bool:
+        """Whether the entry involves a full-network shutdown — the
+        criterion for inclusion in the paper's merged shutdown set."""
+        return KIOCategory.FULL_NETWORK in self.categories
+
+    @property
+    def duration_days(self) -> int:
+        """Inclusive span in days."""
+        return self.end_day - self.start_day + 1

@@ -1,0 +1,150 @@
+"""Raw KIO annual snapshots with year-specific schema dialects.
+
+Access Now modified field names, value ranges and structure several times
+between 2016 and 2021 (§3.2); the paper's authors had to manually curate
+and homogenize the annual snapshots.  We reproduce that: each year's
+snapshot serializes the canonical events into that year's *dialect*, and
+the :class:`~repro.kio.harmonize.Harmonizer` must understand all of them.
+
+Dialects (raw rows are plain dicts, as if parsed from the published CSVs):
+
+- **2016-2017** (``v1``): ``country`` / ``start`` / ``end`` (DD/MM/YYYY) /
+  ``shutdown_type`` (comma-joined labels ``full, service, throttle``) /
+  ``scope`` (``national`` or semicolon-joined region list) /
+  ``network`` (``mobile`` / ``fixed`` / ``all``).
+- **2018-2019** (``v2``): ``Country`` / ``Start Date`` / ``End Date``
+  (YYYY-MM-DD) / ``Type of Shutdown`` (pipe-joined
+  ``Full network|Service-based|Throttling``) / ``Geographic Scope`` /
+  ``Networks Affected``.
+- **2020-2021** (``v3``): ``country_name`` / ``start_date`` / ``end_date``
+  (ISO) / ``categories`` (JSON-style list) / ``affected_networks`` /
+  ``area`` (``nationwide`` flag plus ``regions`` list).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.timeutils.timestamps import DAY
+
+__all__ = ["AnnualSnapshot", "SNAPSHOT_DIALECTS", "dialect_for_year"]
+
+RawRow = Dict[str, object]
+
+#: Dialect name per snapshot year.
+SNAPSHOT_DIALECTS: Mapping[int, str] = {
+    2016: "v1", 2017: "v1",
+    2018: "v2", 2019: "v2",
+    2020: "v3", 2021: "v3",
+}
+
+
+def dialect_for_year(year: int) -> str:
+    """The dialect a given annual snapshot uses."""
+    try:
+        return SNAPSHOT_DIALECTS[year]
+    except KeyError:
+        raise SchemaError(f"no KIO snapshot dialect for year {year}") \
+            from None
+
+
+def _date_string(days_since_epoch: int, fmt: str) -> str:
+    return time.strftime(fmt, time.gmtime(days_since_epoch * DAY))
+
+
+_V1_TYPE = {
+    KIOCategory.FULL_NETWORK: "full",
+    KIOCategory.SERVICE_BASED: "service",
+    KIOCategory.THROTTLING: "throttle",
+}
+_V2_TYPE = {
+    KIOCategory.FULL_NETWORK: "Full network",
+    KIOCategory.SERVICE_BASED: "Service-based",
+    KIOCategory.THROTTLING: "Throttling",
+}
+_V1_NETWORK = {
+    NetworkType.MOBILE: "mobile",
+    NetworkType.BROADBAND: "fixed",
+    NetworkType.BOTH: "all",
+}
+_V2_NETWORK = {
+    NetworkType.MOBILE: "Mobile",
+    NetworkType.BROADBAND: "Fixed-line",
+    NetworkType.BOTH: "Mobile and fixed-line",
+}
+
+
+@dataclass(frozen=True)
+class AnnualSnapshot:
+    """One year's raw snapshot: a dialect tag and its raw rows."""
+
+    year: int
+    dialect: str
+    rows: Sequence[RawRow]
+
+    @classmethod
+    def serialize(cls, year: int,
+                  events: Sequence[KIOEvent]) -> "AnnualSnapshot":
+        """Serialize the year's canonical events into the year's dialect."""
+        dialect = dialect_for_year(year)
+        rows = [_SERIALIZERS[dialect](event)
+                for event in events if event.year == year]
+        return cls(year=year, dialect=dialect, rows=rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _serialize_v1(event: KIOEvent) -> RawRow:
+    scope = ("national" if event.nationwide
+             else ";".join(event.regions) or "regional")
+    return {
+        "country": event.country_name,
+        "start": _date_string(event.start_day, "%d/%m/%Y"),
+        "end": _date_string(event.end_day, "%d/%m/%Y"),
+        "shutdown_type": ", ".join(
+            _V1_TYPE[c] for c in event.categories),
+        "scope": scope,
+        "network": _V1_NETWORK[event.networks],
+        "event_id": event.event_id,
+    }
+
+
+def _serialize_v2(event: KIOEvent) -> RawRow:
+    return {
+        "Country": event.country_name,
+        "Start Date": _date_string(event.start_day, "%Y-%m-%d"),
+        "End Date": _date_string(event.end_day, "%Y-%m-%d"),
+        "Type of Shutdown": "|".join(
+            _V2_TYPE[c] for c in event.categories),
+        "Geographic Scope": ("Nationwide" if event.nationwide
+                             else ", ".join(event.regions) or "Subnational"),
+        "Networks Affected": _V2_NETWORK[event.networks],
+        "event_id": event.event_id,
+    }
+
+
+def _serialize_v3(event: KIOEvent) -> RawRow:
+    return {
+        "country_name": event.country_name,
+        "start_date": _date_string(event.start_day, "%Y-%m-%d"),
+        "end_date": _date_string(event.end_day, "%Y-%m-%d"),
+        "categories": [c.value for c in event.categories],
+        "affected_networks": event.networks.value,
+        "area": {
+            "nationwide": event.nationwide,
+            "regions": list(event.regions),
+        },
+        "event_id": event.event_id,
+    }
+
+
+_SERIALIZERS = {
+    "v1": _serialize_v1,
+    "v2": _serialize_v2,
+    "v3": _serialize_v3,
+}

@@ -1,0 +1,30 @@
+"""Low-level networking primitives.
+
+IODA's three signals are all ultimately expressed in units of IPv4 /24
+blocks or source addresses; the BGP substrate additionally needs prefixes of
+arbitrary length and longest-prefix matching.  This subpackage provides:
+
+- :mod:`repro.net.ipv4` — addresses, prefixes, /24 arithmetic.
+- :mod:`repro.net.asn` — autonomous system numbers and records.
+- :mod:`repro.net.prefixtree` — a binary radix trie keyed by prefix, with
+  longest-prefix match, used by the geolocation and prefix-to-AS maps.
+"""
+
+from repro.net.ipv4 import (
+    SLASH24_COUNT,
+    IPv4Address,
+    Prefix,
+    parse_prefix,
+)
+from repro.net.asn import AS, ASN
+from repro.net.prefixtree import PrefixTree
+
+__all__ = [
+    "SLASH24_COUNT",
+    "IPv4Address",
+    "Prefix",
+    "parse_prefix",
+    "AS",
+    "ASN",
+    "PrefixTree",
+]

@@ -1,0 +1,64 @@
+"""Autonomous system numbers and records.
+
+The topology generator assigns each country a set of ASes; state ownership
+is a property of the AS record, mirroring the Carisimo et al. state-owned
+operator list the paper consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PrefixError
+
+__all__ = ["ASN", "ASRole", "AS"]
+
+_MAX_ASN = 2 ** 32 - 1
+
+
+@dataclass(frozen=True, slots=True)
+class ASN:
+    """A 4-byte autonomous system number."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.value <= _MAX_ASN:
+            raise PrefixError(f"ASN out of range: {self.value}")
+
+    def __str__(self) -> str:
+        return f"AS{self.value}"
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class ASRole(enum.Enum):
+    """Coarse role of an AS in its domestic market."""
+
+    ACCESS = "access"        # eyeball / last-mile provider
+    TRANSIT = "transit"      # domestic or international transit
+    CONTENT = "content"      # hosting / content
+    EDUCATION = "education"  # national research & education network
+    GOVERNMENT = "government"  # government enterprise networks
+
+
+@dataclass(frozen=True)
+class AS:
+    """An autonomous system as known to the topology.
+
+    ``state_owned`` follows the paper's definition: controlled by the
+    government through ownership of more than 50% of shares (§5.1.1,
+    footnote 7).
+    """
+
+    asn: ASN
+    name: str
+    country_iso2: str
+    role: ASRole
+    state_owned: bool = False
+
+    def __str__(self) -> str:
+        ownership = "state" if self.state_owned else "private"
+        return f"{self.asn} {self.name} [{self.country_iso2}, {ownership}]"

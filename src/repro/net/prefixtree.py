@@ -1,0 +1,124 @@
+"""A binary radix trie keyed by IPv4 prefix.
+
+Used for the MaxMind-style geolocation database and the CAIDA-style
+prefix-to-AS map: both need exact-prefix insertion and longest-prefix match
+for address lookups.  The trie stores one node per bit of each inserted
+prefix, which is compact enough for the synthetic topologies (tens of
+thousands of prefixes) while keeping the code obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.net.ipv4 import IPv4Address, Prefix
+
+__all__ = ["PrefixTree"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTree(Generic[V]):
+    """Map from IPv4 prefixes to values with longest-prefix match.
+
+    >>> tree = PrefixTree()
+    >>> from repro.net.ipv4 import parse_prefix, IPv4Address
+    >>> tree[parse_prefix("10.0.0.0/8")] = "corp"
+    >>> tree[parse_prefix("10.1.0.0/16")] = "lab"
+    >>> prefix, value = tree.longest_match(IPv4Address.parse("10.1.2.3"))
+    >>> str(prefix), value
+    ('10.1.0.0/16', 'lab')
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _bits(network: int, length: int) -> Iterator[int]:
+        for position in range(length):
+            yield (network >> (31 - position)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit in self._bits(prefix.network, prefix.length):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """The value stored at exactly ``prefix``, or ``None``."""
+        node = self._root
+        for bit in self._bits(prefix.network, prefix.length):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self.exact(prefix) is not None
+
+    def longest_match(
+            self, address: IPv4Address) -> Optional[Tuple[Prefix, V]]:
+        """The most specific inserted prefix covering ``address``, with its
+        value, or ``None`` if nothing covers it."""
+        node = self._root
+        best: Optional[Tuple[int, V]] = None
+        network = 0
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for depth in range(32):
+            bit = (address.value >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (31 - depth)
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, value = best
+        mask = 0 if length == 0 else ((1 << length) - 1) << (32 - length)
+        return Prefix(address.value & mask, length), value
+
+    def lookup(self, address: IPv4Address) -> Optional[V]:
+        """Longest-prefix-match value for ``address``, or ``None``."""
+        match = self.longest_match(address)
+        return None if match is None else match[1]
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield all (prefix, value) pairs in depth-first order."""
+        stack: list[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield Prefix(network, length), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append(
+                        (child, network | (bit << (31 - length)), length + 1))

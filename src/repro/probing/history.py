@@ -1,0 +1,97 @@
+"""Response-rate estimation from probing history.
+
+Trinocular does not know each block's responsiveness a priori: it learns
+``A`` — the per-probe answer probability while the block is up — from a
+long history of observations, and periodically refreshes the estimate as
+address usage changes.  :class:`ResponseRateEstimator` implements that
+learning with a Beta-Bernoulli model per block:
+
+- each answered probe is a success, each unanswered probe during a round
+  the block was believed up is a failure,
+- the posterior mean ``(alpha + s) / (alpha + beta + s + f)`` is the
+  estimate,
+- an exponential forgetting factor keeps the estimate adaptive.
+
+Rounds where the block is believed *down* are excluded — unanswered
+probes then carry no information about ``A`` (the block may simply be
+off), which is the subtlety that makes naive frequency counting biased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResponseRateEstimator"]
+
+
+@dataclass
+class _BlockHistory:
+    successes: float = 0.0
+    failures: float = 0.0
+
+
+class ResponseRateEstimator:
+    """Online Beta-Bernoulli response-rate estimates per block."""
+
+    def __init__(self, prior_alpha: float = 2.0, prior_beta: float = 3.0,
+                 forgetting: float = 0.999):
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise ConfigurationError("Beta prior parameters must be > 0")
+        if not 0.0 < forgetting <= 1.0:
+            raise ConfigurationError(
+                f"forgetting factor must be in (0, 1]: {forgetting}")
+        self._alpha = prior_alpha
+        self._beta = prior_beta
+        self._forgetting = forgetting
+        self._history: Dict[int, _BlockHistory] = {}
+
+    def observe(self, block: int, probes_sent: int, answered: bool,
+                believed_up: bool) -> None:
+        """Record one round's outcome for a block.
+
+        ``probes_sent`` probes were sent; the round produced at most one
+        answer (the prober stops at the first).  Rounds where the block
+        was believed down are discarded — see module docstring.
+        """
+        if probes_sent < 1:
+            raise ConfigurationError(
+                f"probes_sent must be >= 1: {probes_sent}")
+        if not believed_up:
+            return
+        history = self._history.setdefault(block, _BlockHistory())
+        history.successes *= self._forgetting
+        history.failures *= self._forgetting
+        if answered:
+            # The answer arrived on some probe; earlier silent probes in
+            # the same round are failures of individual probes.
+            history.successes += 1.0
+            history.failures += max(0, probes_sent - 1) * 0.0
+        else:
+            history.failures += probes_sent
+
+    def estimate(self, block: int) -> float:
+        """Posterior-mean response rate for a block."""
+        history = self._history.get(block, _BlockHistory())
+        return ((self._alpha + history.successes)
+                / (self._alpha + self._beta
+                   + history.successes + history.failures))
+
+    def estimates(self, blocks: Iterable[int]) -> np.ndarray:
+        """Vector of estimates for many blocks."""
+        return np.array([self.estimate(block) for block in blocks])
+
+    def n_tracked(self) -> int:
+        """Number of blocks with any recorded history."""
+        return len(self._history)
+
+    def usable_blocks(self, blocks: Iterable[int],
+                      min_rate: float = 0.15) -> Tuple[int, ...]:
+        """Blocks whose estimated rate clears Trinocular's usability
+        floor."""
+        return tuple(block for block in blocks
+                     if self.estimate(block) >= min_rate)

@@ -1,0 +1,45 @@
+"""Deterministic random substreams.
+
+Every stochastic component of the synthetic world derives its own
+independent generator from the scenario seed plus a string path (e.g.
+``("topology", "SY")``).  This makes the whole pipeline reproducible while
+keeping components order-independent: adding a country or reordering
+generation does not perturb any other component's draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["substream", "derive_seed"]
+
+_Label = Union[str, int]
+
+
+def derive_seed(seed: int, *labels: _Label) -> int:
+    """Derive a 64-bit child seed from ``seed`` and a label path.
+
+    Uses BLAKE2b over the canonical encoding of the path, so distinct paths
+    give independent seeds and the mapping is stable across Python versions
+    (unlike ``hash``).
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(int(seed)).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"\x1f")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def substream(seed: int, *labels: _Label) -> np.random.Generator:
+    """A numpy generator seeded deterministically from ``seed`` and labels.
+
+    >>> g1 = substream(7, "topology", "SY")
+    >>> g2 = substream(7, "topology", "SY")
+    >>> float(g1.random()) == float(g2.random())
+    True
+    """
+    return np.random.Generator(np.random.PCG64(derive_seed(seed, *labels)))

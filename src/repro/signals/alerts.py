@@ -1,0 +1,161 @@
+"""IODA's automated alert detection.
+
+For each signal, IODA raises an alert whenever the current bin drops below a
+signal-specific fraction of the median of a trailing history window (§3.1.1):
+
+====================  ==========  =================
+Signal                Threshold   History window
+====================  ==========  =================
+BGP                   99%         24 hours
+Active Probing        80%         7 days
+Telescope             25%         7 days
+====================  ==========  =================
+
+:class:`AlertDetector` implements the generic mechanism; the per-signal
+configurations live with the IODA platform in
+:mod:`repro.ioda.platform`.  :func:`group_alerts` merges runs of consecutive
+alerting bins into :class:`AlertEpisode` spans — the unit the curation
+pipeline reasons about ("a prolonged ... drop", §3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import SignalError
+from repro.signals.series import TimeSeries
+from repro.stats.rolling import RollingMedian
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["DetectorConfig", "Alert", "AlertEpisode", "AlertDetector",
+           "group_alerts"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Parameters of a drop detector.
+
+    ``threshold`` is the fraction of the historical median below which a bin
+    alerts (0.99 for BGP).  ``history_seconds`` is the length of the
+    trailing window the median is computed over.  ``min_history_fraction``
+    guards cold starts: no alerts are produced until at least that fraction
+    of the window has been observed.
+    """
+
+    threshold: float
+    history_seconds: int
+    min_history_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise SignalError(
+                f"alert threshold must be in (0, 1]: {self.threshold}")
+        if self.history_seconds <= 0:
+            raise SignalError(
+                f"history window must be positive: {self.history_seconds}")
+        if not 0.0 < self.min_history_fraction <= 1.0:
+            raise SignalError(
+                f"min history fraction must be in (0, 1]: "
+                f"{self.min_history_fraction}")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One alerting bin: its start time, observed value and the baseline
+    median it was compared against."""
+
+    time: int
+    value: float
+    baseline: float
+
+
+@dataclass(frozen=True)
+class AlertEpisode:
+    """A maximal run of consecutive alerting bins."""
+
+    span: TimeRange
+    min_value: float
+    baseline: float
+    n_bins: int
+
+    @property
+    def depth(self) -> float:
+        """Relative depth of the drop: 1 - min/baseline (0 = no drop)."""
+        if self.baseline <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.min_value / self.baseline)
+
+
+class AlertDetector:
+    """Median-of-trailing-window drop detector.
+
+    Stateless across calls: :meth:`detect` scans a whole series and returns
+    the alerting bins.  The current bin never contributes to its own
+    baseline (the window is strictly trailing), so a sharp total outage
+    alerts immediately rather than dragging its own baseline down.
+    """
+
+    def __init__(self, config: DetectorConfig):
+        self._config = config
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self._config
+
+    def window_bins(self, series_width: int) -> int:
+        """Number of bins of ``series_width`` the history window spans."""
+        bins = self._config.history_seconds // series_width
+        if bins <= 0:
+            raise SignalError(
+                f"history window {self._config.history_seconds}s shorter "
+                f"than one bin ({series_width}s)")
+        return bins
+
+    def detect(self, series: TimeSeries) -> List[Alert]:
+        """Return an :class:`Alert` for every bin below threshold."""
+        window = self.window_bins(series.width)
+        min_history = max(1, int(window * self._config.min_history_fraction))
+        tracker = RollingMedian(window)
+        alerts: List[Alert] = []
+        for ts, value in series:
+            baseline = tracker.median
+            if (baseline is not None and len(tracker) >= min_history
+                    and value < self._config.threshold * baseline):
+                alerts.append(Alert(time=ts, value=value, baseline=baseline))
+            tracker.push(value)
+        return alerts
+
+
+def group_alerts(alerts: Sequence[Alert], bin_width: int,
+                 max_gap_bins: int = 1) -> List[AlertEpisode]:
+    """Merge alerting bins into maximal episodes.
+
+    Bins whose start times are within ``max_gap_bins * bin_width`` of the
+    previous alerting bin extend the current episode; larger gaps start a
+    new one.  A gap tolerance of one bin absorbs single-bin flickers at the
+    edge of the threshold.
+    """
+    if bin_width <= 0:
+        raise SignalError(f"bin width must be positive: {bin_width}")
+    if not alerts:
+        return []
+    episodes: List[AlertEpisode] = []
+    run: List[Alert] = [alerts[0]]
+    for alert in alerts[1:]:
+        if alert.time <= run[-1].time + (max_gap_bins + 1) * bin_width:
+            run.append(alert)
+        else:
+            episodes.append(_episode_from_run(run, bin_width))
+            run = [alert]
+    episodes.append(_episode_from_run(run, bin_width))
+    return episodes
+
+
+def _episode_from_run(run: Sequence[Alert], bin_width: int) -> AlertEpisode:
+    return AlertEpisode(
+        span=TimeRange(run[0].time, run[-1].time + bin_width),
+        min_value=min(alert.value for alert in run),
+        baseline=run[0].baseline,
+        n_bins=len(run),
+    )

@@ -1,0 +1,33 @@
+"""The three IODA signal kinds and their bin widths."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.timeutils.timestamps import FIVE_MINUTES, TEN_MINUTES
+
+__all__ = ["SignalKind"]
+
+
+class SignalKind(enum.Enum):
+    """IODA's connectivity signals (§3.1.1)."""
+
+    BGP = "bgp"
+    ACTIVE_PROBING = "active-probing"
+    TELESCOPE = "telescope"
+
+    @property
+    def bin_width(self) -> int:
+        """Native bin width in seconds: 5 minutes for BGP and Telescope,
+        10-minute rounds for Active Probing."""
+        if self is SignalKind.ACTIVE_PROBING:
+            return TEN_MINUTES
+        return FIVE_MINUTES
+
+    @property
+    def label(self) -> str:
+        return {
+            SignalKind.BGP: "BGP",
+            SignalKind.ACTIVE_PROBING: "Active Probing",
+            SignalKind.TELESCOPE: "Telescope",
+        }[self]

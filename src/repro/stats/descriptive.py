@@ -1,0 +1,80 @@
+"""Descriptive statistics helpers.
+
+Small, dependency-free helpers used across the analysis layer.  ``median``
+follows the usual interpolating convention (average of the two central
+values for even-length samples); ``fraction_multiple_of`` implements the
+paper's "duration is a multiple of 30 minutes" style measurements (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import SignalError
+
+__all__ = ["median", "quantile", "fraction", "fraction_multiple_of", "mean"]
+
+T = TypeVar("T")
+
+
+def mean(samples: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty sample."""
+    values = list(samples)
+    if not values:
+        raise SignalError("mean of an empty sample")
+    return sum(values) / len(values)
+
+
+def median(samples: Iterable[float]) -> float:
+    """Interpolating median of a non-empty sample."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise SignalError("median of an empty sample")
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """Lower-median style quantile: the smallest sample value at or above
+    the ``q`` probability level."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise SignalError("quantile of an empty sample")
+    if not 0.0 < q <= 1.0:
+        raise SignalError(f"quantile level out of range: {q}")
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered) - 1e-9)))
+    # int() truncation gives ceil(q*n)-1 for non-integer q*n; for exact
+    # multiples the epsilon keeps the index at the boundary sample.
+    return float(ordered[index])
+
+
+def fraction(items: Iterable[T], predicate: Callable[[T], bool]) -> float:
+    """Fraction of ``items`` satisfying ``predicate`` (items must be
+    non-empty)."""
+    total = 0
+    hits = 0
+    for item in items:
+        total += 1
+        if predicate(item):
+            hits += 1
+    if total == 0:
+        raise SignalError("fraction of an empty collection")
+    return hits / total
+
+
+def fraction_multiple_of(values: Sequence[float], step: float,
+                         tolerance: float = 1e-9) -> float:
+    """Fraction of ``values`` that are an exact multiple of ``step``.
+
+    Used for §5.3's observations such as "over 55% of shutdowns lasting a
+    multiple of 30 minutes" and "67.7% of recurrence intervals at exactly
+    1-4 days".
+    """
+    if step <= 0:
+        raise SignalError(f"step must be positive: {step}")
+    return fraction(
+        values,
+        lambda v: abs(v / step - round(v / step)) <= tolerance)

@@ -1,0 +1,101 @@
+"""Mann-Whitney U test (two-sided, normal approximation with tie
+correction).
+
+The paper's §5.1 figures argue that indicator distributions differ across
+the Shutdowns / Outages / Neither groups by showing CDFs.  The Mann-Whitney
+U test formalizes those comparisons: it tests whether one group's values
+are stochastically larger than another's, without distributional
+assumptions — appropriate for bounded indices and heavy-tailed GDP alike.
+
+Implemented from first principles: rank the pooled sample (midranks for
+ties), compute U from rank sums, and evaluate the two-sided p-value with
+the normal approximation including the tie-corrected variance and a
+continuity correction — the same default SciPy uses for large samples.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import SignalError
+
+__all__ = ["MannWhitneyResult", "mann_whitney_u", "rankdata"]
+
+
+def rankdata(values: Sequence[float]) -> List[float]:
+    """Midranks of ``values`` (ties share the average rank).
+
+    >>> rankdata([10, 20, 20, 30])
+    [1.0, 2.5, 2.5, 4.0]
+    """
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Test outcome."""
+
+    u_statistic: float
+    p_value: float
+    n1: int
+    n2: int
+
+    @property
+    def effect_size(self) -> float:
+        """The common-language effect size P(X > Y) + 0.5 P(X = Y)."""
+        return self.u_statistic / (self.n1 * self.n2)
+
+
+def mann_whitney_u(sample1: Iterable[float],
+                   sample2: Iterable[float]) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test.
+
+    Returns the U statistic of ``sample1`` (large U means sample1 tends
+    to exceed sample2) and the two-sided p-value.
+    """
+    x = list(sample1)
+    y = list(sample2)
+    n1, n2 = len(x), len(y)
+    if n1 == 0 or n2 == 0:
+        raise SignalError("Mann-Whitney requires two non-empty samples")
+    pooled = x + y
+    ranks = rankdata(pooled)
+    rank_sum_1 = sum(ranks[:n1])
+    u1 = rank_sum_1 - n1 * (n1 + 1) / 2.0
+
+    n = n1 + n2
+    mean_u = n1 * n2 / 2.0
+    tie_counts = Counter(pooled).values()
+    tie_term = sum(t ** 3 - t for t in tie_counts)
+    variance = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:
+        # All pooled values identical: no evidence of any difference.
+        return MannWhitneyResult(u_statistic=u1, p_value=1.0, n1=n1, n2=n2)
+    # Continuity correction toward the mean.
+    z = (u1 - mean_u - math.copysign(0.5, u1 - mean_u)) \
+        / math.sqrt(variance)
+    if u1 == mean_u:
+        z = 0.0
+    p = 2.0 * _normal_sf(abs(z))
+    return MannWhitneyResult(u_statistic=u1, p_value=min(1.0, p),
+                             n1=n1, n2=n2)
+
+
+def _normal_sf(z: float) -> float:
+    """Standard normal survival function via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))

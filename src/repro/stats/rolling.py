@@ -1,0 +1,85 @@
+"""Sliding-window medians.
+
+IODA's alert engine compares each new bin of a signal against the median of
+a trailing history window (24 hours for BGP, 7 days for active probing and
+the telescope).  :class:`RollingMedian` maintains that median incrementally
+using a sorted window, giving O(log w) updates; :func:`rolling_median` is
+the batch convenience over a whole series.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Iterable, List, Optional
+
+from repro.errors import SignalError
+
+__all__ = ["RollingMedian", "rolling_median"]
+
+
+class RollingMedian:
+    """Median over a sliding window of the last ``window`` values.
+
+    Values are pushed one bin at a time; :attr:`median` reflects only the
+    values currently inside the window.  The median is the interpolating
+    median (mean of central pair for even counts), matching
+    :func:`repro.stats.descriptive.median`.
+    """
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise SignalError(f"window must be positive: {window}")
+        self._window = window
+        self._queue: deque[float] = deque()
+        self._sorted: List[float] = []
+
+    @property
+    def window(self) -> int:
+        """Capacity of the sliding window, in values."""
+        return self._window
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has reached capacity."""
+        return len(self._queue) == self._window
+
+    def push(self, value: float) -> None:
+        """Add a value, evicting the oldest if the window is full."""
+        if len(self._queue) == self._window:
+            oldest = self._queue.popleft()
+            index = bisect.bisect_left(self._sorted, oldest)
+            del self._sorted[index]
+        self._queue.append(value)
+        bisect.insort(self._sorted, value)
+
+    @property
+    def median(self) -> Optional[float]:
+        """Current median, or ``None`` if the window is empty."""
+        n = len(self._sorted)
+        if n == 0:
+            return None
+        mid = n // 2
+        if n % 2:
+            return float(self._sorted[mid])
+        return (self._sorted[mid - 1] + self._sorted[mid]) / 2.0
+
+
+def rolling_median(values: Iterable[float],
+                   window: int) -> List[Optional[float]]:
+    """For each position, the median of the *preceding* ``window`` values.
+
+    The value at index ``i`` summarizes values ``i-window .. i-1``; it is
+    ``None`` while no history exists (index 0).  This trailing convention
+    matches the alert engine, which must not let the current (possibly
+    anomalous) bin influence its own baseline.
+    """
+    tracker = RollingMedian(window)
+    medians: List[Optional[float]] = []
+    for value in values:
+        medians.append(tracker.median)
+        tracker.push(value)
+    return medians

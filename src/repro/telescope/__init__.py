@@ -1,0 +1,42 @@
+"""Network telescope substrate.
+
+IODA's Telescope signal counts unique source IPs per 5-minute bin in the
+traffic arriving at an unsolicited-traffic telescope (UCSD, later Merit),
+after anti-spoofing and noise filtering (§3.1.1).  Internet background
+radiation (IBR) from a country tracks how much of that country is up, with
+a strong diurnal cycle and high variance — hence the telescope's unusually
+low 25% alert threshold.
+
+- :mod:`repro.telescope.packets` — packet records and the detailed IBR
+  generator used in tests, examples and the Figure 1 bench.
+- :mod:`repro.telescope.filters` — anti-spoofing heuristics and noise
+  filters.
+- :mod:`repro.telescope.counter` — unique-source counting: the reference
+  packet path and the statistically equivalent vectorized path.
+"""
+
+from repro.telescope.packets import IBRGenerator, TelescopePacket
+from repro.telescope.filters import FilterPipeline, default_filters
+from repro.telescope.counter import (
+    unique_sources_from_packets,
+    unique_source_series,
+)
+from repro.telescope.campaigns import (
+    Campaign,
+    CampaignSchedule,
+    apply_campaigns,
+    campaign_suppression_mask,
+)
+
+__all__ = [
+    "IBRGenerator",
+    "TelescopePacket",
+    "FilterPipeline",
+    "default_filters",
+    "unique_sources_from_packets",
+    "unique_source_series",
+    "Campaign",
+    "CampaignSchedule",
+    "apply_campaigns",
+    "campaign_suppression_mask",
+]

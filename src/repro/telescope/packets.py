@@ -1,0 +1,136 @@
+"""Telescope packets and the detailed IBR generator.
+
+The detailed path generates individual unsolicited packets (scans, backscatter,
+misconfiguration traffic) from a country's address space, including a share
+of spoofed and bogon traffic the filters must remove.  It is used at small
+scale — unit tests, examples, and the single-event Figure 1 bench — while
+fleet-scale simulation uses the statistical counter in
+:mod:`repro.telescope.counter`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.net.ipv4 import IPv4Address, Prefix
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange
+
+__all__ = ["PacketKind", "TelescopePacket", "IBRGenerator",
+           "diurnal_factor"]
+
+
+class PacketKind(enum.Enum):
+    """Coarse class of unsolicited traffic."""
+
+    SCAN = "scan"
+    BACKSCATTER = "backscatter"
+    MISCONFIGURATION = "misconfiguration"
+    SPOOFED = "spoofed"
+
+
+@dataclass(frozen=True, slots=True)
+class TelescopePacket:
+    """One packet as captured by the telescope."""
+
+    time: int
+    source: IPv4Address
+    ttl: int
+    kind: PacketKind
+
+    @property
+    def likely_spoofed(self) -> bool:
+        """Ground-truth spoofing flag (filters must *infer* this)."""
+        return self.kind is PacketKind.SPOOFED
+
+
+def diurnal_factor(ts: int, utc_offset_seconds: int,
+                   amplitude: float = 0.35) -> float:
+    """Relative IBR intensity at a local time of day.
+
+    IBR peaks in the local afternoon (machines on) and troughs pre-dawn.
+    """
+    local_seconds = (ts + utc_offset_seconds) % DAY
+    phase = 2.0 * np.pi * (local_seconds - 15 * HOUR) / DAY
+    return 1.0 + amplitude * float(np.cos(phase))
+
+
+class IBRGenerator:
+    """Generates packet-level IBR from a set of source prefixes."""
+
+    def __init__(self, prefixes: Sequence[Prefix], intensity_per_bin: float,
+                 utc_offset_seconds: int, rng: np.random.Generator,
+                 spoofed_fraction: float = 0.08):
+        self._prefixes = list(prefixes)
+        self._intensity = intensity_per_bin
+        self._offset = utc_offset_seconds
+        self._rng = rng
+        self._spoofed_fraction = spoofed_fraction
+        self._total24 = sum(p.num_slash24s for p in self._prefixes)
+
+    def packets(self, window: TimeRange, up_fraction: np.ndarray,
+                bin_width: int = 300) -> Iterator[TelescopePacket]:
+        """Yield packets for each bin of ``window``.
+
+        ``up_fraction[i]`` scales the emitting address population for bin
+        ``i``; spoofed packets are injected independently of the country's
+        state (a spoofer elsewhere can use any source address — precisely
+        why the filters matter).
+        """
+        n_bins = -(-(window.end - window.start) // bin_width)
+        up = np.asarray(up_fraction, dtype=np.float64)
+        for index in range(n_bins):
+            bin_start = window.start + index * bin_width
+            factor = diurnal_factor(bin_start, self._offset)
+            lam = self._intensity * factor * max(0.0, min(1.0, up[index]))
+            n_genuine = int(self._rng.poisson(lam))
+            n_spoofed = int(self._rng.poisson(
+                self._intensity * self._spoofed_fraction))
+            yield from self._genuine(bin_start, bin_width, n_genuine,
+                                     up[index])
+            yield from self._spoofed(bin_start, bin_width, n_spoofed)
+
+    # -- internals -------------------------------------------------------------
+
+    def _genuine(self, bin_start: int, bin_width: int, count: int,
+                 up_fraction: float) -> Iterator[TelescopePacket]:
+        kinds = [PacketKind.SCAN, PacketKind.BACKSCATTER,
+                 PacketKind.MISCONFIGURATION]
+        for _ in range(count):
+            source = self._random_source(up_fraction)
+            if source is None:
+                continue
+            yield TelescopePacket(
+                time=bin_start + int(self._rng.integers(0, bin_width)),
+                source=source,
+                ttl=int(self._rng.integers(32, 120)),
+                kind=kinds[int(self._rng.integers(0, len(kinds)))],
+            )
+
+    def _spoofed(self, bin_start: int, bin_width: int,
+                 count: int) -> Iterator[TelescopePacket]:
+        for _ in range(count):
+            yield TelescopePacket(
+                time=bin_start + int(self._rng.integers(0, bin_width)),
+                source=IPv4Address(int(self._rng.integers(0, 2 ** 32))),
+                # Spoofing tools overwhelmingly leave pathological TTLs.
+                ttl=int(self._rng.choice([255, 254, 1, 2])),
+                kind=PacketKind.SPOOFED,
+            )
+
+    def _random_source(self, up_fraction: float) -> IPv4Address | None:
+        """An address from the reachable (address-ordered) share of the
+        prefixes, or None if nothing is up."""
+        reachable24 = int(self._total24 * max(0.0, min(1.0, up_fraction)))
+        if reachable24 == 0:
+            return None
+        pick = int(self._rng.integers(0, reachable24))
+        for prefix in self._prefixes:
+            if pick < prefix.num_slash24s:
+                base = prefix.network + pick * 256
+                return IPv4Address(base + int(self._rng.integers(1, 255)))
+            pick -= prefix.num_slash24s
+        return None

@@ -1,0 +1,79 @@
+"""Weekday arithmetic and workweek customs.
+
+§5.3 of the paper notes that several countries with many shutdowns (Syria,
+Iraq, Iran, Sudan, Algeria) do not include Friday in the customary workweek,
+which explains the Friday deficit in shutdown start days (Figure 15).  The
+paper could not find a reliable global workweek dataset; our synthetic world
+carries the workweek as ground truth per country, and the analysis code can
+optionally use it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+__all__ = ["WEEKDAY_NAMES", "Weekday", "Workweek", "day_of_week", "is_workday"]
+
+#: Abbreviated weekday names indexed by ISO weekday number (Monday = 0).
+WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+class Weekday(enum.IntEnum):
+    """ISO weekday numbers (Monday = 0 .. Sunday = 6)."""
+
+    MONDAY = 0
+    TUESDAY = 1
+    WEDNESDAY = 2
+    THURSDAY = 3
+    FRIDAY = 4
+    SATURDAY = 5
+    SUNDAY = 6
+
+
+@dataclass(frozen=True)
+class Workweek:
+    """The customary working days of a country.
+
+    Two customs dominate globally and both occur in our country registry:
+
+    - ``MON_FRI``: Saturday/Sunday weekend (most countries).
+    - ``SUN_THU``: Friday/Saturday weekend (much of the Middle East and
+      North Africa, which together account for the majority of shutdowns
+      in the paper's dataset).
+    """
+
+    workdays: FrozenSet[int] = field(
+        default_factory=lambda: frozenset(range(5)))
+
+    def __post_init__(self) -> None:
+        if not self.workdays or not all(0 <= d <= 6 for d in self.workdays):
+            raise ValueError(f"invalid workdays: {sorted(self.workdays)}")
+
+    def is_workday(self, weekday: int) -> bool:
+        """Whether ISO weekday ``weekday`` is a working day."""
+        return weekday in self.workdays
+
+    @property
+    def weekend(self) -> FrozenSet[int]:
+        """The complement of the workdays."""
+        return frozenset(range(7)) - self.workdays
+
+
+#: Monday-Friday workweek (Saturday/Sunday weekend).
+MON_FRI = Workweek(frozenset({0, 1, 2, 3, 4}))
+#: Sunday-Thursday workweek (Friday/Saturday weekend).
+SUN_THU = Workweek(frozenset({6, 0, 1, 2, 3}))
+
+
+def day_of_week(days_since_epoch: int) -> int:
+    """ISO weekday of a day index as produced by
+    :func:`repro.timeutils.timezones.local_date`."""
+    return (days_since_epoch + 3) % 7
+
+
+def is_workday(days_since_epoch: int, workweek: Workweek) -> bool:
+    """Whether the given local day index is a working day under
+    ``workweek``."""
+    return workweek.is_workday(day_of_week(days_since_epoch))

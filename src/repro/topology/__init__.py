@@ -1,0 +1,48 @@
+"""Per-country AS-level topologies and the operator-statistics datasets.
+
+The paper quantifies state participation in domestic access markets two
+ways (§3.3 "Computer network datasets"): the fraction of the domestic
+address space originated by state-owned operators (CAIDA prefix-to-AS +
+MaxMind geolocation + the Carisimo et al. state-owned AS list) and the
+fraction of eyeballs served by them (APNIC user estimates).  This subpackage
+builds the synthetic topologies and re-derives those statistics through the
+same dataset plumbing:
+
+- :mod:`repro.topology.generator` — per-country AS topologies: access /
+  transit / content ASes, /24 address allocations, eyeball shares, regions,
+  and state ownership.
+- :mod:`repro.topology.prefix2as` — CAIDA-style prefix-to-AS snapshot.
+- :mod:`repro.topology.geolocation` — MaxMind-style prefix-to-country DB.
+- :mod:`repro.topology.eyeballs` — APNIC-style per-AS user estimates.
+- :mod:`repro.topology.state_owned` — the state-owned AS list.
+- :mod:`repro.topology.metrics` — re-computation of the two state-share
+  metrics from the emitted datasets (not from ground truth), as the paper
+  does.
+"""
+
+from repro.topology.generator import (
+    CountryNetwork,
+    NetworkAS,
+    Region,
+    TopologyGenerator,
+    WorldTopology,
+)
+from repro.topology.prefix2as import Prefix2ASSnapshot
+from repro.topology.geolocation import GeoDatabase
+from repro.topology.eyeballs import EyeballEstimates
+from repro.topology.state_owned import StateOwnedASList
+from repro.topology.metrics import StateShare, compute_state_shares
+
+__all__ = [
+    "CountryNetwork",
+    "NetworkAS",
+    "Region",
+    "TopologyGenerator",
+    "WorldTopology",
+    "Prefix2ASSnapshot",
+    "GeoDatabase",
+    "EyeballEstimates",
+    "StateOwnedASList",
+    "StateShare",
+    "compute_state_shares",
+]

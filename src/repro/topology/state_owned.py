@@ -1,0 +1,52 @@
+"""The state-owned AS list.
+
+The paper downloads the Carisimo et al. (IMC 2021) list of state-owned
+Internet operators — ASes controlled by a government through majority share
+ownership — and uses it to compute the prevalence of the state in each
+domestic access market (§3.3, §5.1.1).
+
+Our emitter derives the list from topology ground truth with imperfect
+recall (some state operators are missed) and near-perfect precision, which
+matches the conservative methodology of the source paper.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator
+
+from repro.rng import substream
+from repro.topology.generator import WorldTopology
+
+__all__ = ["StateOwnedASList"]
+
+
+class StateOwnedASList:
+    """A set of ASNs identified as state-owned."""
+
+    def __init__(self, asns: FrozenSet[int]):
+        self._asns = asns
+
+    @classmethod
+    def from_topology(cls, topology: WorldTopology, seed: int,
+                      recall: float = 0.95,
+                      false_positive_rate: float = 0.002
+                      ) -> "StateOwnedASList":
+        """Derive the list from ground truth with imperfect recall."""
+        rng = substream(seed, "state-owned")
+        identified = set()
+        for network_as in topology.all_ases():
+            if network_as.state_owned:
+                if rng.random() < recall:
+                    identified.add(int(network_as.asn))
+            elif rng.random() < false_positive_rate:
+                identified.add(int(network_as.asn))
+        return cls(frozenset(identified))
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._asns))
+
+    def __contains__(self, asn: int) -> bool:
+        return int(asn) in self._asns

@@ -1,0 +1,90 @@
+"""Terminal visualization helpers.
+
+Text renderings used by the CLI, the examples, and the benches: a
+sparkline for time series, a step plot for CDFs, and a bar row for
+categorical PDFs.  They exist so signal shapes can be inspected without a
+plotting stack; the plot-ready numeric series live in
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signals.series import TimeSeries
+from repro.stats.ecdf import ECDF
+
+__all__ = ["sparkline", "cdf_plot", "bar_row"]
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(series: TimeSeries | Sequence[float],
+              width: int = 64) -> str:
+    """One-line ASCII rendering of a series, normalized to its max.
+
+    >>> sparkline([0.0, 5.0, 10.0], width=3)
+    ' =@'
+    """
+    if width <= 0:
+        raise SignalError(f"width must be positive: {width}")
+    values = np.asarray(
+        series.values if isinstance(series, TimeSeries) else series,
+        dtype=np.float64)
+    if values.size == 0:
+        raise SignalError("cannot render an empty series")
+    if len(values) > width:
+        chunk = len(values) / width
+        values = np.array([
+            values[int(i * chunk):int((i + 1) * chunk)].mean()
+            for i in range(width)])
+    top = values.max()
+    if top <= 0:
+        return " " * len(values)
+    return "".join(
+        _GLYPHS[min(len(_GLYPHS) - 1,
+                    int(v / top * (len(_GLYPHS) - 1)))]
+        for v in values)
+
+
+def cdf_plot(cdf: ECDF, width: int = 60, height: int = 12,
+             label: str = "") -> List[str]:
+    """A small ASCII step plot of an empirical CDF.
+
+    Returns one string per output row, top first; the x-axis spans the
+    sample range, the y-axis [0, 1].
+    """
+    if width <= 2 or height <= 2:
+        raise SignalError("cdf_plot needs width > 2 and height > 2")
+    lo = cdf.sorted_samples[0]
+    hi = cdf.sorted_samples[-1]
+    span = hi - lo or 1.0
+    xs = [lo + span * i / (width - 1) for i in range(width)]
+    ys = [cdf(x) for x in xs]
+    grid = [[" "] * width for _ in range(height)]
+    for column, y in enumerate(ys):
+        row = height - 1 - min(height - 1, int(y * (height - 1)))
+        grid[row][column] = "*"
+    lines = ["".join(row).rstrip() or "" for row in grid]
+    header = f"{label} (x: {lo:.3g} .. {hi:.3g}, y: 0 .. 1)".strip()
+    return [header] + [f"|{line:<{width}}|" for line in lines]
+
+
+def bar_row(labels: Sequence[str], values: Sequence[float],
+            width: int = 24) -> List[str]:
+    """Horizontal bars, one per (label, value) pair, scaled to the max."""
+    if len(labels) != len(values):
+        raise SignalError("labels and values must align")
+    if not labels:
+        raise SignalError("nothing to render")
+    top = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(value / top * width))
+        lines.append(f"{label:<{label_width}} "
+                     f"{'#' * filled:<{width}} {value:.3f}")
+    return lines

@@ -1,0 +1,55 @@
+"""The synthetic world: ground truth the measurement pipeline observes.
+
+The paper studies real events through two imperfect lenses (IODA's signals
+and Access Now's reporting).  Our reproduction replaces the real world with
+a seeded generative model whose *ground truth* is retained, so every stage
+of the pipeline can be validated against what actually happened:
+
+- :mod:`repro.world.disruptions` — the ground-truth disruption record:
+  span, scope, severity, cause, intentionality.
+- :mod:`repro.world.profiles` — per-country-year political and economic
+  profiles (the latent variables the V-Dem/World-Bank emitters observe).
+- :mod:`repro.world.events` — mobilization events: elections, coups,
+  protest days.
+- :mod:`repro.world.policy` — government shutdown behaviour per archetype:
+  exam-season series, coup blackouts, election and protest responses, with
+  the human fingerprints §5.3 documents (on-the-hour starts, round
+  durations, 1-4 day recurrence, workday bias).
+- :mod:`repro.world.outages` — spontaneous outage processes (cable cuts,
+  power failures, misconfigurations) with none of those fingerprints.
+- :mod:`repro.world.scenario` — the orchestrator assembling everything
+  into a :class:`WorldScenario`.
+"""
+
+from repro.world.disruptions import Cause, GroundTruthDisruption
+from repro.world.profiles import CountryYearProfile, ProfileGenerator
+from repro.world.events import EventKind, MobilizationEvent, EventGenerator
+from repro.world.policy import ShutdownPolicyEngine
+from repro.world.outages import SpontaneousOutageGenerator
+from repro.world.scenario import (
+    KIO_PERIOD,
+    STUDY_PERIOD,
+    ScenarioConfig,
+    ScenarioGenerator,
+    WorldScenario,
+)
+from repro.world.validation import AuditFinding, ScenarioAuditor
+
+__all__ = [
+    "Cause",
+    "GroundTruthDisruption",
+    "CountryYearProfile",
+    "ProfileGenerator",
+    "EventKind",
+    "MobilizationEvent",
+    "EventGenerator",
+    "ShutdownPolicyEngine",
+    "SpontaneousOutageGenerator",
+    "KIO_PERIOD",
+    "STUDY_PERIOD",
+    "ScenarioConfig",
+    "ScenarioGenerator",
+    "WorldScenario",
+    "AuditFinding",
+    "ScenarioAuditor",
+]

@@ -1,0 +1,126 @@
+"""Spontaneous outage processes.
+
+Spontaneous (non-ordered) outages are generated per country as a Poisson
+process whose rate scales with the country's infrastructure fragility — the
+paper finds outages concentrate in low-GDP, under-invested countries (§5.1)
+but occur nearly everywhere (150 of 155 countries saw at least one).
+
+Unlike shutdowns, spontaneous outages have *no human fingerprints*: start
+times are uniform over the day and week, durations are log-normal with a
+~2-hour median (Fig 10) and are not round numbers, and recurrences follow
+the memoryless exponential-gap law (median ~39 days in the paper, Fig 11).
+Severity is partial more often than total — a cable cut or grid failure
+rarely takes down every AS — which is what makes outages less visible in
+all three IODA signals simultaneously (Fig 16).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.countries.registry import Country, CountryRegistry
+from repro.rng import substream
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import TimeRange
+from repro.topology.generator import WorldTopology
+from repro.world.disruptions import Cause, GroundTruthDisruption
+
+__all__ = ["SpontaneousOutageGenerator"]
+
+#: Relative frequency of spontaneous causes.
+_CAUSES: Tuple[Tuple[Cause, float], ...] = (
+    (Cause.POWER_OUTAGE, 0.34),
+    (Cause.CABLE_CUT, 0.26),
+    (Cause.MISCONFIGURATION, 0.22),
+    (Cause.NATURAL_DISASTER, 0.10),
+    (Cause.DDOS, 0.08),
+)
+
+
+@dataclass(frozen=True)
+class OutageRates:
+    """Tunable rate parameters (events per country per year)."""
+
+    base_rate: float = 0.30
+    fragility_rate: float = 2.8
+    rate_sigma: float = 0.80
+    duration_median_hours: float = 2.0
+    duration_sigma: float = 1.1
+
+
+class SpontaneousOutageGenerator:
+    """Draws spontaneous country-level outages for every country."""
+
+    def __init__(self, seed: int, registry: CountryRegistry,
+                 topology: WorldTopology,
+                 rates: OutageRates | None = None):
+        self._seed = seed
+        self._registry = registry
+        self._topology = topology
+        self._rates = rates or OutageRates()
+        self._ids = itertools.count(500_000)
+
+    def generate(self, period: TimeRange) -> List[GroundTruthDisruption]:
+        """All spontaneous outages within ``period``."""
+        outages: List[GroundTruthDisruption] = []
+        for country in self._registry:
+            outages.extend(self._country_outages(country, period))
+        outages.sort(key=lambda d: (d.country_iso2, d.span.start))
+        return outages
+
+    # -- internals ------------------------------------------------------------
+
+    def _country_outages(self, country: Country, period: TimeRange
+                         ) -> Iterable[GroundTruthDisruption]:
+        rng = substream(self._seed, "outages", country.iso2)
+        years = period.duration / (365.25 * 24 * 3600)
+        rate = (self._rates.base_rate
+                + self._rates.fragility_rate * country.fragility_hint ** 1.6)
+        rate *= float(rng.lognormal(0.0, self._rates.rate_sigma))
+        n_events = int(rng.poisson(rate * years))
+        for _ in range(n_events):
+            start = int(period.start + rng.integers(0, period.duration))
+            duration_s = int(rng.lognormal(
+                np.log(self._rates.duration_median_hours * 3600),
+                self._rates.duration_sigma))
+            duration_s = max(600, duration_s)
+            severity = self._severity(country, rng)
+            cause = self._cause(rng)
+            yield GroundTruthDisruption(
+                disruption_id=next(self._ids),
+                country_iso2=country.iso2,
+                span=TimeRange(start, start + duration_s),
+                scope=EntityScope.COUNTRY,
+                cause=cause,
+                severity=severity,
+                mobile_only=False,
+                series_id=None,
+                trigger_event_id=None,
+                restrictions=(),
+            )
+
+    @staticmethod
+    def _severity(country: Country, rng: np.random.Generator) -> float:
+        """Partial failures dominate; total blackouts are the minority.
+
+        More centralized (fragile, state-dominated) networks fail harder:
+        a single grid or incumbent failure can take the whole country down.
+        """
+        centralization = 0.3 + 0.5 * country.fragility_hint
+        if rng.random() < 0.2 * centralization + 0.08:
+            return 1.0
+        return float(np.clip(rng.beta(2.2, 2.4), 0.30, 0.99))
+
+    @staticmethod
+    def _cause(rng: np.random.Generator) -> Cause:
+        roll = rng.random()
+        cumulative = 0.0
+        for cause, weight in _CAUSES:
+            cumulative += weight
+            if roll < cumulative:
+                return cause
+        return _CAUSES[-1][0]

@@ -1,0 +1,381 @@
+"""Government shutdown behaviour.
+
+This module decides, per country and year, which intentional disruptions a
+government orders.  It encodes the behavioural regularities the paper
+attributes to human intervention (§5.3) — the regularities the analysis
+layer must later *rediscover* from the observed data:
+
+- **Exam seasons** (Iraq, Syria, Algeria, Ethiopia style): a yearly series
+  of early-morning nationwide blackouts on exam days, starting exactly on a
+  local hour, lasting a round number of hours (4.5/5.5/8/10), recurring at
+  1-4 day intervals, and skipping the local weekend.
+- **Coup blackouts** (Myanmar, Sudan style): a total blackout on or right
+  after the coup day, optionally followed by a long nightly-curfew series
+  starting at local midnight with exactly 24-hour recurrence.
+- **Election blackouts**: a blackout starting at local midnight of election
+  day in autocracies with the means to order one.
+- **Protest responses**: same-day shutdowns on some protest days, starting
+  on the hour during waking hours.
+
+Capability gating follows §5.1.1: governments that control the majority of
+the domestic address space (ground-truth state share from the topology) are
+far more likely to order shutdowns, and more autocratic regimes more likely
+still.  Shutdowns may carry additional restriction techniques (service bans
+during a blackout), and autocracies additionally produce throttling /
+service-ban episodes with no connectivity impact (for KIO's category mix,
+Fig 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.countries.registry import Archetype, Country, CountryRegistry
+from repro.rng import substream
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+from repro.timeutils.timezones import local_weekday
+from repro.topology.generator import WorldTopology
+from repro.world.disruptions import (
+    Cause,
+    GroundTruthDisruption,
+    RestrictionEpisode,
+)
+from repro.world.events import EventGenerator, EventKind, MobilizationEvent
+from repro.world.profiles import CountryYearProfile
+
+__all__ = ["PolicyOutput", "ShutdownPolicyEngine"]
+
+_HALF_HOUR = 30 * 60
+
+#: Round shutdown durations observed disproportionately in the paper
+#: ("a particularly high fraction of shutdowns last precisely 4.5, 5.5,
+#: 8, or 10 hours").
+_EXAM_DURATIONS_H = (4.5, 5.5, 8.0, 10.0)
+
+
+@dataclass(frozen=True)
+class PolicyOutput:
+    """Everything the policy engine produced."""
+
+    shutdowns: Tuple[GroundTruthDisruption, ...]
+    restrictions: Tuple[RestrictionEpisode, ...]
+
+
+class ShutdownPolicyEngine:
+    """Generates intentional disruptions for every country."""
+
+    def __init__(self, seed: int, registry: CountryRegistry,
+                 topology: WorldTopology,
+                 profiles: Dict[Tuple[str, int], CountryYearProfile]):
+        self._seed = seed
+        self._registry = registry
+        self._topology = topology
+        self._profiles = profiles
+        self._ids = itertools.count(1)
+        self._restriction_ids = itertools.count(1)
+
+    def generate(self, years: Sequence[int],
+                 events: Iterable[MobilizationEvent]) -> PolicyOutput:
+        """Run the policy for all countries across ``years``."""
+        index = EventGenerator.index_by_country(events)
+        shutdowns: List[GroundTruthDisruption] = []
+        restrictions: List[RestrictionEpisode] = []
+        for country in self._registry:
+            rng = substream(self._seed, "policy", country.iso2)
+            capability = self._capability(country)
+            for year in sorted(set(years)):
+                profile = self._profiles.get((country.iso2, year))
+                if profile is None:
+                    continue
+                context = _YearContext(country, year, profile, capability)
+                shutdowns.extend(self._exam_series(context, rng))
+                shutdowns.extend(self._coup_response(context, index, rng))
+                shutdowns.extend(self._election_blackouts(
+                    context, index, rng))
+                shutdowns.extend(self._protest_responses(
+                    context, index, rng))
+                shutdowns.extend(self._subnational_shutdowns(context, rng))
+                restrictions.extend(self._soft_restrictions(context, rng))
+        shutdowns.sort(key=lambda d: (d.country_iso2, d.span.start))
+        restrictions.sort(key=lambda r: (r.country_iso2, r.span.start))
+        return PolicyOutput(tuple(shutdowns), tuple(restrictions))
+
+    # -- capability -----------------------------------------------------------
+
+    def _capability(self, country: Country) -> float:
+        """How able the state is to order a shutdown, in [0, 1].
+
+        Majority state control of the address space is the dominant factor
+        (§5.1.1); without it a government must coerce private operators,
+        which happens but less readily.
+        """
+        if country.iso2 in self._topology:
+            state_share = self._topology.get(
+                country.iso2).state_owned_slash24_fraction()
+        else:
+            state_share = country.state_isp_hint
+        return 0.25 + 0.75 * state_share
+
+    # -- exam seasons ---------------------------------------------------------
+
+    def _exam_series(self, ctx: "_YearContext",
+                     rng: np.random.Generator
+                     ) -> Iterable[GroundTruthDisruption]:
+        if ctx.country.archetype is not Archetype.EXAM:
+            return
+        autocracy = 1.0 - ctx.profile.liberal_democracy
+        if rng.random() > 0.92 * autocracy * ctx.capability:
+            return
+        series_id = f"{ctx.country.iso2}-{ctx.year}-exams"
+        # Exam season starts late May - early July.
+        season_day = int(rng.integers(145, 185))
+        start_hour = int(rng.choice([2, 4, 5, 6], p=[0.3, 0.35, 0.2, 0.15]))
+        duration_h = float(rng.choice(
+            _EXAM_DURATIONS_H, p=[0.35, 0.35, 0.2, 0.1]))
+        n_days = int(rng.integers(7, 15))
+        yield from self._exam_wave(
+            ctx, rng, series_id, season_day, start_hour, duration_h, n_days)
+        # Makeup-exam wave roughly two months later, reported as its own
+        # KIO entry (Iraq and Syria appear in KIO several times per year).
+        if rng.random() < 0.6:
+            yield from self._exam_wave(
+                ctx, rng, series_id + "-makeup",
+                season_day + int(rng.integers(50, 75)),
+                start_hour, duration_h, int(rng.integers(3, 7)))
+        return
+
+    def _exam_wave(self, ctx: "_YearContext", rng: np.random.Generator,
+                   series_id: str, season_day: int, start_hour: int,
+                   duration_h: float, n_days: int
+                   ) -> Iterable[GroundTruthDisruption]:
+        day_cursor = utc(ctx.year, 1, 1) + season_day * DAY
+        produced = 0
+        while produced < n_days:
+            start = (day_cursor + start_hour * HOUR
+                     - ctx.country.utc_offset.seconds)
+            weekday = local_weekday(start, ctx.country.utc_offset)
+            if ctx.country.workweek.is_workday(weekday):
+                duration = duration_h
+                if rng.random() < 0.15:
+                    # Occasional half-hour extension for a longer exam.
+                    duration += 0.5
+                yield self._shutdown(
+                    ctx, TimeRange(start, start + int(duration * 3600)),
+                    Cause.EXAM, series_id=series_id,
+                    extra_restrictions=())
+                produced += 1
+            # Exams on consecutive days, sometimes a 2-day gap.
+            day_cursor += DAY * int(rng.choice([1, 1, 1, 2]))
+
+    # -- coups ---------------------------------------------------------------
+
+    def _coup_response(self, ctx: "_YearContext",
+                       index: Dict[Tuple[str, EventKind],
+                                   List[MobilizationEvent]],
+                       rng: np.random.Generator
+                       ) -> Iterable[GroundTruthDisruption]:
+        coups = [e for e in index.get((ctx.country.iso2, EventKind.COUP), [])
+                 if _year_of(e.day_start_utc, ctx) == ctx.year]
+        nightly_done = False
+        for coup in coups:
+            blackout_p = (0.8 if ctx.country.archetype is Archetype.COUP
+                          else 0.3 * ctx.capability)
+            if rng.random() > blackout_p:
+                continue
+            series_id = f"{ctx.country.iso2}-coup-{coup.event_id}"
+            # Immediate blackout, starting on the hour of the coup day.
+            blackout_start = (coup.day_start_utc
+                              + int(rng.integers(3, 15)) * HOUR)
+            blackout_hours = int(rng.integers(24, 73))
+            yield self._shutdown(
+                ctx, TimeRange(blackout_start,
+                               blackout_start + blackout_hours * HOUR),
+                Cause.GOVERNMENT_ORDERED, series_id=series_id,
+                trigger=coup.event_id,
+                extra_restrictions=("service-based",))
+            # Myanmar-style nightly curfew series afterwards: only
+            # entrenched coup regimes sustain one, at most once.
+            if (ctx.country.archetype is Archetype.COUP
+                    and not nightly_done and rng.random() < 0.7):
+                nightly_done = True
+                n_nights = int(rng.integers(25, 50))
+                first_night = (coup.day_start_utc
+                               + int(rng.integers(7, 15)) * DAY)
+                night_hours = float(rng.choice([6.5, 8.0, 9.0]))
+                for night in range(n_nights):
+                    start = first_night + night * DAY
+                    yield self._shutdown(
+                        ctx, TimeRange(
+                            start, start + int(night_hours * 3600)),
+                        Cause.GOVERNMENT_ORDERED, series_id=series_id,
+                        trigger=coup.event_id,
+                        extra_restrictions=())
+
+    # -- elections -------------------------------------------------------------
+
+    def _election_blackouts(self, ctx: "_YearContext",
+                            index: Dict[Tuple[str, EventKind],
+                                        List[MobilizationEvent]],
+                            rng: np.random.Generator
+                            ) -> Iterable[GroundTruthDisruption]:
+        elections = [
+            e for e in index.get((ctx.country.iso2, EventKind.ELECTION), [])
+            if _year_of(e.day_start_utc, ctx) == ctx.year]
+        autocracy = 1.0 - ctx.profile.liberal_democracy
+        base = 0.35 if ctx.country.archetype is Archetype.ELECTION else 0.03
+        for election in elections:
+            if rng.random() > base * autocracy * ctx.capability:
+                continue
+            start = election.day_start_utc  # local midnight of election day
+            duration_h = float(rng.choice([24.0, 36.0, 48.0, 72.0],
+                                          p=[0.4, 0.2, 0.25, 0.15]))
+            yield self._shutdown(
+                ctx, TimeRange(start, start + int(duration_h * 3600)),
+                Cause.GOVERNMENT_ORDERED,
+                series_id=f"{ctx.country.iso2}-election-{election.event_id}",
+                trigger=election.event_id,
+                extra_restrictions=("service-based",),
+                mobile_only=bool(rng.random() < 0.3))
+
+    # -- protests ----------------------------------------------------------------
+
+    def _protest_responses(self, ctx: "_YearContext",
+                           index: Dict[Tuple[str, EventKind],
+                                       List[MobilizationEvent]],
+                           rng: np.random.Generator
+                           ) -> Iterable[GroundTruthDisruption]:
+        protests = [
+            e for e in index.get((ctx.country.iso2, EventKind.PROTEST), [])
+            if _year_of(e.day_start_utc, ctx) == ctx.year]
+        autocracy = 1.0 - ctx.profile.liberal_democracy
+        base = (0.11 if ctx.country.archetype is Archetype.PROTEST
+                else 0.005)
+        respond_p = base * autocracy ** 1.5 * ctx.capability
+        for protest in protests:
+            if rng.random() > respond_p:
+                continue
+            # Order comes down during waking hours, executed on the hour.
+            hour = int(rng.integers(8, 23))
+            start = protest.day_start_utc + hour * HOUR
+            if rng.random() < 0.15:
+                start += _HALF_HOUR
+            duration_h = float(rng.choice(
+                [6.0, 12.0, 24.0, 48.0], p=[0.3, 0.3, 0.25, 0.15]))
+            if rng.random() < 0.2:
+                duration_h += 0.5
+            yield self._shutdown(
+                ctx, TimeRange(start, start + int(duration_h * 3600)),
+                Cause.GOVERNMENT_ORDERED,
+                series_id=f"{ctx.country.iso2}-protest-{protest.event_id}",
+                trigger=protest.event_id,
+                extra_restrictions=("service-based",) if rng.random() < 0.4
+                else (),
+                # Mobile networks carry the protest coordination traffic,
+                # so many orders target mobile only — events civil society
+                # reports but IODA's probing largely cannot see (§4).
+                mobile_only=bool(rng.random() < 0.55))
+
+    # -- subnational (India-style) ----------------------------------------------
+
+    def _subnational_shutdowns(self, ctx: "_YearContext",
+                               rng: np.random.Generator
+                               ) -> Iterable[GroundTruthDisruption]:
+        """Region-scoped, mostly mobile-only shutdowns.
+
+        The paper reports 85% of subnational full-network shutdowns occur
+        in India and 72% of those affect only mobile networks (§4); they
+        are excluded from the country-level analysis but must exist so the
+        filtering stage has something to filter.
+        """
+        if ctx.country.archetype is not Archetype.SUBNATIONAL:
+            return
+        network = self._topology.get(ctx.country.iso2)
+        # Subnational shutdown use grew sharply over the period (the paper's
+        # KIO totals, Fig 2, are dominated by India's regional shutdowns).
+        yearly_mean = {2016: 15.0, 2017: 25.0, 2018: 45.0,
+                       2019: 60.0, 2020: 45.0, 2021: 50.0}
+        n_events = int(rng.poisson(yearly_mean.get(ctx.year, 40.0)))
+        for _ in range(n_events):
+            region = network.regions[int(rng.integers(0, len(network.regions)))]
+            day = utc(ctx.year, 1, 1) + int(rng.integers(0, 365)) * DAY
+            hour = int(rng.integers(0, 24))
+            start = day + hour * HOUR - ctx.country.utc_offset.seconds
+            duration_h = float(rng.choice([12.0, 24.0, 48.0, 96.0]))
+            yield GroundTruthDisruption(
+                disruption_id=next(self._ids),
+                country_iso2=ctx.country.iso2,
+                span=TimeRange(start, start + int(duration_h * 3600)),
+                scope=EntityScope.REGION,
+                cause=Cause.GOVERNMENT_ORDERED,
+                severity=1.0,
+                region_name=region.name,
+                mobile_only=bool(rng.random() < 0.72),
+                series_id=None,
+                trigger_event_id=None,
+            )
+
+    # -- soft restrictions --------------------------------------------------------
+
+    def _soft_restrictions(self, ctx: "_YearContext",
+                           rng: np.random.Generator
+                           ) -> Iterable[RestrictionEpisode]:
+        """Throttling / service-ban episodes without full disconnection."""
+        autocracy = 1.0 - ctx.profile.liberal_democracy
+        mean = 0.8 * autocracy * (0.5 + 0.5 * ctx.capability)
+        for _ in range(int(rng.poisson(mean))):
+            day = utc(ctx.year, 1, 1) + int(rng.integers(0, 365)) * DAY
+            duration_days = int(rng.integers(1, 30))
+            techniques: Tuple[str, ...]
+            roll = rng.random()
+            if roll < 0.55:
+                techniques = ("service-based",)
+            elif roll < 0.8:
+                techniques = ("throttling",)
+            else:
+                techniques = ("service-based", "throttling")
+            yield RestrictionEpisode(
+                episode_id=next(self._restriction_ids),
+                country_iso2=ctx.country.iso2,
+                span=TimeRange(day, day + duration_days * DAY),
+                restrictions=techniques,
+            )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _shutdown(self, ctx: "_YearContext", span: TimeRange, cause: Cause,
+                  series_id: Optional[str],
+                  extra_restrictions: Tuple[str, ...],
+                  trigger: Optional[int] = None,
+                  mobile_only: bool = False) -> GroundTruthDisruption:
+        return GroundTruthDisruption(
+            disruption_id=next(self._ids),
+            country_iso2=ctx.country.iso2,
+            span=span,
+            scope=EntityScope.COUNTRY,
+            cause=cause,
+            severity=1.0,
+            mobile_only=mobile_only,
+            series_id=series_id,
+            trigger_event_id=trigger,
+            restrictions=("full-network", *extra_restrictions),
+        )
+
+
+@dataclass(frozen=True)
+class _YearContext:
+    country: Country
+    year: int
+    profile: CountryYearProfile
+    capability: float
+
+
+def _year_of(day_start_utc: int, ctx: _YearContext) -> int:
+    """Calendar year (local) an event day belongs to."""
+    local = day_start_utc + ctx.country.utc_offset.seconds
+    return time.gmtime(local).tm_year

@@ -1,0 +1,136 @@
+"""Per-country-year political and economic profiles.
+
+These are the latent variables that the V-Dem and World-Bank dataset
+emitters (:mod:`repro.datasets`) observe.  Profiles are drawn per country
+from archetype-anchored distributions and evolve slowly across years via a
+bounded random walk, matching the paper's observation that institutional
+indices are typically stable year to year (§7).
+
+The generated correlations implement the political-economy structure the
+paper leans on (§5.1): autocracy ⇢ lower GDP, less broadband, more media
+bias, more politically powerful militaries, and more state ownership of the
+access market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.countries.registry import Archetype, Country, CountryRegistry
+from repro.rng import substream
+
+__all__ = ["CountryYearProfile", "ProfileGenerator"]
+
+
+@dataclass(frozen=True)
+class CountryYearProfile:
+    """The latent institutional and economic state of one country-year.
+
+    Index conventions follow V-Dem where applicable:
+
+    - ``liberal_democracy`` in [0, 1]; lower = more autocratic (Fig 4).
+    - ``military_power`` in [0, 1]; higher = military more capable of
+      removing the regime (Fig 5).
+    - ``media_bias`` and ``freedom_discussion_men`` are centred near 0
+      with lower values indicating more authoritarianism (Fig 6).
+    - ``gdp_per_capita`` in PPP dollars (Fig 7, log-scaled there).
+    - ``broadband_fraction`` in [0, 1]: share of population with fixed
+      broadband access (Fig 7).
+    - ``internet_users_millions``: DataReportal-style estimate.
+    """
+
+    country_iso2: str
+    year: int
+    liberal_democracy: float
+    military_power: float
+    media_bias: float
+    freedom_discussion_men: float
+    gdp_per_capita: float
+    broadband_fraction: float
+    internet_users_millions: float
+
+
+class ProfileGenerator:
+    """Draws :class:`CountryYearProfile` series for every country."""
+
+    #: Extra military-power mass for coup-prone archetypes.
+    _MILITARY_BOOST: Mapping[Archetype, float] = {
+        Archetype.COUP: 0.35,
+        Archetype.FRAGILE: 0.12,
+        Archetype.EXAM: 0.10,
+    }
+
+    def __init__(self, seed: int, registry: CountryRegistry):
+        self._seed = seed
+        self._registry = registry
+
+    def generate(self, years: Iterable[int]
+                 ) -> Dict[Tuple[str, int], CountryYearProfile]:
+        """Profiles for every (country, year) pair."""
+        year_list = sorted(set(years))
+        profiles: Dict[Tuple[str, int], CountryYearProfile] = {}
+        for country in self._registry:
+            for profile in self._country_series(country, year_list):
+                profiles[(country.iso2, profile.year)] = profile
+        return profiles
+
+    # -- internals -----------------------------------------------------------
+
+    def _country_series(self, country: Country,
+                        years: list[int]) -> Iterable[CountryYearProfile]:
+        rng = substream(self._seed, "profiles", country.iso2)
+        autocracy = float(np.clip(
+            rng.normal(country.autocracy_hint, 0.07), 0.02, 0.98))
+        income = float(np.clip(
+            rng.normal(country.income_hint, 0.08), 0.02, 0.98))
+        libdem = 1.0 - autocracy
+        military = float(np.clip(
+            rng.normal(
+                0.15 + 0.45 * autocracy
+                + self._MILITARY_BOOST.get(country.archetype, 0.0),
+                0.12),
+            0.0, 1.0))
+        # Low-military democracies cluster at exactly zero, as in V-Dem
+        # (over half of "Neither" country-years score 0 in Fig 5).
+        if libdem > 0.5 and military < 0.28:
+            military = 0.0
+        for year in years:
+            libdem = float(np.clip(
+                libdem + rng.normal(0.0, 0.015), 0.01, 0.95))
+            income = float(np.clip(
+                income + rng.normal(0.004, 0.01), 0.02, 0.98))
+            military = float(np.clip(
+                military + rng.normal(0.0, 0.02), 0.0, 1.0))
+            # Once at zero, a democracy's military power stays pinned
+            # there (V-Dem's floor effect) unless institutions shift.
+            if libdem > 0.5 and military < 0.1:
+                military = 0.0
+            yield self._profile(country, year, libdem, military, income, rng)
+
+    @staticmethod
+    def _profile(country: Country, year: int, libdem: float,
+                 military: float, income: float,
+                 rng: np.random.Generator) -> CountryYearProfile:
+        media_bias = float((libdem - 0.45) * 3.2 + rng.normal(0.0, 0.45))
+        freedom_men = float((libdem - 0.42) * 3.0 + rng.normal(0.0, 0.5))
+        gdp = float(np.exp(
+            5.6 + 4.4 * income + rng.normal(0.0, 0.25)))
+        broadband = float(np.clip(
+            income * 0.72 + rng.normal(0.0, 0.05), 0.001, 0.85))
+        penetration = float(np.clip(
+            0.15 + 0.75 * income + rng.normal(0.0, 0.05), 0.02, 0.97))
+        users = country.population_millions * penetration
+        return CountryYearProfile(
+            country_iso2=country.iso2,
+            year=year,
+            liberal_democracy=libdem,
+            military_power=military,
+            media_bias=media_bias,
+            freedom_discussion_men=freedom_men,
+            gdp_per_capita=gdp,
+            broadband_fraction=broadband,
+            internet_users_millions=users,
+        )

@@ -1,0 +1,135 @@
+"""Scenario auditing: is the synthetic world in the paper's regime?
+
+:class:`ScenarioAuditor` runs a battery of calibration checks against the
+populations the paper documents, returning structured findings instead of
+asserting — so a user tuning :class:`~repro.world.scenario.ScenarioConfig`
+can see exactly which regime properties their configuration preserves and
+which it breaks.  The canonical seed must pass every check (enforced in
+the test suite); exotic configurations may legitimately fail some.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.signals.entities import EntityScope
+from repro.timeutils.timezones import local_minute_of_hour
+from repro.world.scenario import STUDY_PERIOD, WorldScenario
+
+__all__ = ["AuditFinding", "ScenarioAuditor"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One calibration check's outcome."""
+
+    check: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.check}: {self.detail}"
+
+
+class ScenarioAuditor:
+    """Runs every calibration check against a scenario."""
+
+    def __init__(self, scenario: WorldScenario):
+        self._scenario = scenario
+        self._shutdowns = [
+            d for d in scenario.shutdowns
+            if d.scope is EntityScope.COUNTRY
+            and STUDY_PERIOD.contains(d.span.start)]
+        self._outages = [
+            d for d in scenario.outages
+            if STUDY_PERIOD.contains(d.span.start)]
+
+    def audit(self) -> List[AuditFinding]:
+        """Run all checks."""
+        checks: Tuple[Tuple[str, Callable[[], Tuple[bool, str]]], ...] = (
+            ("shutdown volume", self._check_shutdown_volume),
+            ("outage volume", self._check_outage_volume),
+            ("shutdown concentration", self._check_concentration),
+            ("outage breadth", self._check_outage_breadth),
+            ("on-the-hour starts", self._check_on_hour),
+            ("outage/shutdown duration gap", self._check_durations),
+            ("subnational concentration", self._check_subnational),
+            ("artifact coverage", self._check_artifacts),
+        )
+        return [AuditFinding(check=name, passed=ok, detail=detail)
+                for name, check in checks
+                for ok, detail in [check()]]
+
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(finding.passed for finding in self.audit())
+
+    # -- individual checks ------------------------------------------------------
+
+    def _check_shutdown_volume(self) -> Tuple[bool, str]:
+        n = len(self._shutdowns)
+        return 100 <= n <= 450, (
+            f"{n} country-level shutdowns in the study period "
+            f"(paper regime ~180-220)")
+
+    def _check_outage_volume(self) -> Tuple[bool, str]:
+        n = len(self._outages)
+        return 400 <= n <= 1200, (
+            f"{n} spontaneous outages in the study period (paper ~714)")
+
+    def _check_concentration(self) -> Tuple[bool, str]:
+        counts = Counter(d.country_iso2 for d in self._shutdowns)
+        if not counts:
+            return False, "no shutdowns at all"
+        top5 = sum(c for _, c in counts.most_common(5))
+        share = top5 / len(self._shutdowns)
+        return share > 0.5, (
+            f"top-5 countries hold {share:.0%} of shutdowns "
+            f"(paper: heavily concentrated)")
+
+    def _check_outage_breadth(self) -> Tuple[bool, str]:
+        n_countries = len({d.country_iso2 for d in self._outages})
+        return n_countries >= 100, (
+            f"outages span {n_countries} countries (paper: 150)")
+
+    def _check_on_hour(self) -> Tuple[bool, str]:
+        if not self._shutdowns:
+            return False, "no shutdowns"
+        registry = self._scenario.registry
+        on_hour = sum(
+            1 for d in self._shutdowns
+            if local_minute_of_hour(
+                d.span.start,
+                registry.get(d.country_iso2).utc_offset) == 0)
+        share = on_hour / len(self._shutdowns)
+        return share > 0.6, (
+            f"{share:.0%} of shutdowns start on the local hour "
+            f"(paper: 74%)")
+
+    def _check_durations(self) -> Tuple[bool, str]:
+        if not self._shutdowns or not self._outages:
+            return False, "missing an event class"
+        sd = sorted(d.span.duration for d in self._shutdowns)
+        out = sorted(d.span.duration for d in self._outages)
+        sd_median = sd[len(sd) // 2] / 3600
+        out_median = out[len(out) // 2] / 3600
+        return sd_median > 1.5 * out_median, (
+            f"median durations {sd_median:.1f} h vs {out_median:.1f} h "
+            f"(paper: 5.5 vs 2)")
+
+    def _check_subnational(self) -> Tuple[bool, str]:
+        regional = [d for d in self._scenario.shutdowns
+                    if d.scope is EntityScope.REGION]
+        if not regional:
+            return False, "no subnational shutdowns generated"
+        india = sum(1 for d in regional if d.country_iso2 == "IN")
+        share = india / len(regional)
+        return share > 0.7, (
+            f"{share:.0%} of subnational shutdowns in India (paper: 85%)")
+
+    def _check_artifacts(self) -> Tuple[bool, str]:
+        n = len(self._scenario.artifacts)
+        return n >= 1, f"{n} measurement artifacts for control-group tests"

@@ -1,0 +1,73 @@
+"""Tests for case-study brief generation."""
+
+import pytest
+
+from repro.analysis.case_study import build_case_study
+from repro.core.heuristics import ShutdownTriage
+
+
+@pytest.fixture(scope="module")
+def triage(pipeline_result):
+    registry = pipeline_result.merged.registry
+    libdem = {
+        (registry.by_name(r.country_name).iso2, r.year):
+            r.liberal_democracy
+        for r in pipeline_result.vdem}
+    cells = set()
+    for dataset in (pipeline_result.coups, pipeline_result.elections,
+                    pipeline_result.protests):
+        for record in dataset:
+            cells.add((registry.by_name(record.country_name).iso2,
+                       record.day))
+    return ShutdownTriage(registry, cells, libdem,
+                          pipeline_result.state_shares)
+
+
+class TestCaseStudy:
+    def test_shutdown_brief(self, pipeline_result, platform, triage):
+        merged = pipeline_result.merged
+        event = next(e for e in merged.ioda_shutdowns()
+                     if e.record.visible_in_all_signals)
+        study = build_case_study(merged, platform,
+                                 event.record.record_id, triage)
+        assert study.label == "shutdown"
+        assert study.triage is not None
+        assert all(item.drop > 0.3 for item in study.evidence)
+        rows = study.rows()
+        assert any("Case study" in row for row in rows)
+        assert any("triage" not in row for row in rows)
+
+    def test_outage_brief_without_triage(self, pipeline_result, platform):
+        merged = pipeline_result.merged
+        event = merged.ioda_outages()[0]
+        study = build_case_study(merged, platform,
+                                 event.record.record_id)
+        assert study.label == "spontaneous-outage"
+        assert study.triage is None
+        assert not study.matched_kio_ids
+
+    def test_matched_shutdown_lists_kio_entries(self, pipeline_result,
+                                                platform):
+        merged = pipeline_result.merged
+        event = next(e for e in merged.ioda_shutdowns()
+                     if e.via_kio_match)
+        study = build_case_study(merged, platform,
+                                 event.record.record_id)
+        assert study.matched_kio_ids
+        assert any("matched KIO" in row for row in study.rows())
+
+    def test_mobilization_context_detected(self, pipeline_result,
+                                           platform):
+        merged = pipeline_result.merged
+        scenario = pipeline_result.scenario
+        triggered = {d.trigger_event_id for d in scenario.shutdowns
+                     if d.trigger_event_id is not None}
+        assert triggered
+        found = None
+        for event in merged.ioda_shutdowns():
+            study = build_case_study(merged, platform,
+                                     event.record.record_id)
+            if study.same_day_events:
+                found = study
+                break
+        assert found is not None

@@ -1,0 +1,59 @@
+"""Tests for the figure data export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.figures import figure_series, write_csvs
+
+
+@pytest.fixture(scope="module")
+def figures(pipeline_result):
+    return figure_series(pipeline_result)
+
+
+class TestFigureSeries:
+    def test_all_figures_present(self, figures):
+        expected = {
+            "fig02_kio_categories", "fig04_liberal_democracy",
+            "fig05_military_power", "fig06a_media_bias",
+            "fig06b_freedom_discussion", "fig07a_gdp_per_capita",
+            "fig07b_broadband", "fig08a_state_address_space",
+            "fig08b_state_eyeballs", "fig09a_state_controlled",
+            "fig09b_non_state_controlled", "fig10_duration_hours",
+            "fig11_recurrence_days", "fig12_start_minute_utc",
+            "fig13_start_minute_local", "fig14_start_hour_local",
+            "fig15_weekday_pdf", "fig16_observability_pct",
+        }
+        assert expected <= set(figures)
+
+    def test_cdf_series_monotone(self, figures):
+        for figure_id in ("fig04_liberal_democracy",
+                          "fig10_duration_hours",
+                          "fig11_recurrence_days"):
+            for series, points in figures[figure_id].items():
+                ys = [y for _, y in points]
+                assert ys == sorted(ys), (figure_id, series)
+                assert ys[-1] == pytest.approx(1.0)
+
+    def test_pdf_sums_to_one(self, figures):
+        for series, points in figures["fig15_weekday_pdf"].items():
+            assert sum(y for _, y in points) == pytest.approx(1.0)
+            assert len(points) == 7
+
+    def test_every_figure_has_multiple_series(self, figures):
+        for figure_id, data in figures.items():
+            assert len(data) >= 2, figure_id
+            for series, points in data.items():
+                assert points, (figure_id, series)
+
+
+class TestCSVExport:
+    def test_write_and_parse_back(self, pipeline_result, tmp_path):
+        written = write_csvs(pipeline_result, tmp_path)
+        assert len(written) >= 18
+        sample = tmp_path / "fig10_duration_hours.csv"
+        with sample.open(encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["series"] for row in rows} == {"shutdowns", "outages"}
+        assert all(float(row["y"]) <= 1.0 for row in rows)

@@ -1,0 +1,40 @@
+"""Tests for the EXPERIMENTS.md report builder."""
+
+import pytest
+
+from repro.analysis.report import build_report, render_markdown
+
+
+@pytest.fixture(scope="module")
+def rows(pipeline_result):
+    return build_report(pipeline_result)
+
+
+class TestBuildReport:
+    def test_covers_every_experiment(self, rows):
+        experiments = {row.experiment for row in rows}
+        expected = {"Fig 2", "Table 2", "Table 3", "Fig 4", "Fig 5",
+                    "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Table 4",
+                    "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Fig 14",
+                    "Fig 15", "Fig 16"}
+        assert expected <= experiments
+
+    def test_every_row_has_both_values(self, rows):
+        for row in rows:
+            assert row.paper.strip()
+            assert row.reproduced.strip()
+
+    def test_markdown_renders_table(self, rows):
+        text = render_markdown(rows, seed=2023)
+        assert text.startswith("# EXPERIMENTS")
+        assert "| Experiment | Statistic | Paper | Reproduction |" in text
+        assert text.count("|") > 4 * len(rows)
+        assert "seed 2023" in text
+
+    def test_row_count_matches_table(self, rows):
+        text = render_markdown(rows, seed=2023)
+        table_lines = [line for line in text.splitlines()
+                       if line.startswith("| ")
+                       and not line.startswith("| Experiment")
+                       and not line.startswith("|---")]
+        assert len(table_lines) == len(rows)

@@ -1,0 +1,38 @@
+"""Tests for yearly event trends."""
+
+import pytest
+
+from repro.analysis.trends import yearly_trends
+
+
+class TestYearlyTrends:
+    @pytest.fixture(scope="class")
+    def trends(self, pipeline_result):
+        return yearly_trends(pipeline_result.merged)
+
+    def test_every_study_year_active(self, trends):
+        assert set(trends.years()) == {2018, 2019, 2020, 2021}
+
+    def test_totals_match_merged_dataset(self, trends, pipeline_result):
+        merged = pipeline_result.merged
+        assert sum(trends.shutdowns.values()) == \
+            len(merged.ioda_shutdowns())
+        assert sum(trends.outages.values()) == len(merged.ioda_outages())
+
+    def test_country_counts_bounded_by_event_counts(self, trends):
+        for year in trends.years():
+            assert trends.shutdown_countries.get(year, 0) <= \
+                trends.shutdowns.get(year, 0)
+            assert trends.outage_countries.get(year, 0) <= \
+                trends.outages.get(year, 0)
+
+    def test_activity_spread_across_years(self, trends):
+        """No single year dominates: the synthetic world spreads events
+        like the paper's dataset does."""
+        total = sum(trends.outages.values())
+        for year in (2018, 2019, 2020):
+            assert trends.outages[year] > 0.1 * total
+
+    def test_rows_render(self, trends):
+        rows = trends.rows()
+        assert len(rows) == 1 + len(trends.years())

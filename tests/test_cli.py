@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import CACHE_DIR
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 2023
+        assert args.command == "run"
+
+    def test_signals_arguments(self):
+        args = build_parser().parse_args(
+            ["signals", "SY", "2018-06-13", "2018-06-14"])
+        assert args.country == "SY"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_signals_command(self, capsys):
+        status = main(["--cache-dir", str(CACHE_DIR), "signals", "SY",
+                       "2018-06-13 12:00", "2018-06-13 18:00"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Syria" in output
+        assert "BGP" in output and "Telescope" in output
+
+    def test_signals_accepts_country_name(self, capsys):
+        status = main(["--cache-dir", str(CACHE_DIR), "signals",
+                       "Ivory Coast", "2018-06-13", "2018-06-14"])
+        assert status == 0
+        assert "CI" in capsys.readouterr().out
+
+    def test_run_command_uses_cache(self, capsys, pipeline_result):
+        status = main(["--cache-dir", str(CACHE_DIR), "run"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "IODA shutdowns" in output
+
+    def test_export_command(self, capsys, tmp_path, pipeline_result):
+        status = main(["--cache-dir", str(CACHE_DIR), "export",
+                       "--output-dir", str(tmp_path)])
+        assert status == 0
+        assert (tmp_path / "ioda_outage_records.json").exists()
+        assert (tmp_path / "kio_events.json").exists()
+
+    def test_report_command(self, capsys, tmp_path, pipeline_result):
+        output = tmp_path / "EXPERIMENTS.md"
+        status = main(["--cache-dir", str(CACHE_DIR), "report",
+                       "--output", str(output)])
+        assert status == 0
+        text = output.read_text(encoding="utf-8")
+        assert "paper vs reproduction" in text
+        assert "| Table 4 |" in text
+
+    def test_figures_command(self, capsys, tmp_path, pipeline_result):
+        status = main(["--cache-dir", str(CACHE_DIR), "figures",
+                       "--output-dir", str(tmp_path)])
+        assert status == 0
+        assert (tmp_path / "fig10_duration_hours.csv").exists()
+        assert len(list(tmp_path.glob("*.csv"))) >= 18
+
+    def test_triage_command(self, capsys, pipeline_result):
+        status = main(["--cache-dir", str(CACHE_DIR), "triage",
+                       "--limit", "3"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "autocracy?" in output

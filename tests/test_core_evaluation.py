@@ -1,0 +1,73 @@
+"""Tests for cross-validation and threshold sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FeatureExtractor, train_classifier
+from repro.core.evaluation import cross_validate, threshold_sweep
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def data(pipeline_result):
+    merged = pipeline_result.merged
+    registry = merged.registry
+    libdem = {
+        (registry.by_name(r.country_name).iso2, r.year):
+            r.liberal_democracy
+        for r in pipeline_result.vdem}
+    extractor = FeatureExtractor(registry, libdem,
+                                 pipeline_result.state_shares)
+    events = merged.labeled
+    features = extractor.extract([e.record for e in events])
+    labels = np.array([e.is_shutdown for e in events], dtype=np.int64)
+    return features, labels
+
+
+class TestCrossValidation:
+    def test_five_fold_metrics(self, data):
+        features, labels = data
+        result = cross_validate(features, labels, k=5)
+        assert result.k == 5
+        assert len(result.fold_metrics) == 5
+        assert result.mean("accuracy") > 0.85
+        assert result.mean("f1") > 0.7
+        assert result.std("accuracy") < 0.1
+
+    def test_folds_are_stratified(self, data):
+        features, labels = data
+        # Each fold's test set must see both classes, or precision/recall
+        # would be degenerate in some folds.
+        result = cross_validate(features, labels, k=5)
+        for fold in result.fold_metrics:
+            assert fold["n"] > 0
+            assert 0.0 < fold["recall"] <= 1.0
+
+    def test_rows_render(self, data):
+        features, labels = data
+        rows = cross_validate(features, labels, k=3).rows()
+        assert len(rows) == 4
+
+    def test_validation(self, data):
+        features, labels = data
+        with pytest.raises(ConfigurationError):
+            cross_validate(features, labels, k=1)
+        with pytest.raises(ConfigurationError):
+            cross_validate(features[:5], labels[:5], k=5)
+
+
+class TestThresholdSweep:
+    def test_recall_monotone_in_threshold(self, data):
+        features, labels = data
+        model = train_classifier(features, labels).model
+        points = threshold_sweep(model, features, labels)
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_low_threshold_catches_everything(self, data):
+        features, labels = data
+        model = train_classifier(features, labels).model
+        points = threshold_sweep(model, features, labels,
+                                 thresholds=[0.05, 0.9])
+        assert points[0].recall > 0.95
+        assert points[1].precision >= points[0].precision

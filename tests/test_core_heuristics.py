@@ -1,0 +1,127 @@
+"""Tests for the triage heuristic and the shutdown classifier."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    evaluate,
+    train_classifier,
+)
+from repro.core.heuristics import ShutdownTriage, TriageVerdict
+from repro.errors import ConfigurationError
+from repro.timeutils.timezones import local_date
+
+
+def _libdem_index(pipeline_result):
+    registry = pipeline_result.merged.registry
+    index = {}
+    for record in pipeline_result.vdem:
+        iso2 = registry.by_name(record.country_name).iso2
+        index[(iso2, record.year)] = record.liberal_democracy
+    return index
+
+
+def _mobilization_cells(pipeline_result):
+    registry = pipeline_result.merged.registry
+    cells = set()
+    for dataset in (pipeline_result.coups, pipeline_result.elections,
+                    pipeline_result.protests):
+        for record in dataset:
+            iso2 = registry.by_name(record.country_name).iso2
+            cells.add((iso2, record.day))
+    return cells
+
+
+@pytest.fixture(scope="module")
+def triage(pipeline_result):
+    return ShutdownTriage(
+        pipeline_result.merged.registry,
+        _mobilization_cells(pipeline_result),
+        _libdem_index(pipeline_result),
+        pipeline_result.state_shares)
+
+
+class TestTriage:
+    def test_assessment_fields(self, triage, pipeline_result):
+        event = pipeline_result.merged.ioda_shutdowns()[0]
+        year = time.gmtime(event.record.span.start).tm_year
+        assessment = triage.assess(event.record, year)
+        assert 0 <= assessment.score <= 4
+        assert assessment.record_id == event.record.record_id
+        assert len(assessment.rows()) == 6
+
+    def test_heuristic_separates_classes(self, triage, pipeline_result):
+        merged = pipeline_result.merged
+
+        def verdict_rate(events):
+            hits = 0
+            for event in events:
+                year = time.gmtime(event.record.span.start).tm_year
+                verdict = triage.assess(event.record, year).verdict
+                if verdict is TriageVerdict.LIKELY_SHUTDOWN:
+                    hits += 1
+            return hits / len(events)
+
+        shutdown_rate = verdict_rate(merged.ioda_shutdowns())
+        outage_rate = verdict_rate(merged.ioda_outages())
+        assert shutdown_rate > 0.6
+        assert outage_rate < shutdown_rate / 2
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def data(self, pipeline_result):
+        merged = pipeline_result.merged
+        extractor = FeatureExtractor(
+            merged.registry, _libdem_index(pipeline_result),
+            pipeline_result.state_shares)
+        events = merged.labeled
+        records = [e.record for e in events]
+        features = extractor.extract(records)
+        labels = np.array([e.is_shutdown for e in events], dtype=np.int64)
+        return features, labels
+
+    def test_feature_matrix_shape(self, data):
+        features, labels = data
+        assert features.shape == (len(labels), len(FEATURE_NAMES))
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_training_converges(self, data):
+        features, labels = data
+        result = train_classifier(features, labels)
+        assert result.final_loss < result.losses[0]
+        assert result.final_loss < 0.35
+
+    def test_holdout_performance(self, data):
+        features, labels = data
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(labels))
+        split = int(0.7 * len(labels))
+        train_idx, test_idx = order[:split], order[split:]
+        result = train_classifier(features[train_idx], labels[train_idx])
+        metrics = evaluate(result.model, features[test_idx],
+                           labels[test_idx])
+        assert metrics["accuracy"] > 0.85
+        assert metrics["f1"] > 0.7
+
+    def test_informative_features_ranked_high(self, data):
+        features, labels = data
+        result = train_classifier(features, labels)
+        top = {name for name, _ in result.model.feature_importance()[:5]}
+        assert top & {"on_local_hour", "duration_30min_multiple",
+                      "recent_event_within_4d", "autocracy_score",
+                      "duration_round_spike", "night_start_00_06"}
+
+    def test_single_class_rejected(self, data):
+        features, labels = data
+        with pytest.raises(ConfigurationError):
+            train_classifier(features, np.zeros_like(labels))
+
+    def test_shape_mismatch_rejected(self, data):
+        features, labels = data
+        with pytest.raises(ConfigurationError):
+            train_classifier(features[:10], labels[:5])

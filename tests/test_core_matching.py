@@ -1,0 +1,163 @@
+"""Tests for KIO↔IODA matching, labeling, and the merged dataset."""
+
+import pytest
+
+from repro.core.labeling import EventLabel, label_events
+from repro.core.matching import EventMatcher, Match, MatchingConfig
+from repro.core.merge import build_merged_dataset
+from repro.errors import MatchingError
+from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.signals.entities import EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+
+
+def make_record(record_id, iso2, start, duration_h=4, cause=None,
+                scope=EntityScope.COUNTRY):
+    return OutageRecord(
+        record_id=record_id,
+        country_iso2=iso2,
+        span=TimeRange(start, start + duration_h * HOUR),
+        scope=scope,
+        auto_alerts={k: True for k in SignalKind},
+        human_visible={k: True for k in SignalKind},
+        ioda_url="https://ioda.example.org/x",
+        cause=cause,
+        confirmation=ConfirmationStatus.LIKELY,
+        region_names=("XX-REG01",) if scope is EntityScope.REGION else (),
+    )
+
+
+def make_kio(event_id, name, start_day, end_day, nationwide=True,
+             categories=(KIOCategory.FULL_NETWORK,)):
+    return KIOEvent(
+        event_id=event_id, year=2019, country_name=name,
+        start_day=start_day, end_day=end_day, categories=tuple(categories),
+        networks=NetworkType.BOTH, nationwide=nationwide)
+
+
+class TestMatching:
+    def test_window_uses_local_midnights(self, registry):
+        matcher = EventMatcher(registry, MatchingConfig(lookback=0))
+        day = utc(2019, 7, 28) // DAY
+        event = make_kio(1, "Syria", day, day)
+        window = matcher.kio_window_utc(event)
+        offset = registry.get("SY").utc_offset.seconds
+        assert window.start == day * DAY - offset
+        assert window.end == (day + 1) * DAY - offset
+
+    def test_match_inside_kio_dates(self, registry):
+        matcher = EventMatcher(registry)
+        day = utc(2019, 7, 28) // DAY
+        kio = make_kio(1, "Syria", day, day + 3)
+        record = make_record(10, "SY", utc(2019, 7, 29, 2))
+        assert matcher.match([kio], [record]) == \
+            [Match(kio_event_id=1, ioda_record_id=10)]
+
+    def test_lookback_rescues_early_ioda_start(self, registry):
+        """The paper's correction: IODA events starting up to 24 h before
+        the KIO local start date still match."""
+        day = utc(2018, 10, 16) // DAY
+        kio = make_kio(1, "Iraq", day, day + 6)
+        offset = registry.get("IQ").utc_offset.seconds
+        early = make_record(10, "IQ", day * DAY - offset - 20 * HOUR)
+        without = EventMatcher(registry, MatchingConfig(lookback=0))
+        with_lookback = EventMatcher(registry, MatchingConfig(lookback=DAY))
+        assert without.match([kio], [early]) == []
+        assert with_lookback.match([kio], [early]) == \
+            [Match(kio_event_id=1, ioda_record_id=10)]
+
+    def test_no_cross_country_matches(self, registry):
+        matcher = EventMatcher(registry)
+        day = utc(2019, 7, 28) // DAY
+        kio = make_kio(1, "Syria", day, day + 3)
+        record = make_record(10, "IQ", utc(2019, 7, 29, 2))
+        assert matcher.match([kio], [record]) == []
+
+    def test_series_matches_many_ioda_events(self, registry):
+        matcher = EventMatcher(registry)
+        day = utc(2019, 7, 28) // DAY
+        kio = make_kio(1, "Syria", day, day + 9)
+        records = [make_record(10 + i, "SY", utc(2019, 7, 28 + i, 2))
+                   for i in range(5)]
+        matches = matcher.match([kio], records)
+        assert len(matches) == 5
+
+    def test_alias_name_resolved(self, registry):
+        matcher = EventMatcher(registry)
+        day = utc(2019, 7, 28) // DAY
+        kio = make_kio(1, "Syrian Arab Republic", day, day)
+        record = make_record(10, "SY", utc(2019, 7, 28, 5))
+        assert matcher.match([kio], [record])
+
+    def test_negative_lookback_rejected(self):
+        with pytest.raises(MatchingError):
+            MatchingConfig(lookback=-1)
+
+
+class TestLabeling:
+    def test_label_via_match(self):
+        record = make_record(1, "SY", utc(2019, 7, 28, 2))
+        labeled = label_events(
+            [record], [Match(kio_event_id=9, ioda_record_id=1)])
+        assert labeled[0].label is EventLabel.SHUTDOWN
+        assert labeled[0].via_kio_match
+        assert not labeled[0].via_cause
+        assert labeled[0].matched_kio_ids == (9,)
+
+    def test_label_via_cause(self):
+        record = make_record(1, "SY", utc(2019, 7, 28, 2),
+                             cause="Exam-related")
+        labeled = label_events([record], [])
+        assert labeled[0].label is EventLabel.SHUTDOWN
+        assert labeled[0].via_cause and not labeled[0].via_kio_match
+
+    def test_label_spontaneous(self):
+        record = make_record(1, "TG", utc(2019, 7, 28, 2),
+                             cause="Cable cut")
+        labeled = label_events([record], [])
+        assert labeled[0].label is EventLabel.SPONTANEOUS_OUTAGE
+
+    def test_both_provenance_paths_recorded(self):
+        record = make_record(1, "SY", utc(2019, 7, 28, 2),
+                             cause="Government-ordered")
+        labeled = label_events(
+            [record], [Match(kio_event_id=2, ioda_record_id=1)])
+        assert labeled[0].via_cause and labeled[0].via_kio_match
+
+
+class TestMergedDataset:
+    def _build(self, registry):
+        day = utc(2019, 7, 28) // DAY
+        kio_events = [
+            make_kio(1, "Syria", day, day + 3),
+            make_kio(2, "Iraq", day, day,
+                     categories=(KIOCategory.SERVICE_BASED,)),  # filtered
+            make_kio(3, "India", day, day, nationwide=False),    # filtered
+        ]
+        records = [
+            make_record(10, "SY", utc(2019, 7, 29, 2)),
+            make_record(11, "TG", utc(2019, 8, 1, 7), cause="Cable cut"),
+            make_record(12, "IN", utc(2019, 7, 28, 4),
+                        scope=EntityScope.REGION),               # filtered
+            make_record(13, "ET", utc(2017, 6, 1, 4),
+                        cause="Exam-related"),                   # pre-period
+        ]
+        period = TimeRange(utc(2018, 1, 1), utc(2021, 8, 1))
+        return build_merged_dataset(registry, kio_events, records, period)
+
+    def test_filters_applied(self, registry):
+        merged = self._build(registry)
+        assert [e.event_id for e in merged.kio_full_network] == [1]
+        assert sorted(r.record_id for r in merged.ioda_records) == [10, 11]
+
+    def test_sets_and_counts(self, registry):
+        merged = self._build(registry)
+        assert len(merged.ioda_shutdowns()) == 1
+        assert len(merged.ioda_outages()) == 1
+        assert merged.total_shutdown_events() == 1  # 1 KIO + 1 IODA - 1
+        assert merged.shutdown_countries() == ["SY"]
+        assert merged.outage_countries() == ["TG"]
+        assert merged.kio_matched_count() == 1
+        assert merged.ioda_matched_count() == 1

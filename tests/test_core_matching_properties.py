@@ -1,0 +1,132 @@
+"""Property-based tests for matching and labeling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labeling import EventLabel, label_events
+from repro.core.matching import EventMatcher, Match, MatchingConfig
+from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.signals.entities import EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+
+_START_2018 = utc(2018, 1, 1)
+_DAY_2018 = _START_2018 // DAY
+
+# A few countries with different offsets, including half-hour zones.
+_COUNTRIES = ("SY", "IQ", "MM", "IR", "TG", "VE", "IN", "NP")
+
+
+def _record(record_id, iso2, start, hours=3):
+    return OutageRecord(
+        record_id=record_id, country_iso2=iso2,
+        span=TimeRange(start, start + hours * HOUR),
+        scope=EntityScope.COUNTRY,
+        auto_alerts={k: True for k in SignalKind},
+        human_visible={k: True for k in SignalKind},
+        ioda_url="https://ioda.example.org/x",
+        confirmation=ConfirmationStatus.LIKELY)
+
+
+def _kio(event_id, name, start_day, span_days):
+    return KIOEvent(
+        event_id=event_id, year=2018, country_name=name,
+        start_day=start_day, end_day=start_day + span_days,
+        categories=(KIOCategory.FULL_NETWORK,),
+        networks=NetworkType.BOTH, nationwide=True)
+
+
+record_strategy = st.builds(
+    _record,
+    record_id=st.integers(min_value=1, max_value=10_000),
+    iso2=st.sampled_from(_COUNTRIES),
+    start=st.integers(min_value=_START_2018,
+                      max_value=_START_2018 + 300 * DAY),
+    hours=st.integers(min_value=1, max_value=48))
+
+kio_strategy = st.builds(
+    _kio,
+    event_id=st.integers(min_value=1, max_value=10_000),
+    name=st.sampled_from(
+        ("Syria", "Iraq", "Myanmar", "Iran", "Togo", "Venezuela",
+         "India", "Nepal")),
+    start_day=st.integers(min_value=_DAY_2018,
+                          max_value=_DAY_2018 + 300),
+    span_days=st.integers(min_value=0, max_value=20))
+
+
+class TestMatchingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(kio_strategy, max_size=8),
+           st.lists(record_strategy, max_size=12))
+    def test_lookback_only_adds_matches(self, registry, kio_events,
+                                        records):
+        """Widening the lookback must never lose a match (monotonicity)."""
+        narrow = EventMatcher(registry, MatchingConfig(lookback=0))
+        wide = EventMatcher(registry, MatchingConfig(lookback=DAY))
+        narrow_matches = set(
+            (m.kio_event_id, m.ioda_record_id)
+            for m in narrow.match(kio_events, records))
+        wide_matches = set(
+            (m.kio_event_id, m.ioda_record_id)
+            for m in wide.match(kio_events, records))
+        assert narrow_matches <= wide_matches
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(kio_strategy, max_size=8,
+                    unique_by=lambda e: e.event_id),
+           st.lists(record_strategy, max_size=12,
+                    unique_by=lambda r: r.record_id))
+    def test_matches_are_same_country(self, registry, kio_events, records):
+        matcher = EventMatcher(registry)
+        kio_by_id = {e.event_id: e for e in kio_events}
+        record_by_id = {r.record_id: r for r in records}
+        for match in matcher.match(kio_events, records):
+            kio_event = kio_by_id[match.kio_event_id]
+            record = record_by_id[match.ioda_record_id]
+            assert registry.by_name(kio_event.country_name).iso2 == \
+                record.country_iso2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(kio_strategy, max_size=8,
+                    unique_by=lambda e: e.event_id),
+           st.lists(record_strategy, max_size=12,
+                    unique_by=lambda r: r.record_id))
+    def test_matched_start_inside_window(self, registry, kio_events,
+                                         records):
+        matcher = EventMatcher(registry)
+        kio_by_id = {e.event_id: e for e in kio_events}
+        record_by_id = {r.record_id: r for r in records}
+        for match in matcher.match(kio_events, records):
+            window = matcher.kio_window_utc(kio_by_id[match.kio_event_id])
+            assert window.contains(
+                record_by_id[match.ioda_record_id].span.start)
+
+
+class TestLabelingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(record_strategy, min_size=1, max_size=12, unique_by=
+                    lambda r: r.record_id))
+    def test_partition_is_total(self, records):
+        """Every record gets exactly one label."""
+        labeled = label_events(records, [])
+        assert len(labeled) == len(records)
+        assert all(e.label is EventLabel.SPONTANEOUS_OUTAGE
+                   for e in labeled)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(record_strategy, min_size=1, max_size=12,
+                    unique_by=lambda r: r.record_id),
+           st.data())
+    def test_matched_records_always_shutdowns(self, records, data):
+        chosen = data.draw(st.sets(
+            st.sampled_from([r.record_id for r in records])))
+        matches = [Match(kio_event_id=1, ioda_record_id=rid)
+                   for rid in chosen]
+        labeled = label_events(records, matches)
+        for event in labeled:
+            if event.record.record_id in chosen:
+                assert event.is_shutdown
+                assert event.via_kio_match
+            else:
+                assert not event.via_kio_match

@@ -1,0 +1,121 @@
+"""Tests for the auxiliary dataset emitters."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.coups import CoupDataset
+from repro.datasets.datareportal import DataReportalDataset
+from repro.datasets.elections import ELECTION_YEARS, ElectionDataset
+from repro.datasets.protests import PROTEST_DATA_END, ProtestDataset
+from repro.datasets.vdem import VDemDataset
+from repro.datasets.worldbank import WorldBankDataset
+from repro.timeutils.timestamps import DAY, utc
+from repro.world.events import EventKind
+
+
+@pytest.fixture(scope="module")
+def profiles(scenario):
+    return scenario.profiles
+
+
+class TestVDem:
+    def test_covers_all_country_years(self, scenario, registry, profiles):
+        dataset = VDemDataset.from_profiles(1, registry, profiles)
+        assert len(dataset) == len(profiles)
+
+    def test_values_track_ground_truth(self, scenario, registry, profiles):
+        dataset = VDemDataset.from_profiles(1, registry, profiles)
+        for record in dataset:
+            iso2 = registry.by_name(record.country_name).iso2
+            truth = profiles[(iso2, record.year)]
+            assert record.liberal_democracy == pytest.approx(
+                truth.liberal_democracy, abs=0.05)
+
+    def test_zero_military_power_survives_noise(self, scenario, registry,
+                                                profiles):
+        dataset = VDemDataset.from_profiles(1, registry, profiles)
+        zero_truth = {(iso2, year)
+                      for (iso2, year), p in profiles.items()
+                      if p.military_power == 0.0}
+        assert zero_truth
+        for record in dataset:
+            iso2 = registry.by_name(record.country_name).iso2
+            if (iso2, record.year) in zero_truth:
+                assert record.military_power == 0.0
+
+    def test_name_stable_within_dataset(self, registry, profiles):
+        dataset = VDemDataset.from_profiles(1, registry, profiles)
+        names = {}
+        for record in dataset:
+            iso2 = registry.by_name(record.country_name).iso2
+            names.setdefault(iso2, set()).add(record.country_name)
+        assert all(len(variants) == 1 for variants in names.values())
+
+
+class TestWorldBank:
+    def test_missing_values_present_but_rare(self, registry, profiles):
+        dataset = WorldBankDataset.from_profiles(1, registry, profiles,
+                                                 missing_rate=0.05)
+        missing = sum(1 for r in dataset if r.gdp_per_capita_ppp is None)
+        assert 0 < missing < 0.15 * len(dataset)
+
+    def test_broadband_units_per_100(self, registry, profiles):
+        dataset = WorldBankDataset.from_profiles(1, registry, profiles)
+        values = [r.broadband_per_100 for r in dataset
+                  if r.broadband_per_100 is not None]
+        assert max(values) > 1.5  # clearly not a fraction
+
+
+class TestEventDatasets:
+    def test_coups_match_ground_truth_count(self, scenario, registry):
+        dataset = CoupDataset.from_events(1, registry, scenario.events)
+        truth = [e for e in scenario.events if e.kind is EventKind.COUP]
+        assert len(dataset) == len(truth)
+
+    def test_elections_limited_to_collection_years(self, scenario,
+                                                   registry):
+        import time
+        dataset = ElectionDataset.from_events(1, registry, scenario.events)
+        assert len(dataset) > 0
+        for record in dataset:
+            year = time.gmtime(record.day * DAY).tm_year
+            assert year in ELECTION_YEARS
+
+    def test_protests_end_in_2019(self, scenario, registry):
+        dataset = ProtestDataset.from_events(1, registry, scenario.events)
+        assert len(dataset) > 0
+        assert all(r.day < PROTEST_DATA_END for r in dataset)
+        assert PROTEST_DATA_END == utc(2020, 1, 1) // DAY
+
+    def test_protest_coverage_incomplete(self, scenario, registry):
+        full = ProtestDataset.from_events(1, registry, scenario.events,
+                                          coverage=1.0)
+        partial = ProtestDataset.from_events(1, registry, scenario.events,
+                                             coverage=0.5)
+        assert len(partial) < 0.7 * len(full)
+
+
+class TestDataReportal:
+    def test_users_scale_with_population(self, scenario, registry,
+                                         profiles):
+        dataset = DataReportalDataset.from_profiles(1, registry, profiles)
+        by_country = {}
+        for record in dataset:
+            iso2 = registry.by_name(record.country_name).iso2
+            if record.year == 2019:
+                by_country[iso2] = record.users_millions
+        assert by_country["IN"] > 50 * by_country["TG"]
+
+    def test_billion_users_headline(self, pipeline_result):
+        """The paper: shutdown countries cover >1B Internet users.  Our
+        world must be in the same regime (hundreds of millions+)."""
+        merged = pipeline_result.merged
+        registry = merged.registry
+        users = {}
+        for record in pipeline_result.datareportal:
+            iso2 = registry.by_name(record.country_name).iso2
+            if record.year == 2021:
+                users[iso2] = record.users_millions
+        total = sum(users.get(iso2, 0.0)
+                    for iso2 in merged.shutdown_countries())
+        assert total > 200.0

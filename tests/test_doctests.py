@@ -1,0 +1,42 @@
+"""Run the documentation examples embedded in utility modules."""
+
+import doctest
+
+import pytest
+
+import repro.countries.names
+import repro.net.ipv4
+import repro.net.prefixtree
+import repro.rng
+import repro.stats.binomial
+import repro.stats.ecdf
+import repro.stats.mannwhitney
+import repro.timeutils.timestamps
+import repro.timeutils.timezones
+import repro.viz
+
+MODULES = [
+    repro.countries.names,
+    repro.net.ipv4,
+    repro.net.prefixtree,
+    repro.rng,
+    repro.stats.binomial,
+    repro.stats.ecdf,
+    repro.stats.mannwhitney,
+    repro.timeutils.timestamps,
+    repro.timeutils.timezones,
+    repro.viz,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+
+
+def test_doctests_actually_present():
+    """Guard against the suite silently testing nothing."""
+    total = sum(doctest.testmod(module).attempted for module in MODULES)
+    assert total >= 8

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+The cache-dependent examples (full_reproduction, api_monitoring,
+case_study_briefs) reuse the repository's ``.cache`` populated by the
+session-scoped pipeline fixture, so they finish in seconds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=str(REPO_ROOT))
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "recovered the shutdown" in output
+
+    def test_exam_season_forensics(self):
+        output = run_example("exam_season_forensics.py")
+        assert "fingerprints verified" in output
+        assert "starts on the local hour" in output
+
+    def test_coup_blackout_triage(self):
+        output = run_example("coup_blackout_triage.py")
+        assert "likely-shutdown" in output
+
+    def test_api_monitoring(self, pipeline_result):
+        output = run_example("api_monitoring.py")
+        assert "alert episodes in window" in output
+
+    def test_case_study_briefs(self, pipeline_result):
+        output = run_example("case_study_briefs.py")
+        assert output.count("Case study:") == 3
+
+    def test_full_reproduction(self, pipeline_result):
+        output = run_example("full_reproduction.py")
+        assert "Table 2" in output
+        assert "Figure 16" in output

@@ -1,0 +1,102 @@
+"""Tests for the Google-Transparency-Report-style extension signal."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gtr import GTRCorroborator, GTRProduct, GTRSimulator
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange
+from repro.world.scenario import STUDY_PERIOD
+
+
+@pytest.fixture(scope="module")
+def simulator(scenario):
+    return GTRSimulator(scenario)
+
+
+class TestGTRSimulator:
+    def test_unknown_product_rejected(self, simulator):
+        with pytest.raises(ConfigurationError):
+            simulator.series("SY", "maps", TimeRange(0, DAY))
+
+    def test_diurnal_cycle_present(self, simulator):
+        window = TimeRange(STUDY_PERIOD.start, STUDY_PERIOD.start + 2 * DAY)
+        series = simulator.series("JP", GTRProduct.SEARCH, window)
+        values = series.values
+        assert values.max() > 1.5 * values.min()
+
+    def test_weekend_dip(self, simulator, scenario):
+        # Compare mean traffic on workdays vs weekend for a quiet country.
+        window = TimeRange(STUDY_PERIOD.start,
+                           STUDY_PERIOD.start + 28 * DAY)
+        series = simulator.series("DE", GTRProduct.MAIL, window)
+        country = scenario.registry.get("DE")
+        workday_vals, weekend_vals = [], []
+        for ts, value in series:
+            local_day = (ts + country.utc_offset.seconds) // DAY
+            weekday = (local_day + 3) % 7
+            if country.workweek.is_workday(int(weekday)):
+                workday_vals.append(value)
+            else:
+                weekend_vals.append(value)
+        assert np.mean(workday_vals) > np.mean(weekend_vals)
+
+    def test_shutdown_zeroes_traffic(self, simulator, scenario):
+        event = next(d for d in scenario.shutdowns
+                     if d.scope is EntityScope.COUNTRY
+                     and not d.mobile_only and d.severity == 1.0
+                     and d.span.duration >= 6 * HOUR
+                     and STUDY_PERIOD.contains(d.span.start))
+        window = TimeRange(event.span.start - DAY, event.span.end + DAY)
+        series = simulator.series(event.country_iso2, GTRProduct.SEARCH,
+                                  window)
+        during = series.slice(event.span)
+        before = series.slice(TimeRange(window.start, event.span.start))
+        assert during.values.max() < 0.1 * np.median(before.values)
+
+    def test_mobile_only_shutdown_visible(self, simulator, scenario):
+        """GTR sees mobile-only events in full, unlike active probing."""
+        event = next(d for d in scenario.shutdowns
+                     if d.scope is EntityScope.COUNTRY and d.mobile_only
+                     and d.span.duration >= 6 * HOUR
+                     and STUDY_PERIOD.contains(d.span.start))
+        window = TimeRange(event.span.start - DAY, event.span.end + DAY)
+        series = simulator.series(event.country_iso2, GTRProduct.SEARCH,
+                                  window)
+        during = series.slice(event.span)
+        before = series.slice(TimeRange(window.start, event.span.start))
+        assert np.median(during.values) < 0.2 * np.median(before.values)
+
+    def test_deterministic(self, simulator):
+        window = TimeRange(STUDY_PERIOD.start, STUDY_PERIOD.start + DAY)
+        a = simulator.series("SY", GTRProduct.VIDEO, window)
+        b = simulator.series("SY", GTRProduct.VIDEO, window)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestGTRCorroborator:
+    def test_confirms_real_shutdown(self, simulator, scenario):
+        corroborator = GTRCorroborator(simulator)
+        event = next(d for d in scenario.shutdowns
+                     if d.scope is EntityScope.COUNTRY
+                     and d.span.duration >= 4 * HOUR
+                     and STUDY_PERIOD.contains(d.span.start))
+        assert corroborator.corroborates(event.country_iso2, event.span)
+
+    def test_rejects_quiet_period(self, simulator, scenario):
+        corroborator = GTRCorroborator(simulator)
+        quiet = TimeRange(STUDY_PERIOD.start + 10 * DAY,
+                          STUDY_PERIOD.start + 10 * DAY + 6 * HOUR)
+        assert not scenario.disruptions_in(
+            quiet.expand(before=DAY, after=DAY), country_iso2="JP")
+        assert not corroborator.corroborates("JP", quiet)
+
+    def test_confirms_mobile_only_event(self, simulator, scenario):
+        """The key payoff: GTR corroborates what probing cannot see."""
+        corroborator = GTRCorroborator(simulator)
+        event = next(d for d in scenario.shutdowns
+                     if d.scope is EntityScope.COUNTRY and d.mobile_only
+                     and d.span.duration >= 6 * HOUR
+                     and STUDY_PERIOD.contains(d.span.start))
+        assert corroborator.corroborates(event.country_iso2, event.span)

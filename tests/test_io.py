@@ -1,0 +1,78 @@
+"""Tests for JSON serialization of pipeline artifacts."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import (
+    dump_kio_events,
+    dump_records,
+    kio_event_from_dict,
+    kio_event_to_dict,
+    load_kio_events,
+    load_records,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+class TestRecordSerialization:
+    def test_roundtrip_all_records(self, pipeline_result, tmp_path):
+        records = pipeline_result.curated_records
+        path = tmp_path / "records.json"
+        dump_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_dict_roundtrip(self, pipeline_result):
+        record = pipeline_result.curated_records[0]
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SchemaError):
+            record_from_dict({"record_id": 1})
+
+    def test_kind_mismatch_rejected(self, pipeline_result, tmp_path):
+        path = tmp_path / "x.json"
+        dump_records(pipeline_result.curated_records[:2], path)
+        with pytest.raises(SchemaError):
+            load_kio_events(path)
+
+
+class TestCSVExport:
+    def test_table1_layout(self, pipeline_result, tmp_path):
+        import csv
+
+        from repro.io import dump_records_csv
+        path = tmp_path / "records.csv"
+        dump_records_csv(pipeline_result.curated_records, path)
+        with path.open(encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(pipeline_result.curated_records)
+        first = rows[0]
+        for column in ("Start time", "End time", "Country", "Scope",
+                       "Cause", "Confirmation Status",
+                       "IODA BGP Auto Alert",
+                       "IODA Telescope visible by human"):
+            assert column in first, column
+        assert first["IODA BGP Auto Alert"] in ("TRUE", "FALSE")
+
+    def test_empty_rejected(self, tmp_path):
+        from repro.io import dump_records_csv
+        with pytest.raises(SchemaError):
+            dump_records_csv([], tmp_path / "empty.csv")
+
+
+class TestKIOEventSerialization:
+    def test_roundtrip_all_events(self, pipeline_result, tmp_path):
+        events = pipeline_result.kio_events
+        path = tmp_path / "kio.json"
+        dump_kio_events(events, path)
+        assert load_kio_events(path) == events
+
+    def test_dict_roundtrip(self, pipeline_result):
+        event = pipeline_result.kio_events[0]
+        assert kio_event_from_dict(kio_event_to_dict(event)) == event
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SchemaError):
+            kio_event_from_dict({"event_id": "x"})

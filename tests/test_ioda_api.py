@@ -1,0 +1,89 @@
+"""Tests for the IODA-style query API and the user-impact analysis."""
+
+import pytest
+
+from repro.analysis.impact import user_impact
+from repro.errors import TimeRangeError
+from repro.ioda.api import IODAClient
+from repro.signals.entities import Entity
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR
+from repro.world.scenario import STUDY_PERIOD
+
+
+@pytest.fixture(scope="module")
+def client(platform, pipeline_result):
+    return IODAClient(platform, pipeline_result.curated_records)
+
+
+class TestSignalQueries:
+    def test_payload_shape(self, client):
+        payload = client.get_signal(
+            Entity.country("SY"), SignalKind.BGP,
+            STUDY_PERIOD.start, STUDY_PERIOD.start + 6 * HOUR)
+        assert payload.signal == "bgp"
+        assert payload.step == 300
+        assert len(payload.values) == 6 * 12
+        assert payload.until_ts - payload.from_ts == 6 * HOUR
+
+    def test_all_signals(self, client):
+        payloads = client.get_all_signals(
+            Entity.country("SY"), STUDY_PERIOD.start,
+            STUDY_PERIOD.start + HOUR)
+        assert set(payloads) == {"bgp", "active-probing", "telescope"}
+
+    def test_invalid_window_rejected(self, client):
+        with pytest.raises(TimeRangeError):
+            client.get_signal(Entity.country("SY"), SignalKind.BGP,
+                              100, 100)
+
+
+class TestAlertQueries:
+    def test_alerts_for_event_window(self, client, scenario):
+        event = next(d for d in scenario.shutdowns
+                     if d.country_iso2 == "SY"
+                     and STUDY_PERIOD.contains(d.span.start))
+        entries = client.get_alerts(
+            Entity.country("SY"), event.span.start - DAY,
+            event.span.end + 6 * HOUR)
+        assert entries
+        assert any(e.episode.span.overlaps(event.span) for e in entries)
+
+
+class TestEventFeed:
+    def test_pagination_walks_everything(self, client, pipeline_result):
+        seen = []
+        offset = 0
+        while True:
+            page = client.get_events(offset=offset, limit=100)
+            seen.extend(page.events)
+            if page.next_offset is None:
+                break
+            offset = page.next_offset
+        assert len(seen) == len(pipeline_result.curated_records)
+        assert page.total == len(pipeline_result.curated_records)
+
+    def test_country_filter(self, client):
+        page = client.get_events(country_iso2="sy", limit=500)
+        assert page.events
+        assert all(e.country_iso2 == "SY" for e in page.events)
+
+    def test_time_filter(self, client):
+        mid = STUDY_PERIOD.start + STUDY_PERIOD.duration // 2
+        page = client.get_events(from_ts=mid, limit=500)
+        assert all(e.span.start >= mid for e in page.events)
+
+    def test_bad_limit_rejected(self, client):
+        with pytest.raises(TimeRangeError):
+            client.get_events(limit=0)
+
+
+class TestUserImpact:
+    def test_shutdown_countries_cover_large_population(
+            self, pipeline_result):
+        impact = user_impact(pipeline_result.merged,
+                             pipeline_result.datareportal)
+        assert impact.shutdown_users_millions > 100
+        assert impact.outage_users_millions > \
+            impact.shutdown_users_millions
+        assert len(impact.rows()) == 2

@@ -1,0 +1,78 @@
+"""Tests for the DataWorks review pass."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.ioda.dataworks import DataWorksReviewer
+from repro.signals.entities import EntityScope
+from repro.signals.kinds import SignalKind
+
+
+@pytest.fixture(scope="module")
+def reviewer(platform):
+    return DataWorksReviewer(platform)
+
+
+@pytest.fixture(scope="module")
+def country_records(pipeline_result):
+    return [r for r in pipeline_result.curated_records
+            if r.scope is EntityScope.COUNTRY][:60]
+
+
+class TestDataWorksReviewer:
+    def test_well_curated_records_mostly_agree(self, reviewer,
+                                               country_records):
+        rate = reviewer.agreement_rate(country_records)
+        assert rate > 0.7
+
+    def test_corrections_predominantly_fill_missing_flags(
+            self, reviewer, country_records):
+        """DataWorks was hired to *add missing* visibility fields
+        (§3.1.2); most corrections should turn False flags True for
+        drops the first pass under-recorded, not retract existing
+        flags."""
+        _, changed = reviewer.review_all(country_records)
+        additions = sum(
+            1 for outcome in changed for c in outcome.corrections
+            if "recorded False" in c)
+        retractions = sum(
+            1 for outcome in changed for c in outcome.corrections
+            if "recorded True" in c)
+        assert additions >= retractions
+
+    def test_corrupted_flag_gets_fixed(self, reviewer, country_records):
+        # Take a record visible in all three signals and corrupt one flag.
+        record = next(r for r in country_records
+                      if r.visible_in_all_signals
+                      and r.span.duration >= 2 * 3600)
+        corrupted_flags = dict(record.human_visible)
+        corrupted_flags[SignalKind.BGP] = False
+        corrupted = replace(record, human_visible=corrupted_flags)
+        outcome = reviewer.review(corrupted)
+        assert outcome.corrected
+        assert outcome.record.human_visible[SignalKind.BGP]
+        assert any("BGP" in c for c in outcome.corrections)
+
+    def test_review_preserves_identity_fields(self, reviewer,
+                                              country_records):
+        record = country_records[0]
+        outcome = reviewer.review(record)
+        assert outcome.record.record_id == record.record_id
+        assert outcome.record.span == record.span
+        assert outcome.record.cause == record.cause
+
+    def test_never_leaves_record_fully_invisible(self, reviewer,
+                                                 country_records):
+        for record in country_records[:20]:
+            outcome = reviewer.review(record)
+            assert any(outcome.record.human_visible.values())
+
+    def test_review_all_returns_aligned_lists(self, reviewer,
+                                              country_records):
+        reviewed, changed = reviewer.review_all(country_records[:20])
+        assert len(reviewed) == 20
+        assert all(o.corrected for o in changed)
+
+    def test_agreement_rate_empty(self, reviewer):
+        assert reviewer.agreement_rate([]) == 1.0

@@ -1,0 +1,160 @@
+"""Tests for the IODA platform's signal generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.signals.entities import Entity, EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange
+from repro.world.scenario import STUDY_PERIOD
+
+
+def _event(scenario, iso2, pool="shutdowns", predicate=None):
+    events = getattr(scenario, pool)
+    for event in events:
+        if event.country_iso2 != iso2:
+            continue
+        if not STUDY_PERIOD.contains(event.span.start):
+            continue
+        if predicate is None or predicate(event):
+            return event
+    raise AssertionError(f"no matching event for {iso2}")
+
+
+def _window(event, lead=DAY, tail=12 * HOUR):
+    return TimeRange(event.span.start - lead, event.span.end + tail)
+
+
+class TestPlatformConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(n_full_feed_peers=1)
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(max_probed_blocks=2)
+
+
+class TestCountrySignals:
+    def test_all_three_signals_produced(self, platform, scenario):
+        event = _event(scenario, "SY")
+        signals = platform.country_signals("SY", _window(event))
+        assert set(signals) == set(SignalKind)
+        for kind, series in signals.items():
+            assert series.width == kind.bin_width
+            assert len(series) > 0
+
+    def test_total_shutdown_drops_all_signals(self, platform, scenario):
+        event = _event(scenario, "SY",
+                       predicate=lambda e: e.severity == 1.0
+                       and not e.mobile_only
+                       and e.scope is EntityScope.COUNTRY)
+        window = _window(event)
+        mid = event.span.start + event.span.duration // 2
+        for kind, series in platform.country_signals("SY", window).items():
+            baseline = np.median(
+                series.slice(TimeRange(window.start,
+                                       event.span.start)).values)
+            assert series.at(mid) < 0.3 * baseline, kind
+
+    def test_mobile_only_invisible_to_probing(self, platform, scenario):
+        event = _event(
+            scenario, None if False else "IR", "shutdowns",
+            predicate=lambda e: e.mobile_only
+            and e.scope is EntityScope.COUNTRY)
+        window = _window(event)
+        series = platform.signal(Entity.country(event.country_iso2),
+                                 SignalKind.ACTIVE_PROBING, window)
+        pre = series.slice(
+            TimeRange(window.start, event.span.start)).values
+        during = series.slice(event.span).values
+        assert during.mean() > 0.9 * np.median(pre)
+
+    def test_partial_severity_partial_drop(self, platform, scenario):
+        from repro.world.disruptions import Cause
+        undamped = (Cause.CABLE_CUT, Cause.MISCONFIGURATION,
+                    Cause.NATURAL_DISASTER)
+        event = next(
+            e for e in scenario.outages
+            if STUDY_PERIOD.contains(e.span.start)
+            and 0.4 <= e.severity <= 0.8
+            and e.span.duration >= 2 * HOUR
+            and e.cause in undamped)
+        window = _window(event)
+        series = platform.signal(Entity.country(event.country_iso2),
+                                 SignalKind.BGP, window)
+        baseline = np.median(series.slice(
+            TimeRange(window.start, event.span.start)).values)
+        mid = event.span.start + event.span.duration // 2
+        observed_drop = 1.0 - series.at(mid) / baseline
+        assert observed_drop == pytest.approx(event.severity, abs=0.15)
+
+    def test_signals_deterministic_across_queries(self, platform, scenario):
+        event = _event(scenario, "SY")
+        window = _window(event)
+        first = platform.signal(Entity.country("SY"), SignalKind.TELESCOPE,
+                                window)
+        second = platform.signal(Entity.country("SY"),
+                                 SignalKind.TELESCOPE, window)
+        assert np.array_equal(first.values, second.values)
+
+    def test_unrelated_country_flat_during_event(self, platform, scenario):
+        event = _event(scenario, "SY")
+        window = _window(event)
+        series = platform.signal(Entity.country("JP"), SignalKind.BGP,
+                                 window)
+        assert series.values.min() > 0.95 * series.values.max()
+
+
+class TestScopedSignals:
+    def test_region_signal_scales_down(self, platform, scenario):
+        window = TimeRange(STUDY_PERIOD.start,
+                           STUDY_PERIOD.start + 6 * HOUR)
+        network = scenario.topology.get("IN")
+        region = network.regions[0]
+        country_series = platform.signal(
+            Entity.country("IN"), SignalKind.BGP, window)
+        region_series = platform.signal(
+            Entity.region("IN", region.name), SignalKind.BGP, window)
+        assert region_series.values.mean() < \
+            0.6 * country_series.values.mean()
+
+    def test_region_event_visible_in_region_not_country(
+            self, platform, scenario):
+        event = _event(scenario, "IN",
+                       predicate=lambda e: e.scope is EntityScope.REGION
+                       and not e.mobile_only)
+        window = _window(event)
+        region_series = platform.signal(
+            Entity.region("IN", event.region_name), SignalKind.BGP, window)
+        pre = np.median(region_series.slice(
+            TimeRange(window.start, event.span.start)).values)
+        mid = event.span.start + event.span.duration // 2
+        assert region_series.at(mid) < 0.3 * pre
+        country_series = platform.signal(
+            Entity.country("IN"), SignalKind.BGP, window)
+        pre_country = np.median(country_series.slice(
+            TimeRange(window.start, event.span.start)).values)
+        assert country_series.at(mid) > 0.7 * pre_country
+
+    def test_as_signal(self, platform, scenario):
+        network = scenario.topology.get("SY")
+        asn = int(network.ases[0].asn)
+        window = TimeRange(STUDY_PERIOD.start,
+                           STUDY_PERIOD.start + 3 * HOUR)
+        series = platform.signal(Entity.asn(asn), SignalKind.BGP, window)
+        assert len(series) == 36
+
+
+class TestArtifacts:
+    def test_artifact_depresses_one_signal_globally(self, platform,
+                                                    scenario):
+        artifact = scenario.artifacts[0]
+        window = artifact.span.expand(before=6 * HOUR, after=2 * HOUR)
+        for iso2 in ("JP", "BR"):
+            series = platform.signal(Entity.country(iso2), artifact.signal,
+                                     window)
+            pre = np.median(series.slice(
+                TimeRange(window.start, artifact.span.start)).values)
+            mid = artifact.span.start + artifact.span.duration // 2
+            assert series.at(mid) < (1.0 - 0.5 * artifact.depth) * pre

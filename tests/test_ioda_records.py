@@ -1,0 +1,105 @@
+"""Tests for curated outage records and the dashboard."""
+
+import pytest
+
+from repro.errors import CurationError
+from repro.ioda.dashboard import Dashboard, ioda_url
+from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.signals.entities import Entity, EntityScope
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+from repro.world.scenario import STUDY_PERIOD
+
+
+def make_record(**overrides):
+    fields = dict(
+        record_id=1,
+        country_iso2="SD",
+        span=TimeRange(utc(2022, 6, 30, 5, 30), utc(2022, 6, 30, 22, 40)),
+        scope=EntityScope.COUNTRY,
+        auto_alerts={SignalKind.BGP: True,
+                     SignalKind.ACTIVE_PROBING: True,
+                     SignalKind.TELESCOPE: False},
+        human_visible={SignalKind.BGP: True,
+                       SignalKind.ACTIVE_PROBING: True,
+                       SignalKind.TELESCOPE: True},
+        ioda_url="https://ioda.example.org/dashboard/country/SD",
+        cause="Government-ordered",
+        confirmation=ConfirmationStatus.CONFIRMED,
+        more_info=("Protests occurred; https://news.example.org/sd/1",),
+    )
+    fields.update(overrides)
+    return OutageRecord(**fields)
+
+
+class TestOutageRecord:
+    def test_table1_example_roundtrip(self):
+        """The record mirrors the paper's Table 1 Sudan example."""
+        record = make_record()
+        row = record.as_row()
+        assert row["Start time"] == "2022-06-30 05:30:00"
+        assert row["End time"] == "2022-06-30 22:40:00"
+        assert row["Country"] == "SD"
+        assert row["IODA BGP Auto Alert"] == "TRUE"
+        assert row["IODA Telescope Auto Alert"] == "FALSE"
+        assert row["IODA Telescope visible by human"] == "TRUE"
+        assert row["Scope"] == "Country"
+        assert row["Cause"] == "Government-ordered"
+        assert row["Confirmation Status"] == "Confirmed"
+
+    def test_signal_flag_completeness_enforced(self):
+        with pytest.raises(CurationError):
+            make_record(auto_alerts={SignalKind.BGP: True})
+
+    def test_invisible_record_rejected(self):
+        with pytest.raises(CurationError):
+            make_record(human_visible={k: False for k in SignalKind})
+
+    def test_visibility_accessors(self):
+        record = make_record()
+        assert record.n_signals_visible == 3
+        assert record.visible_in_all_signals
+        partial = make_record(human_visible={
+            SignalKind.BGP: True,
+            SignalKind.ACTIVE_PROBING: False,
+            SignalKind.TELESCOPE: False})
+        assert partial.n_signals_visible == 1
+        assert not partial.visible_in_all_signals
+
+    def test_cause_shutdown_detection(self):
+        assert make_record().is_cause_shutdown()
+        assert make_record(cause="Exam-related").is_cause_shutdown()
+        assert not make_record(cause="Cable cut").is_cause_shutdown()
+        assert not make_record(cause=None).is_cause_shutdown()
+
+    def test_duration(self):
+        assert make_record().duration_hours == pytest.approx(17.0 + 1 / 6)
+
+
+class TestDashboard:
+    def test_ioda_url_shape(self):
+        url = ioda_url(Entity.country("SD"), TimeRange(100, 200))
+        assert "country/SD" in url
+        assert "from=100" in url and "until=200" in url
+
+    def test_entries_listed_for_real_event(self, platform, scenario):
+        event = next(e for e in scenario.shutdowns
+                     if e.country_iso2 == "SY"
+                     and STUDY_PERIOD.contains(e.span.start))
+        window = TimeRange(event.span.start - DAY,
+                           event.span.end + 6 * HOUR)
+        dashboard = Dashboard(platform)
+        entries = dashboard.entries(Entity.country("SY"), window)
+        assert entries
+        signals = {entry.signal for entry in entries}
+        assert SignalKind.BGP in signals
+        # Entries ordered by start time.
+        starts = [e.episode.span.start for e in entries]
+        assert starts == sorted(starts)
+
+    def test_quiet_country_few_entries(self, platform):
+        window = TimeRange(STUDY_PERIOD.start, STUDY_PERIOD.start + DAY)
+        dashboard = Dashboard(platform)
+        entries = dashboard.entries(Entity.country("JP"), window)
+        bgp_entries = [e for e in entries if e.signal is SignalKind.BGP]
+        assert not bgp_entries

@@ -1,0 +1,197 @@
+"""Tests for the KIO compiler, snapshots, and harmonizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchemaError
+from repro.kio.compiler import KIOCompiler, KIOCompilerConfig
+from repro.kio.harmonize import Harmonizer
+from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.kio.snapshots import AnnualSnapshot, dialect_for_year
+from repro.timeutils.timestamps import DAY, utc
+
+YEARS = range(2016, 2022)
+
+
+@pytest.fixture(scope="module")
+def kio_events(scenario):
+    compiler = KIOCompiler(scenario.seed, scenario.registry)
+    return compiler.compile(scenario.shutdowns, scenario.restrictions,
+                            YEARS)
+
+
+class TestSchema:
+    def test_event_validation(self):
+        with pytest.raises(SchemaError):
+            KIOEvent(event_id=1, year=2020, country_name="Syria",
+                     start_day=100, end_day=99,
+                     categories=(KIOCategory.FULL_NETWORK,),
+                     networks=NetworkType.BOTH, nationwide=True)
+        with pytest.raises(SchemaError):
+            KIOEvent(event_id=1, year=2020, country_name="Syria",
+                     start_day=100, end_day=101, categories=(),
+                     networks=NetworkType.BOTH, nationwide=True)
+
+    def test_duration_inclusive(self):
+        event = KIOEvent(event_id=1, year=2020, country_name="Syria",
+                         start_day=100, end_day=100,
+                         categories=(KIOCategory.FULL_NETWORK,),
+                         networks=NetworkType.BOTH, nationwide=True)
+        assert event.duration_days == 1
+
+
+class TestCompiler:
+    def test_series_collapse(self, kio_events, scenario):
+        """Each exam series becomes at most one entry."""
+        exam_series_ids = {d.series_id for d in scenario.shutdowns
+                           if d.series_id and "exams" in d.series_id}
+        exam_days = sum(
+            1 for d in scenario.shutdowns
+            if d.series_id and "exams" in d.series_id)
+        exam_entries = [e for e in kio_events
+                        if "exam" in e.description]
+        assert len(exam_entries) <= len(exam_series_ids)
+        assert len(exam_entries) < exam_days / 3
+
+    def test_multi_week_series_span(self, kio_events):
+        spans = [e.duration_days for e in kio_events
+                 if "exam" in e.description]
+        assert spans and max(spans) >= 8
+
+    def test_categories_union_over_series(self, kio_events):
+        full = [e for e in kio_events if e.is_full_network]
+        assert full
+        with_service = [e for e in full
+                        if KIOCategory.SERVICE_BASED in e.categories]
+        assert with_service  # shutdown + ban events exist
+
+    def test_soft_restrictions_not_full_network(self, kio_events):
+        soft = [e for e in kio_events
+                if e.description == "soft restriction"]
+        assert soft
+        assert all(not e.is_full_network for e in soft)
+
+    def test_mobile_only_events_marked(self, kio_events):
+        assert any(e.networks is NetworkType.MOBILE for e in kio_events)
+
+    def test_coverage_incomplete(self, scenario):
+        lossy = KIOCompiler(
+            scenario.seed, scenario.registry,
+            KIOCompilerConfig(p_report_national=0.3,
+                              p_report_subnational=0.3,
+                              p_report_restriction=0.3))
+        full = KIOCompiler(
+            scenario.seed, scenario.registry,
+            KIOCompilerConfig(p_report_national=1.0,
+                              p_report_subnational=1.0,
+                              p_report_restriction=1.0))
+        n_lossy = len(lossy.compile(scenario.shutdowns,
+                                    scenario.restrictions, YEARS))
+        n_full = len(full.compile(scenario.shutdowns,
+                                  scenario.restrictions, YEARS))
+        assert n_lossy < 0.6 * n_full
+
+    def test_publication_date_errors_shift_starts_late(self, scenario):
+        config = KIOCompilerConfig(p_publication_date=1.0,
+                                   p_timezone_slip=0.0)
+        shifted = KIOCompiler(scenario.seed, scenario.registry, config)
+        true_dates = KIOCompiler(
+            scenario.seed, scenario.registry,
+            KIOCompilerConfig(p_publication_date=0.0, p_timezone_slip=0.0))
+        shifted_events = {
+            e.description: e.start_day
+            for e in shifted.compile(scenario.shutdowns, (), YEARS)}
+        true_events = {
+            e.description: e.start_day
+            for e in true_dates.compile(scenario.shutdowns, (), YEARS)}
+        deltas = [shifted_events[k] - true_events[k]
+                  for k in shifted_events if k in true_events]
+        assert deltas and all(1 <= d <= 3 for d in deltas)
+
+    def test_name_variants_emitted(self, kio_events, registry):
+        names = {e.country_name for e in kio_events}
+        canonical = {c.name for c in registry}
+        assert names - canonical, "expected some alias spellings"
+        for name in names:
+            registry.by_name(name)  # all resolvable
+
+
+class TestSnapshotsAndHarmonizer:
+    def test_dialect_assignment(self):
+        assert dialect_for_year(2016) == "v1"
+        assert dialect_for_year(2019) == "v2"
+        assert dialect_for_year(2021) == "v3"
+        with pytest.raises(SchemaError):
+            dialect_for_year(2025)
+
+    def test_serialize_filters_by_year(self, kio_events):
+        snapshot = AnnualSnapshot.serialize(2019, kio_events)
+        assert len(snapshot) == sum(1 for e in kio_events
+                                    if e.year == 2019)
+
+    def test_roundtrip_preserves_semantics(self, kio_events):
+        snapshots = [AnnualSnapshot.serialize(y, kio_events) for y in YEARS]
+        recovered = Harmonizer().harmonize(snapshots)
+        assert len(recovered) == len(kio_events)
+        original = {e.event_id: e for e in kio_events}
+        for event in recovered:
+            source = original[event.event_id]
+            assert event.start_day == source.start_day
+            assert event.end_day == source.end_day
+            assert set(event.categories) == set(source.categories)
+            assert event.networks == source.networks
+            assert event.nationwide == source.nationwide
+            assert event.country_name == source.country_name
+            assert set(event.regions) == set(source.regions)
+
+    def test_unknown_dialect_rejected(self):
+        snapshot = AnnualSnapshot(year=2019, dialect="v9", rows=[])
+        with pytest.raises(SchemaError):
+            Harmonizer().harmonize([snapshot])
+
+    def test_missing_field_rejected(self):
+        snapshot = AnnualSnapshot(year=2019, dialect="v2",
+                                  rows=[{"Country": "Syria"}])
+        with pytest.raises(SchemaError):
+            Harmonizer().harmonize([snapshot])
+
+    def test_bad_date_rejected(self):
+        row = {
+            "Country": "Syria", "Start Date": "31/12/2019",
+            "End Date": "2019-12-31", "Type of Shutdown": "Full network",
+            "Geographic Scope": "Nationwide",
+            "Networks Affected": "Mobile", "event_id": 1,
+        }
+        with pytest.raises(SchemaError):
+            Harmonizer().harmonize(
+                [AnnualSnapshot(year=2019, dialect="v2", rows=[row])])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2),
+           st.booleans(),
+           st.sampled_from(list(NetworkType)),
+           st.integers(min_value=utc(2016, 1, 2) // DAY,
+                       max_value=utc(2021, 12, 20) // DAY),
+           st.integers(min_value=0, max_value=30))
+    def test_roundtrip_property(self, category_mask, nationwide, networks,
+                                start_day, span):
+        categories = [
+            (KIOCategory.FULL_NETWORK,),
+            (KIOCategory.SERVICE_BASED, KIOCategory.THROTTLING),
+            (KIOCategory.FULL_NETWORK, KIOCategory.SERVICE_BASED),
+        ][category_mask]
+        import time
+        year = time.gmtime(start_day * DAY).tm_year
+        event = KIOEvent(
+            event_id=77, year=year, country_name="Syria",
+            start_day=start_day, end_day=start_day + span,
+            categories=categories, networks=networks,
+            nationwide=nationwide,
+            regions=() if nationwide else ("SY-REG01",))
+        snapshot = AnnualSnapshot.serialize(year, [event])
+        recovered = Harmonizer().harmonize([snapshot])[0]
+        assert recovered.start_day == event.start_day
+        assert recovered.end_day == event.end_day
+        assert set(recovered.categories) == set(event.categories)
+        assert recovered.networks == event.networks
+        assert recovered.nationwide == event.nationwide

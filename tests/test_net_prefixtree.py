@@ -1,0 +1,75 @@
+"""Tests for the radix trie."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.ipv4 import IPv4Address, Prefix, parse_prefix
+from repro.net.prefixtree import PrefixTree
+
+
+class TestPrefixTree:
+    def test_empty_lookup(self):
+        tree = PrefixTree()
+        assert tree.lookup(IPv4Address.parse("1.2.3.4")) is None
+        assert len(tree) == 0
+
+    def test_exact_and_contains(self):
+        tree = PrefixTree()
+        prefix = parse_prefix("10.0.0.0/8")
+        tree[prefix] = "a"
+        assert tree.exact(prefix) == "a"
+        assert prefix in tree
+        assert parse_prefix("10.0.0.0/9") not in tree
+
+    def test_longest_match_prefers_specific(self):
+        tree = PrefixTree()
+        tree[parse_prefix("10.0.0.0/8")] = "outer"
+        tree[parse_prefix("10.1.0.0/16")] = "inner"
+        assert tree.lookup(IPv4Address.parse("10.1.2.3")) == "inner"
+        assert tree.lookup(IPv4Address.parse("10.2.2.3")) == "outer"
+        match = tree.longest_match(IPv4Address.parse("10.1.2.3"))
+        assert match is not None
+        assert str(match[0]) == "10.1.0.0/16"
+
+    def test_default_route(self):
+        tree = PrefixTree()
+        tree[parse_prefix("0.0.0.0/0")] = "default"
+        assert tree.lookup(IPv4Address.parse("200.1.2.3")) == "default"
+
+    def test_replace_value(self):
+        tree = PrefixTree()
+        prefix = parse_prefix("10.0.0.0/8")
+        tree[prefix] = "a"
+        tree[prefix] = "b"
+        assert tree.exact(prefix) == "b"
+        assert len(tree) == 1
+
+    def test_items_roundtrip(self):
+        tree = PrefixTree()
+        prefixes = [parse_prefix(p) for p in
+                    ("10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24")]
+        for i, prefix in enumerate(prefixes):
+            tree[prefix] = i
+        collected = dict(tree.items())
+        assert collected == {p: i for i, p in enumerate(prefixes)}
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**24 - 1),
+                  st.integers(min_value=0, max_value=8)),
+        min_size=1, max_size=40))
+    def test_longest_match_agrees_with_linear_scan(self, raw):
+        tree = PrefixTree()
+        prefixes = []
+        for block, shift in raw:
+            size = 1 << shift
+            aligned = (block // size) * size
+            prefix = Prefix(aligned << 8, 24 - shift)
+            tree[prefix] = str(prefix)
+            prefixes.append(prefix)
+        probe = IPv4Address((raw[0][0] << 8) | 7)
+        expected = None
+        best_len = -1
+        for prefix in prefixes:
+            if prefix.contains(probe) and prefix.length > best_len:
+                best_len = prefix.length
+                expected = str(prefix)
+        assert tree.lookup(probe) == expected

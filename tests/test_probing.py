@@ -1,0 +1,147 @@
+"""Tests for the active-probing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.probing.blocks import ProbedBlock, sample_blocks
+from repro.probing.scheduler import ActiveProbingRun
+from repro.probing.trinocular import (
+    BlockState,
+    TrinocularConfig,
+    TrinocularInference,
+)
+from repro.rng import substream
+from repro.timeutils.timestamps import HOUR, TEN_MINUTES, TimeRange
+
+
+class TestTrinocularScalar:
+    def test_answer_proves_up(self):
+        inference = TrinocularInference()
+        assert inference.update(0.05, answered=True, unanswered_probes=0,
+                                response_rate=0.5) == 1.0
+
+    def test_misses_decay_belief(self):
+        inference = TrinocularInference()
+        belief = inference.initial_belief()
+        for _ in range(6):
+            belief = inference.update(belief, answered=False,
+                                      unanswered_probes=12,
+                                      response_rate=0.5)
+        assert inference.classify(belief) is BlockState.DOWN
+
+    def test_classification_thresholds(self):
+        inference = TrinocularInference()
+        assert inference.classify(0.95) is BlockState.UP
+        assert inference.classify(0.5) is BlockState.UNKNOWN
+        assert inference.classify(0.05) is BlockState.DOWN
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrinocularConfig(up_threshold=0.1, down_threshold=0.9)
+        with pytest.raises(ConfigurationError):
+            TrinocularConfig(probes_per_round=0)
+
+
+class TestTrinocularBatch:
+    def test_batch_matches_scalar(self):
+        inference = TrinocularInference()
+        beliefs = np.array([0.92, 0.92, 0.5])
+        answered = np.array([True, False, False])
+        rates = np.array([0.4, 0.4, 0.7])
+        batch = inference.batch_update(beliefs, answered, rates)
+        for i in range(3):
+            scalar = inference.update(
+                float(beliefs[i]), answered=bool(answered[i]),
+                unanswered_probes=inference.config.probes_per_round,
+                response_rate=float(rates[i]))
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_answer_probability_zero_when_down(self):
+        inference = TrinocularInference()
+        rates = np.array([0.5, 0.5])
+        up = np.array([True, False])
+        probs = inference.answer_probability(rates, up)
+        assert probs[1] == 0.0
+        assert probs[0] > 0.99  # 12 probes at 50% each
+
+
+class TestProbedBlocks:
+    def test_response_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            ProbedBlock(slash24=1, response_rate=0.0)
+
+    def test_sample_blocks_excludes_mobile(self, scenario):
+        network = scenario.topology.get("IR")
+        rng = substream(1, "blocks")
+        blocks = sample_blocks(network, rng, max_blocks=64)
+        assert 0 < len(blocks) <= 64
+        mobile_blocks = {
+            block
+            for network_as in network.ases if network_as.mobile
+            for prefix in network_as.prefixes
+            for block in prefix.slash24s()}
+        assert all(b.slash24 not in mobile_blocks for b in blocks)
+
+    def test_sample_deterministic(self, scenario):
+        network = scenario.topology.get("SY")
+        a = sample_blocks(network, substream(1, "x"), max_blocks=32)
+        b = sample_blocks(network, substream(1, "x"), max_blocks=32)
+        assert [x.slash24 for x in a] == [x.slash24 for x in b]
+
+
+class TestActiveProbingRun:
+    def _run(self, n_blocks=64):
+        rng = substream(2, "blocks")
+        blocks = [ProbedBlock(slash24=i,
+                              response_rate=float(rng.uniform(0.2, 0.9)))
+                  for i in range(n_blocks)]
+        return ActiveProbingRun(blocks)
+
+    def test_requires_blocks(self):
+        with pytest.raises(SignalError):
+            ActiveProbingRun([])
+
+    def test_steady_state_counts_near_total(self):
+        run = self._run()
+        window = TimeRange(0, 12 * HOUR)
+        n_rounds = 12 * HOUR // TEN_MINUTES
+        series = run.up_count_series(window, np.ones(n_rounds),
+                                     substream(3, "probe"))
+        steady = series.values[6:]
+        assert steady.mean() > 0.95 * run.n_blocks
+
+    def test_total_outage_drops_to_zero(self):
+        run = self._run()
+        window = TimeRange(0, 12 * HOUR)
+        n_rounds = 12 * HOUR // TEN_MINUTES
+        up = np.ones(n_rounds)
+        up[30:50] = 0.0
+        series = run.up_count_series(window, up, substream(3, "probe"))
+        # Beliefs need a couple of silent rounds to collapse.
+        assert series.values[34:50].max() == 0
+
+    def test_recovery_within_one_round(self):
+        run = self._run()
+        window = TimeRange(0, 12 * HOUR)
+        n_rounds = 12 * HOUR // TEN_MINUTES
+        up = np.ones(n_rounds)
+        up[30:48] = 0.0
+        series = run.up_count_series(window, up, substream(3, "probe"))
+        assert series.values[48] > 0.9 * run.n_blocks
+
+    def test_partial_outage_partial_drop(self):
+        run = self._run()
+        window = TimeRange(0, 12 * HOUR)
+        n_rounds = 12 * HOUR // TEN_MINUTES
+        up = np.ones(n_rounds)
+        up[40:60] = 0.4
+        series = run.up_count_series(window, up, substream(3, "probe"))
+        mid = series.values[45:60].mean()
+        assert 0.25 * run.n_blocks < mid < 0.55 * run.n_blocks
+
+    def test_shape_validation(self):
+        run = self._run(8)
+        with pytest.raises(SignalError):
+            run.up_count_series(TimeRange(0, HOUR), np.ones(3),
+                                substream(1, "x"))

@@ -1,0 +1,86 @@
+"""Tests for the response-rate estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.probing.history import ResponseRateEstimator
+from repro.rng import substream
+
+
+class TestResponseRateEstimator:
+    def test_prior_mean_before_observations(self):
+        estimator = ResponseRateEstimator(prior_alpha=2.0, prior_beta=3.0)
+        assert estimator.estimate(1) == pytest.approx(0.4)
+
+    def test_converges_to_true_rate(self):
+        estimator = ResponseRateEstimator(forgetting=1.0)
+        rng = substream(1, "history")
+        true_rate = 0.7
+        for _ in range(3000):
+            answered = bool(rng.random() < 1 - (1 - true_rate) ** 4)
+            estimator.observe(7, probes_sent=4, answered=answered,
+                              believed_up=True)
+        # The estimator tracks the per-*round* answer rate it observes.
+        round_rate = 1 - (1 - true_rate) ** 4
+        assert estimator.estimate(7) == pytest.approx(round_rate, abs=0.05)
+
+    def test_down_rounds_carry_no_information(self):
+        estimator = ResponseRateEstimator()
+        before = estimator.estimate(9)
+        for _ in range(100):
+            estimator.observe(9, probes_sent=4, answered=False,
+                              believed_up=False)
+        assert estimator.estimate(9) == before
+        assert estimator.n_tracked() == 0
+
+    def test_forgetting_adapts_to_change(self):
+        estimator = ResponseRateEstimator(forgetting=0.98)
+        for _ in range(500):
+            estimator.observe(3, probes_sent=4, answered=True,
+                              believed_up=True)
+        high = estimator.estimate(3)
+        for _ in range(500):
+            estimator.observe(3, probes_sent=4, answered=False,
+                              believed_up=True)
+        low = estimator.estimate(3)
+        assert high > 0.9
+        assert low < 0.2
+
+    def test_usable_blocks_filter(self):
+        estimator = ResponseRateEstimator()
+        for _ in range(200):
+            estimator.observe(1, probes_sent=4, answered=True,
+                              believed_up=True)
+            estimator.observe(2, probes_sent=4, answered=False,
+                              believed_up=True)
+        usable = estimator.usable_blocks([1, 2], min_rate=0.15)
+        assert usable == (1,)
+
+    def test_estimates_vector(self):
+        estimator = ResponseRateEstimator()
+        values = estimator.estimates([1, 2, 3])
+        assert values.shape == (3,)
+        assert np.allclose(values, values[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResponseRateEstimator(prior_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ResponseRateEstimator(forgetting=0.0)
+        estimator = ResponseRateEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.observe(1, probes_sent=0, answered=True,
+                              believed_up=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_estimate_always_in_unit_interval(self, rate):
+        estimator = ResponseRateEstimator()
+        rng = substream(2, "prop", int(rate * 1000))
+        for _ in range(200):
+            estimator.observe(5, probes_sent=4,
+                              answered=bool(rng.random() < rate),
+                              believed_up=True)
+        assert 0.0 < estimator.estimate(5) < 1.0

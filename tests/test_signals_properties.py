@@ -1,0 +1,58 @@
+"""Property-based tests for the time-series container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signals.series import TimeSeries
+from repro.timeutils.timestamps import FIVE_MINUTES, TimeRange
+
+
+series_strategy = st.builds(
+    lambda start_bins, values: TimeSeries(
+        start_bins * FIVE_MINUTES, FIVE_MINUTES, values),
+    start_bins=st.integers(min_value=0, max_value=1000),
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=200))
+
+
+class TestTimeSeriesProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(series_strategy)
+    def test_iteration_roundtrips_values(self, series):
+        pairs = list(series)
+        assert len(pairs) == len(series)
+        for index, (ts, value) in enumerate(pairs):
+            assert ts == series.timestamp_of(index)
+            assert series.at(ts) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(series_strategy, st.data())
+    def test_slice_preserves_values(self, series, data):
+        lo = data.draw(st.integers(min_value=series.start,
+                                   max_value=series.end - 1))
+        hi = data.draw(st.integers(min_value=lo + 1,
+                                   max_value=series.end))
+        sliced = series.slice(TimeRange(lo, hi))
+        for ts, value in sliced:
+            assert series.at(ts) == value
+        # The slice covers every bin overlapping [lo, hi).
+        assert sliced.start <= lo
+        assert sliced.end >= hi
+
+    @settings(max_examples=60, deadline=None)
+    @given(series_strategy)
+    def test_scale_linear(self, series):
+        doubled = series.scale(2.0)
+        assert np.allclose(doubled.values, 2.0 * series.values)
+        summed = series + series
+        assert np.allclose(summed.values, doubled.values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(series_strategy)
+    def test_span_consistent(self, series):
+        span = series.span
+        assert span.duration == len(series) * series.width
+        assert span.contains(series.start)
+        assert not span.contains(series.end)

@@ -1,0 +1,91 @@
+"""Tests for the Mann-Whitney U implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignalError
+from repro.stats.mannwhitney import mann_whitney_u, rankdata
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_midranks_for_ties(self):
+        assert rankdata([10, 20, 20, 30]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_equal(self):
+        assert rankdata([5, 5, 5]) == [2.0, 2.0, 2.0]
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50),
+                    min_size=1, max_size=80))
+    def test_matches_scipy(self, values):
+        ours = rankdata(values)
+        theirs = scipy_stats.rankdata(values)
+        assert np.allclose(ours, theirs)
+
+
+class TestMannWhitney:
+    def test_clearly_shifted_samples(self):
+        result = mann_whitney_u(range(100, 150), range(0, 50))
+        assert result.p_value < 1e-10
+        assert result.effect_size == 1.0
+
+    def test_identical_distributions(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        result = mann_whitney_u(a, b)
+        assert result.p_value > 0.01
+
+    def test_all_values_tied(self):
+        result = mann_whitney_u([1, 1, 1], [1, 1])
+        assert result.p_value == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            mann_whitney_u([], [1.0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=-20, max_value=20),
+                    min_size=8, max_size=60),
+           st.lists(st.integers(min_value=-20, max_value=20),
+                    min_size=8, max_size=60))
+    def test_matches_scipy_asymptotic(self, a, b):
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6,
+                                             abs=1e-12)
+
+    def test_symmetry(self):
+        a = [1, 5, 9, 12]
+        b = [2, 3, 4, 20, 21]
+        forward = mann_whitney_u(a, b)
+        backward = mann_whitney_u(b, a)
+        assert forward.p_value == pytest.approx(backward.p_value)
+        assert forward.u_statistic + backward.u_statistic == \
+            len(a) * len(b)
+
+
+class TestGroupComparisons:
+    def test_figure4_separations_significant(self, pipeline_result):
+        from repro.analysis.country_year import CountryYearGroup, \
+            group_country_years
+        from repro.analysis.institutions import institution_distributions
+        from repro.analysis.significance import compare_groups
+        merged = pipeline_result.merged
+        table = group_country_years(merged, [2018, 2019, 2020, 2021])
+        dists = institution_distributions(
+            table, merged.registry, pipeline_result.vdem,
+            pipeline_result.worldbank)
+        comparison = compare_groups(dists["liberal_democracy"])
+        assert comparison.p_value(
+            CountryYearGroup.SHUTDOWNS, CountryYearGroup.NEITHER) < 1e-6
+        assert comparison.p_value(
+            CountryYearGroup.OUTAGES, CountryYearGroup.NEITHER) < 1e-6
+        assert len(comparison.rows()) == 3

@@ -1,0 +1,54 @@
+"""Tests for repro.timeutils.calendars."""
+
+import pytest
+
+from repro.timeutils.calendars import (
+    MON_FRI,
+    SUN_THU,
+    WEEKDAY_NAMES,
+    Weekday,
+    Workweek,
+    day_of_week,
+    is_workday,
+)
+from repro.timeutils.timestamps import DAY, utc
+
+
+class TestWorkweek:
+    def test_mon_fri_friday_is_workday(self):
+        assert MON_FRI.is_workday(Weekday.FRIDAY)
+        assert not MON_FRI.is_workday(Weekday.SATURDAY)
+
+    def test_sun_thu_friday_is_weekend(self):
+        assert not SUN_THU.is_workday(Weekday.FRIDAY)
+        assert SUN_THU.is_workday(Weekday.SUNDAY)
+
+    def test_weekend_is_complement(self):
+        assert MON_FRI.weekend == frozenset({5, 6})
+        assert SUN_THU.weekend == frozenset({4, 5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workweek(frozenset())
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Workweek(frozenset({7}))
+
+
+class TestDayOfWeek:
+    def test_epoch_day_is_thursday(self):
+        assert day_of_week(0) == Weekday.THURSDAY
+
+    def test_known_monday(self):
+        # 2023-09-11 was a Monday.
+        assert day_of_week(utc(2023, 9, 11) // DAY) == Weekday.MONDAY
+
+    def test_is_workday(self):
+        friday = utc(2023, 9, 15) // DAY
+        assert is_workday(friday, MON_FRI)
+        assert not is_workday(friday, SUN_THU)
+
+    def test_weekday_names_aligned(self):
+        assert WEEKDAY_NAMES[Weekday.MONDAY] == "Mon"
+        assert WEEKDAY_NAMES[Weekday.SUNDAY] == "Sun"

@@ -1,0 +1,75 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.series import TimeSeries
+from repro.stats.ecdf import ECDF
+from repro.viz import bar_row, cdf_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_values_monotone_glyphs(self):
+        line = sparkline([0.0, 5.0, 10.0], width=3)
+        assert len(line) == 3
+        glyphs = " .:-=+*#%@"
+        indices = [glyphs.index(c) for c in line]
+        assert indices == sorted(indices)
+        assert line[-1] == "@"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(128)), width=16)
+        assert len(line) == 16
+
+    def test_accepts_time_series(self):
+        series = TimeSeries(0, 300, np.array([1.0, 2.0, 3.0]))
+        assert len(sparkline(series, width=3)) == 3
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0], width=2) == "  "
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            sparkline([1.0], width=0)
+        with pytest.raises(SignalError):
+            sparkline([], width=4)
+
+
+class TestCdfPlot:
+    def test_shape(self):
+        cdf = ECDF.from_samples(range(100))
+        lines = cdf_plot(cdf, width=40, height=10, label="test")
+        assert len(lines) == 11  # header + height rows
+        assert lines[0].startswith("test")
+        body = lines[1:]
+        assert all(line.startswith("|") and line.endswith("|")
+                   for line in body)
+
+    def test_mass_reaches_top_row(self):
+        cdf = ECDF.from_samples(range(100))
+        lines = cdf_plot(cdf, width=40, height=10)
+        assert "*" in lines[1]   # y = 1 row is populated at the far right
+
+    def test_validation(self):
+        cdf = ECDF.from_samples([1, 2, 3])
+        with pytest.raises(SignalError):
+            cdf_plot(cdf, width=1)
+
+
+class TestBarRow:
+    def test_bars_scale_to_max(self):
+        lines = bar_row(["a", "bb"], [1.0, 2.0], width=10)
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_alignment(self):
+        lines = bar_row(["x", "long"], [1.0, 1.0])
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            bar_row(["a"], [1.0, 2.0])
+        with pytest.raises(SignalError):
+            bar_row([], [])

@@ -1,0 +1,248 @@
+"""Tests for the synthetic world generators."""
+
+import numpy as np
+import pytest
+
+from repro.countries.registry import Archetype
+from repro.errors import ConfigurationError
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+from repro.timeutils.timezones import (
+    local_hour_of_day,
+    local_minute_of_hour,
+    local_weekday,
+)
+from repro.world.disruptions import (
+    Cause,
+    GroundTruthDisruption,
+    RestrictionEpisode,
+)
+from repro.world.events import EventGenerator, EventKind
+from repro.world.outages import OutageRates, SpontaneousOutageGenerator
+from repro.world.profiles import ProfileGenerator
+from repro.world.scenario import (
+    KIO_PERIOD,
+    STUDY_PERIOD,
+    ScenarioConfig,
+    ScenarioGenerator,
+)
+
+YEARS = (2016, 2017, 2018, 2019, 2020, 2021)
+
+
+class TestDisruptionRecords:
+    def test_severity_validated(self):
+        with pytest.raises(ConfigurationError):
+            GroundTruthDisruption(
+                disruption_id=1, country_iso2="SY",
+                span=TimeRange(0, HOUR), scope=EntityScope.COUNTRY,
+                cause=Cause.EXAM, severity=0.0)
+
+    def test_region_scope_needs_region(self):
+        with pytest.raises(ConfigurationError):
+            GroundTruthDisruption(
+                disruption_id=1, country_iso2="IN",
+                span=TimeRange(0, HOUR), scope=EntityScope.REGION,
+                cause=Cause.GOVERNMENT_ORDERED)
+
+    def test_intentional_flag_follows_cause(self):
+        for cause, expected in [
+            (Cause.GOVERNMENT_ORDERED, True),
+            (Cause.EXAM, True),
+            (Cause.CABLE_CUT, False),
+            (Cause.POWER_OUTAGE, False),
+        ]:
+            disruption = GroundTruthDisruption(
+                disruption_id=1, country_iso2="SY",
+                span=TimeRange(0, HOUR), scope=EntityScope.COUNTRY,
+                cause=cause)
+            assert disruption.intentional is expected
+
+    def test_restriction_episode_validation(self):
+        with pytest.raises(ConfigurationError):
+            RestrictionEpisode(1, "IR", TimeRange(0, DAY), ())
+        with pytest.raises(ConfigurationError):
+            RestrictionEpisode(1, "IR", TimeRange(0, DAY),
+                               ("full-network",))
+
+
+class TestProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self, registry):
+        return ProfileGenerator(11, registry).generate(YEARS)
+
+    def test_every_country_year_present(self, profiles, registry):
+        assert len(profiles) == len(registry) * len(YEARS)
+
+    def test_autocracies_score_low(self, profiles, registry):
+        syria = [profiles[("SY", y)].liberal_democracy for y in YEARS]
+        norway = [profiles[("NO", y)].liberal_democracy for y in YEARS]
+        assert max(syria) < min(norway)
+
+    def test_income_drives_gdp_and_broadband(self, profiles):
+        rich = profiles[("CH", 2019)]
+        poor = profiles[("NE", 2019)]
+        assert rich.gdp_per_capita > 4 * poor.gdp_per_capita
+        assert rich.broadband_fraction > poor.broadband_fraction
+
+    def test_coup_archetype_has_powerful_military(self, profiles, registry):
+        coup_scores = [profiles[(c.iso2, 2019)].military_power
+                       for c in registry if c.archetype is Archetype.COUP]
+        stable_scores = [profiles[(c.iso2, 2019)].military_power
+                         for c in registry
+                         if c.archetype is Archetype.STABLE]
+        assert np.mean(coup_scores) > np.mean(stable_scores) + 0.2
+
+    def test_many_democracies_have_zero_military_power(self, profiles,
+                                                       registry):
+        stable = [profiles[(c.iso2, 2019)].military_power
+                  for c in registry if c.archetype is Archetype.STABLE]
+        assert np.mean([s == 0.0 for s in stable]) > 0.3
+
+    def test_year_drift_is_slow(self, profiles):
+        for iso2 in ("SY", "US", "IN"):
+            series = [profiles[(iso2, y)].liberal_democracy for y in YEARS]
+            steps = np.abs(np.diff(series))
+            assert steps.max() < 0.08
+
+    def test_deterministic(self, registry):
+        a = ProfileGenerator(11, registry).generate(YEARS)
+        b = ProfileGenerator(11, registry).generate(YEARS)
+        assert a[("SY", 2019)] == b[("SY", 2019)]
+
+
+class TestEvents:
+    @pytest.fixture(scope="class")
+    def events(self, registry):
+        return EventGenerator(11, registry).generate(YEARS)
+
+    def test_all_kinds_present(self, events):
+        kinds = {e.kind for e in events}
+        assert kinds == {EventKind.ELECTION, EventKind.COUP,
+                         EventKind.PROTEST}
+
+    def test_coups_are_rare(self, events):
+        coups = [e for e in events if e.kind is EventKind.COUP]
+        assert 2 <= len(coups) <= 30
+
+    def test_elections_follow_cycles(self, events, registry):
+        for country in list(registry)[:40]:
+            elections = [e for e in events
+                         if e.kind is EventKind.ELECTION
+                         and e.country_iso2 == country.iso2]
+            # At most one election per year in the generator.
+            assert len(elections) <= len(YEARS)
+
+    def test_event_day_is_local_midnight(self, events, registry):
+        for event in events[:200]:
+            offset = registry.get(event.country_iso2).utc_offset
+            assert local_hour_of_day(event.day_start_utc, offset) == 0
+            assert local_minute_of_hour(event.day_start_utc, offset) == 0
+
+    def test_index_by_country_sorted(self, events):
+        index = EventGenerator.index_by_country(events)
+        for bucket in index.values():
+            times = [e.day_start_utc for e in bucket]
+            assert times == sorted(times)
+
+
+class TestOutages:
+    def test_rates_scale_with_fragility(self, registry, scenario):
+        generator = SpontaneousOutageGenerator(
+            11, registry, scenario.topology)
+        outages = generator.generate(STUDY_PERIOD)
+        fragile = {c.iso2 for c in registry
+                   if c.archetype is Archetype.FRAGILE}
+        stable = {c.iso2 for c in registry
+                  if c.archetype is Archetype.STABLE}
+        fragile_count = sum(1 for o in outages
+                            if o.country_iso2 in fragile)
+        stable_count = sum(1 for o in outages if o.country_iso2 in stable)
+        assert fragile_count / max(1, len(fragile)) > \
+            3 * stable_count / max(1, len(stable))
+
+    def test_outages_never_intentional(self, registry, scenario):
+        generator = SpontaneousOutageGenerator(
+            11, registry, scenario.topology)
+        for outage in generator.generate(STUDY_PERIOD):
+            assert not outage.intentional
+            assert STUDY_PERIOD.contains(outage.span.start)
+
+    def test_duration_median_near_two_hours(self, registry, scenario):
+        generator = SpontaneousOutageGenerator(
+            11, registry, scenario.topology)
+        durations = [o.duration_hours
+                     for o in generator.generate(STUDY_PERIOD)]
+        assert 1.0 < np.median(durations) < 4.0
+
+    def test_custom_rates(self, registry, scenario):
+        quiet = SpontaneousOutageGenerator(
+            11, registry, scenario.topology,
+            rates=OutageRates(base_rate=0.01, fragility_rate=0.01))
+        assert len(quiet.generate(STUDY_PERIOD)) < 100
+
+
+class TestScenario:
+    def test_periods(self):
+        assert STUDY_PERIOD.start == utc(2018, 1, 1)
+        assert STUDY_PERIOD.end == utc(2021, 8, 1)
+        assert KIO_PERIOD.start == utc(2016, 1, 1)
+
+    def test_scenario_reproducible(self, scenario):
+        again = ScenarioGenerator(
+            ScenarioConfig(seed=scenario.seed)).generate()
+        assert len(again.shutdowns) == len(scenario.shutdowns)
+        assert len(again.outages) == len(scenario.outages)
+        assert again.shutdowns[0].span == scenario.shutdowns[0].span
+
+    def test_headline_counts_in_paper_regime(self, scenario):
+        shutdowns = [d for d in scenario.shutdowns
+                     if STUDY_PERIOD.contains(d.span.start)
+                     and d.scope is EntityScope.COUNTRY]
+        outages = [d for d in scenario.outages
+                   if STUDY_PERIOD.contains(d.span.start)]
+        assert 120 <= len(shutdowns) <= 400
+        assert 450 <= len(outages) <= 1100
+
+    def test_shutdown_fingerprints(self, scenario, registry):
+        """Ground-truth shutdowns carry the §5.3 human fingerprints."""
+        shutdowns = [d for d in scenario.shutdowns
+                     if d.scope is EntityScope.COUNTRY]
+        on_hour = 0
+        for disruption in shutdowns:
+            offset = registry.get(disruption.country_iso2).utc_offset
+            if local_minute_of_hour(disruption.span.start, offset) == 0:
+                on_hour += 1
+        assert on_hour / len(shutdowns) > 0.7
+
+    def test_exam_shutdowns_avoid_weekends(self, scenario, registry):
+        exams = [d for d in scenario.shutdowns if d.cause is Cause.EXAM]
+        assert exams
+        for disruption in exams:
+            country = registry.get(disruption.country_iso2)
+            weekday = local_weekday(disruption.span.start,
+                                    country.utc_offset)
+            assert country.workweek.is_workday(weekday)
+
+    def test_subnational_events_concentrated_in_india(self, scenario):
+        regional = [d for d in scenario.shutdowns
+                    if d.scope is EntityScope.REGION]
+        assert regional
+        india = sum(1 for d in regional if d.country_iso2 == "IN")
+        assert india / len(regional) > 0.8
+        mobile = sum(1 for d in regional if d.mobile_only)
+        assert 0.5 < mobile / len(regional) < 0.9
+
+    def test_artifacts_generated(self, scenario):
+        assert len(scenario.artifacts) == scenario.config.n_artifacts
+        for artifact in scenario.artifacts:
+            assert STUDY_PERIOD.overlaps(artifact.span)
+
+    def test_restrictions_have_no_full_network(self, scenario):
+        for episode in scenario.restrictions:
+            assert "full-network" not in episode.restrictions
+
+    def test_disruptions_in_filters(self, scenario):
+        syria = scenario.disruptions_in(STUDY_PERIOD, country_iso2="SY")
+        assert syria
+        assert all(d.country_iso2 == "SY" for d in syria)

@@ -1,0 +1,101 @@
+"""Unit tests for shutdown-policy internals."""
+
+from collections import Counter
+
+import pytest
+
+from repro.countries.registry import Archetype
+from repro.signals.entities import EntityScope
+from repro.timeutils.timestamps import DAY
+from repro.timeutils.timezones import local_hour_of_day
+from repro.world.disruptions import Cause
+from repro.world.events import EventKind
+from repro.world.scenario import KIO_PERIOD, STUDY_PERIOD
+
+
+class TestExamSeries:
+    def test_series_ids_group_waves(self, scenario):
+        exam_events = [d for d in scenario.shutdowns
+                       if d.cause is Cause.EXAM]
+        assert exam_events
+        by_series = Counter(d.series_id for d in exam_events)
+        # Main waves are longer than makeup waves.
+        main = [sid for sid in by_series if not sid.endswith("-makeup")]
+        makeup = [sid for sid in by_series if sid.endswith("-makeup")]
+        assert main
+        assert makeup
+        assert max(by_series[sid] for sid in main) > \
+            max(by_series[sid] for sid in makeup)
+
+    def test_only_exam_archetype_countries(self, scenario, registry):
+        for event in scenario.shutdowns:
+            if event.cause is Cause.EXAM:
+                assert registry.get(event.country_iso2).archetype is \
+                    Archetype.EXAM
+
+    def test_waves_share_start_hour_within_series(self, scenario,
+                                                  registry):
+        exam_events = {}
+        for event in scenario.shutdowns:
+            if event.cause is Cause.EXAM and event.series_id:
+                exam_events.setdefault(
+                    event.series_id.removesuffix("-makeup"),
+                    []).append(event)
+        for series_id, events in exam_events.items():
+            offsets = {
+                local_hour_of_day(
+                    e.span.start,
+                    registry.get(e.country_iso2).utc_offset)
+                for e in events}
+            assert len(offsets) == 1, series_id
+
+
+class TestTriggers:
+    def test_triggered_shutdowns_reference_real_events(self, scenario):
+        event_ids = {e.event_id for e in scenario.events}
+        for disruption in scenario.shutdowns:
+            if disruption.trigger_event_id is not None:
+                assert disruption.trigger_event_id in event_ids
+
+    def test_election_blackouts_start_on_election_day(self, scenario,
+                                                      registry):
+        events_by_id = {e.event_id: e for e in scenario.events}
+        for disruption in scenario.shutdowns:
+            if disruption.series_id and "election" in disruption.series_id:
+                trigger = events_by_id[disruption.trigger_event_id]
+                assert trigger.kind is EventKind.ELECTION
+                # Blackout begins at the local midnight of election day.
+                assert disruption.span.start == trigger.day_start_utc
+
+    def test_protest_responses_same_local_day(self, scenario):
+        events_by_id = {e.event_id: e for e in scenario.events}
+        for disruption in scenario.shutdowns:
+            if disruption.series_id and "protest" in disruption.series_id:
+                trigger = events_by_id[disruption.trigger_event_id]
+                assert trigger.kind is EventKind.PROTEST
+                assert trigger.day_start_utc <= disruption.span.start \
+                    < trigger.day_start_utc + DAY
+
+
+class TestRestrictionMix:
+    def test_soft_restrictions_concentrate_in_autocracies(self, scenario,
+                                                          registry):
+        by_archetype = Counter(
+            registry.get(e.country_iso2).archetype
+            for e in scenario.restrictions)
+        autocratic = sum(
+            count for archetype, count in by_archetype.items()
+            if archetype in (Archetype.EXAM, Archetype.COUP,
+                             Archetype.AUTOCRACY, Archetype.ELECTION,
+                             Archetype.PROTEST))
+        assert autocratic > 0.6 * sum(by_archetype.values())
+
+    def test_some_shutdowns_carry_extra_restrictions(self, scenario):
+        with_bans = [d for d in scenario.shutdowns
+                     if "service-based" in d.restrictions]
+        assert with_bans
+
+    def test_kio_period_covers_all_generated_years(self, scenario):
+        for event in scenario.shutdowns:
+            if event.scope is EntityScope.COUNTRY:
+                assert event.span.start >= KIO_PERIOD.start

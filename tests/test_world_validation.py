@@ -1,0 +1,45 @@
+"""Tests for the scenario auditor."""
+
+import pytest
+
+from repro.world.scenario import ScenarioConfig, ScenarioGenerator
+from repro.world.outages import OutageRates
+from repro.world.validation import ScenarioAuditor
+
+
+class TestScenarioAuditor:
+    def test_canonical_scenario_passes_every_check(self, scenario):
+        auditor = ScenarioAuditor(scenario)
+        findings = auditor.audit()
+        failed = [f for f in findings if not f.passed]
+        assert not failed, "\n".join(str(f) for f in failed)
+        assert auditor.passed()
+
+    def test_findings_render(self, scenario):
+        findings = ScenarioAuditor(scenario).audit()
+        assert len(findings) == 8
+        for finding in findings:
+            text = str(finding)
+            assert text.startswith("[PASS]") or text.startswith("[FAIL]")
+
+    def test_degenerate_scenario_flagged(self):
+        """A world with almost no outages must fail the volume check."""
+        config = ScenarioConfig(
+            seed=5,
+            outage_rates=OutageRates(base_rate=0.001,
+                                     fragility_rate=0.001))
+        scenario = ScenarioGenerator(config).generate()
+        auditor = ScenarioAuditor(scenario)
+        findings = {f.check: f for f in auditor.audit()}
+        assert not findings["outage volume"].passed
+        assert not auditor.passed()
+
+    def test_different_seeds_stay_in_regime(self):
+        """The calibration must not be a single-seed accident."""
+        for seed in (7, 99):
+            scenario = ScenarioGenerator(ScenarioConfig(seed=seed)).generate()
+            findings = {f.check: f
+                        for f in ScenarioAuditor(scenario).audit()}
+            assert findings["shutdown volume"].passed, seed
+            assert findings["outage volume"].passed, seed
+            assert findings["on-the-hour starts"].passed, seed
