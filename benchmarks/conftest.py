@@ -22,6 +22,12 @@ CACHE_DIR = REPO_ROOT / ".cache"
 CANONICAL_SEED = 2023
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark is slow; mark them so ``-m 'not slow'`` skips all."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def pipeline_result() -> PipelineResult:
     pipeline = ReproPipeline(

@@ -16,10 +16,8 @@ Run:  python examples/api_monitoring.py
 
 from pathlib import Path
 
-from repro.core.pipeline import ReproPipeline
+import repro.api as api
 from repro.gtr import GTRCorroborator, GTRSimulator
-from repro.ioda.api import IODAClient
-from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.timeutils.timestamps import DAY, format_utc
 
@@ -27,9 +25,8 @@ CACHE = Path(__file__).resolve().parent.parent / ".cache"
 
 
 def main() -> None:
-    result = ReproPipeline(cache_dir=CACHE).run()
-    platform = IODAPlatform(result.scenario)
-    client = IODAClient(platform, result.curated_records)
+    result = api.run(cache_dir=CACHE)
+    client = api.client(result)
 
     # Watch the country with the most curated events.
     from collections import Counter
@@ -58,16 +55,16 @@ def main() -> None:
         print(f"  {entry.signal.value:<15} {entry.episode.span}  "
               f"depth={entry.episode.depth:.2f}")
 
-    # 3. The paginated event feed.
+    # 3. The paginated event feed (opaque cursors, not offset math).
     total = 0
-    offset = 0
+    cursor = None
     while True:
-        page = client.get_events(country_iso2=busiest, offset=offset,
-                                 limit=25)
+        page = client.get_events(country_iso2=busiest, limit=25,
+                                 cursor=cursor)
         total += len(page.events)
-        if page.next_offset is None:
+        if page.cursor is None:
             break
-        offset = page.next_offset
+        cursor = page.cursor
     print(f"\ncurated events for {busiest}: {total}")
 
     # 4. Cross-check the first event against GTR traffic.

@@ -10,10 +10,10 @@ Run:  python examples/case_study_briefs.py
 
 from pathlib import Path
 
+import repro.api as api
+from repro import IODAPlatform
 from repro.analysis.case_study import build_case_study
 from repro.core.heuristics import ShutdownTriage
-from repro.core.pipeline import ReproPipeline
-from repro.ioda.platform import IODAPlatform
 
 CACHE = Path(__file__).resolve().parent.parent / ".cache"
 
@@ -33,7 +33,7 @@ def build_triage(result) -> ShutdownTriage:
 
 
 def main() -> None:
-    result = ReproPipeline(cache_dir=CACHE).run()
+    result = api.run(cache_dir=CACHE)
     merged = result.merged
     platform = IODAPlatform(result.scenario)
     triage = build_triage(result)

@@ -17,7 +17,8 @@ Run:  python examples/coup_blackout_triage.py
 
 import time
 
-from repro import ScenarioConfig, ScenarioGenerator, STUDY_PERIOD
+from repro import CurationPipeline, IODAPlatform, ScenarioConfig, \
+    ScenarioGenerator, STUDY_PERIOD
 from repro.core.heuristics import ShutdownTriage
 from repro.datasets import (
     CoupDataset,
@@ -25,8 +26,6 @@ from repro.datasets import (
     ProtestDataset,
     VDemDataset,
 )
-from repro.ioda.curation import CurationPipeline
-from repro.ioda.platform import IODAPlatform
 from repro.timeutils.timestamps import TimeRange, format_utc
 from repro.topology.eyeballs import EyeballEstimates
 from repro.topology.geolocation import GeoDatabase

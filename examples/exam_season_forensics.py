@@ -19,8 +19,8 @@ from collections import Counter
 
 import numpy as np
 
-from repro import ScenarioConfig, ScenarioGenerator, STUDY_PERIOD
-from repro.ioda.platform import IODAPlatform
+from repro import IODAPlatform, ScenarioConfig, ScenarioGenerator, \
+    STUDY_PERIOD
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
 from repro.timeutils.timestamps import DAY, HOUR, TimeRange, format_utc

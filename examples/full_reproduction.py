@@ -11,6 +11,7 @@ Run:  python examples/full_reproduction.py
 
 from pathlib import Path
 
+import repro.api as api
 from repro.analysis import (
     analyze_temporal,
     group_country_years,
@@ -24,8 +25,6 @@ from repro.analysis import (
     summarize_merged,
 )
 from repro.analysis.match_timelines import best_series_example
-from repro.core.pipeline import ReproPipeline
-from repro.world.scenario import ScenarioConfig
 
 YEARS = [2018, 2019, 2020, 2021]
 CACHE = Path(__file__).resolve().parent.parent / ".cache"
@@ -39,8 +38,7 @@ def section(title: str) -> None:
 
 
 def main() -> None:
-    result = ReproPipeline(
-        scenario_config=ScenarioConfig(seed=2023), cache_dir=CACHE).run()
+    result, stats = api.run_with_stats(seed=2023, cache_dir=CACHE)
     merged = result.merged
 
     section("Figure 2 — KIO events per category per year")
@@ -97,6 +95,10 @@ def main() -> None:
 
     section("Figure 16 — signal observability")
     for row in observability_table(merged).rows():
+        print(row)
+
+    section("Execution report")
+    for row in stats.rows():
         print(row)
 
 

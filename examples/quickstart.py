@@ -9,11 +9,10 @@ measurement-to-label path of the paper in a few seconds.
 Run:  python examples/quickstart.py
 """
 
-from repro import ScenarioConfig, ScenarioGenerator, STUDY_PERIOD
+from repro import CurationPipeline, IODAPlatform, ScenarioConfig, \
+    ScenarioGenerator, STUDY_PERIOD
 from repro.core.labeling import label_events
 from repro.core.matching import EventMatcher
-from repro.ioda.curation import CurationPipeline
-from repro.ioda.platform import IODAPlatform
 from repro.kio.compiler import KIOCompiler
 from repro.kio.harmonize import Harmonizer
 from repro.kio.snapshots import AnnualSnapshot

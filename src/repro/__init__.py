@@ -9,12 +9,12 @@ its annual schema drift; and the sociopolitical dataset emitters — and
 then runs the paper's merge, matching, labeling, and analysis over the
 observed (not ground-truth) data.
 
-Quickstart::
+Quickstart (``repro.api`` is the stable entry point)::
 
-    from repro import ReproPipeline
+    import repro.api as api
     from repro.analysis import summarize_merged
 
-    result = ReproPipeline().run()
+    result = api.run(seed=2023, workers=4, cache_dir=".cache")
     for row in summarize_merged(result.merged).rows():
         print(row)
 
@@ -23,6 +23,7 @@ paper-vs-reproduction numbers.
 """
 
 from repro.version import __version__
+from repro import api
 from repro.core.pipeline import PipelineResult, ReproPipeline
 from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.world.scenario import (
@@ -37,6 +38,7 @@ from repro.ioda.curation import CurationPipeline
 
 __all__ = [
     "__version__",
+    "api",
     "PipelineResult",
     "ReproPipeline",
     "MergedDataset",

@@ -1,8 +1,14 @@
-"""Signal observability: Figure 16 (§5.3).
+"""Observability: what the system saw, and what running it cost.
 
-For each signal, the percentage of shutdown and spontaneous-outage events
-whose curated record marks the signal as humanly visible, plus the
-percentage visible in all three signals simultaneously.
+Two reports live here:
+
+- Signal observability (Figure 16, §5.3): for each signal, the
+  percentage of shutdown and spontaneous-outage events whose curated
+  record marks the signal as humanly visible, plus the percentage
+  visible in all three signals simultaneously.
+- Execution observability: the rendered :class:`repro.exec.ExecStats`
+  report for a pipeline run — per-stage wall time, shard-cache hit/miss
+  counters, and shard skew — as surfaced by ``repro run --stats``.
 """
 
 from __future__ import annotations
@@ -13,9 +19,16 @@ from typing import Dict, List, Mapping, Sequence
 from repro.core.labeling import LabeledEvent
 from repro.core.merge import MergedDataset
 from repro.errors import SignalError
+from repro.exec.stats import ExecStats
 from repro.signals.kinds import SignalKind
 
-__all__ = ["ObservabilityTable", "observability_table"]
+__all__ = ["ObservabilityTable", "execution_report",
+           "observability_table"]
+
+
+def execution_report(stats: ExecStats) -> List[str]:
+    """Human-readable lines describing one pipeline execution."""
+    return stats.rows()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,127 @@
+"""repro.api — the stable top-level facade.
+
+Downstream tools and the bundled examples should program against this
+module rather than deep-importing :mod:`repro.core.pipeline`,
+:mod:`repro.ioda.platform`, and friends; the internals are free to move,
+this surface is not.
+
+    import repro.api as api
+
+    result = api.run(seed=2023, workers=4, cache_dir=".cache")
+    client = api.client(result)
+    page = client.get_events(country_iso2="SY", limit=25)
+
+Everything here is re-exported with keyword-only knobs, so adding a
+parameter never breaks a caller.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.matching import MatchingConfig
+from repro.core.pipeline import PipelineResult, ReproPipeline
+from repro.exec import ExecStats, ExecutorConfig
+from repro.io import dump_records, load_records
+from repro.ioda.api import IODAClient
+from repro.ioda.curation import CurationConfig
+from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.ioda.records import OutageRecord
+from repro.kio.compiler import KIOCompilerConfig
+from repro.timeutils.timestamps import TimeRange
+from repro.world.scenario import STUDY_PERIOD, ScenarioConfig
+
+__all__ = [
+    "IODAClient",
+    "PipelineResult",
+    "client",
+    "dump_records",
+    "load_records",
+    "run",
+    "run_with_stats",
+]
+
+
+def _pipeline(*, seed: int, workers: int, backend: str,
+              shards: Optional[int], cache_dir: Optional[Path | str],
+              scenario_config: Optional[ScenarioConfig],
+              platform_config: Optional[PlatformConfig],
+              curation_config: Optional[CurationConfig],
+              kio_config: Optional[KIOCompilerConfig],
+              matching_config: Optional[MatchingConfig],
+              study_period: TimeRange) -> ReproPipeline:
+    return ReproPipeline(
+        scenario_config=scenario_config or ScenarioConfig(seed=seed),
+        platform_config=platform_config,
+        curation_config=curation_config,
+        kio_config=kio_config,
+        matching_config=matching_config,
+        study_period=study_period,
+        cache_dir=Path(cache_dir) if cache_dir is not None else None,
+        executor=ExecutorConfig(
+            workers=workers, backend=backend, n_shards=shards))
+
+
+def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
+        shards: Optional[int] = None,
+        cache_dir: Optional[Path | str] = None,
+        scenario_config: Optional[ScenarioConfig] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        curation_config: Optional[CurationConfig] = None,
+        kio_config: Optional[KIOCompilerConfig] = None,
+        matching_config: Optional[MatchingConfig] = None,
+        study_period: TimeRange = STUDY_PERIOD) -> PipelineResult:
+    """Run the full reproduction pipeline and return its result.
+
+    ``workers``/``backend`` schedule the observation+curation stage
+    through the sharded executor (results are byte-identical at any
+    worker count); ``cache_dir`` enables the content-addressed stage
+    cache so warm re-runs skip straight to the merge.  ``seed`` is
+    shorthand for ``scenario_config=ScenarioConfig(seed=...)`` and is
+    ignored when an explicit ``scenario_config`` is given.
+    """
+    result, _ = run_with_stats(
+        seed=seed, workers=workers, backend=backend, shards=shards,
+        cache_dir=cache_dir, scenario_config=scenario_config,
+        platform_config=platform_config, curation_config=curation_config,
+        kio_config=kio_config, matching_config=matching_config,
+        study_period=study_period)
+    return result
+
+
+def run_with_stats(
+        *, seed: int = 2023, workers: int = 1, backend: str = "thread",
+        shards: Optional[int] = None,
+        cache_dir: Optional[Path | str] = None,
+        scenario_config: Optional[ScenarioConfig] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        curation_config: Optional[CurationConfig] = None,
+        kio_config: Optional[KIOCompilerConfig] = None,
+        matching_config: Optional[MatchingConfig] = None,
+        study_period: TimeRange = STUDY_PERIOD
+) -> Tuple[PipelineResult, ExecStats]:
+    """Like :func:`run`, but also return the :class:`ExecStats` report."""
+    pipeline = _pipeline(
+        seed=seed, workers=workers, backend=backend, shards=shards,
+        cache_dir=cache_dir, scenario_config=scenario_config,
+        platform_config=platform_config, curation_config=curation_config,
+        kio_config=kio_config, matching_config=matching_config,
+        study_period=study_period)
+    result = pipeline.run()
+    assert pipeline.stats is not None
+    return result, pipeline.stats
+
+
+def client(result: PipelineResult,
+           records: Optional[Sequence[OutageRecord]] = None) -> IODAClient:
+    """An :class:`IODAClient` over a pipeline result.
+
+    Serves the result's curated records (or an explicit ``records``
+    override) through the IODA-style query API — signals, alerts, and
+    the cursor-paginated event feed.
+    """
+    platform = IODAPlatform(result.scenario)
+    curated: Sequence[OutageRecord] = (
+        result.curated_records if records is None else records)
+    return IODAClient(platform, curated)

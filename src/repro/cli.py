@@ -2,7 +2,10 @@
 
 ``python -m repro <command>`` drives the pipeline from a shell:
 
-- ``run``      — run the full pipeline and print the headline tables.
+- ``run``      — run the full pipeline and print the headline tables;
+  ``--workers N`` shards the observation+curation stage across a worker
+  pool, ``--stats`` appends the execution report, ``--stats --json``
+  emits it machine-readable for benchmark trajectories.
 - ``report``   — regenerate EXPERIMENTS.md.
 - ``export``   — write the curated records and harmonized KIO events to
   JSON files (the paper's released dataset artifact).
@@ -26,9 +29,12 @@ from repro.analysis import (
     observability_table,
     summarize_merged,
 )
+from repro.analysis.observability import execution_report
 from repro.analysis.report import build_report, render_markdown
 from repro.core.heuristics import ShutdownTriage
 from repro.core.pipeline import ReproPipeline
+from repro.errors import ConfigurationError
+from repro.exec import BACKENDS, ExecutorConfig
 from repro.io import dump_kio_events, dump_records, dump_records_csv
 from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
@@ -51,9 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scenario seed (default 2023)")
     parser.add_argument("--cache-dir", type=Path, default=Path(".cache"),
                         help="curation cache directory (default .cache)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker pool size for the sharded "
+                             "observation+curation stage (default 1)")
+    parser.add_argument("--backend", choices=BACKENDS, default="thread",
+                        help="worker pool backend (default thread)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count override (default: engine "
+                             "default, independent of --workers)")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("run", help="run the pipeline, print summaries")
+    run = commands.add_parser("run",
+                              help="run the pipeline, print summaries")
+    run.add_argument("--stats", action="store_true",
+                     help="print the execution report (stage wall time, "
+                          "cache hits/misses, shard skew)")
+    run.add_argument("--json", action="store_true",
+                     help="with --stats, emit the report as JSON only")
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -83,11 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
 def _pipeline(args: argparse.Namespace) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=ScenarioConfig(seed=args.seed),
-        cache_dir=args.cache_dir)
+        cache_dir=args.cache_dir,
+        executor=ExecutorConfig(workers=args.workers,
+                                backend=args.backend,
+                                n_shards=args.shards))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = _pipeline(args).run()
+    import json
+
+    pipeline = _pipeline(args)
+    result = pipeline.run()
+    if args.stats and args.json:
+        print(json.dumps(pipeline.stats.as_dict(), indent=2))
+        return 0
     print("== Table 2 ==")
     print("\n".join(summarize_merged(result.merged).rows()))
     print("\n== Table 3 ==")
@@ -96,6 +125,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("\n".join(analyze_temporal(result.merged).rows()))
     print("\n== Figure 16 ==")
     print("\n".join(observability_table(result.merged).rows()))
+    if args.stats:
+        print("\n== Execution ==")
+        print("\n".join(execution_report(pipeline.stats)))
     return 0
 
 
@@ -187,7 +219,11 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

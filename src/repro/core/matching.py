@@ -29,9 +29,9 @@ from repro.timeutils.timestamps import DAY, TimeRange
 __all__ = ["MatchingConfig", "Match", "EventMatcher"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class MatchingConfig:
-    """Matching window parameters."""
+    """Matching window parameters (keyword-only, stable API surface)."""
 
     #: Seconds of lookback added before the KIO local start (paper: 24 h).
     lookback: int = DAY

@@ -3,18 +3,29 @@
 :class:`ReproPipeline` runs the whole reproduction: generate the synthetic
 world, observe it through the IODA platform and curation pipeline, compile
 and harmonize the KIO snapshots, emit the auxiliary datasets, and build
-the merged/labeled event dataset.  The curated-record stage dominates the
-cost, so it can be cached to disk (seed-keyed) and reloaded.
+the merged/labeled event dataset.
+
+The observation+curation stage dominates the cost, so it runs through the
+sharded executor in :mod:`repro.exec`: countries are split into
+deterministic shards, cold shards run in a selectable worker pool, and
+every shard's output is disk-cached content-addressed by seed, config
+fingerprints, study period, and :data:`repro.exec.CACHE_VERSION` — a
+changed config can never be served stale records.  Parallel runs are
+byte-identical to serial ones.  Prefer the stable facade
+(:func:`repro.api.run`) over constructing this class directly.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
 
-from repro import io
 from repro.core.matching import MatchingConfig
+from repro.exec.cachestore import CACHE_VERSION, CacheStore
+from repro.exec.stats import ExecStats
+from repro.exec.workers import ExecutorConfig, ShardedCurationExecutor
 from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.datasets import (
     CoupDataset,
@@ -24,8 +35,8 @@ from repro.datasets import (
     VDemDataset,
     WorldBankDataset,
 )
-from repro.ioda.curation import CurationConfig, CurationPipeline
-from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.ioda.curation import CurationConfig
+from repro.ioda.platform import PlatformConfig
 from repro.ioda.records import OutageRecord
 from repro.kio.compiler import KIOCompiler, KIOCompilerConfig
 from repro.kio.harmonize import Harmonizer
@@ -44,10 +55,7 @@ from repro.world.scenario import (
     WorldScenario,
 )
 
-__all__ = ["PipelineResult", "ReproPipeline"]
-
-#: Bump when generator or curation semantics change, invalidating caches.
-CACHE_VERSION = 3
+__all__ = ["CACHE_VERSION", "PipelineResult", "ReproPipeline"]
 
 
 @dataclass
@@ -76,7 +84,8 @@ class ReproPipeline:
                  kio_config: KIOCompilerConfig | None = None,
                  matching_config: MatchingConfig | None = None,
                  study_period: TimeRange = STUDY_PERIOD,
-                 cache_dir: Optional[Path] = None):
+                 cache_dir: Optional[Path] = None,
+                 executor: ExecutorConfig | None = None):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -84,6 +93,18 @@ class ReproPipeline:
         self._matching_config = matching_config
         self._study_period = study_period
         self._cache_dir = cache_dir
+        self._executor = ShardedCurationExecutor(
+            study_period=study_period,
+            platform_config=platform_config,
+            curation_config=curation_config,
+            cache=CacheStore(Path(cache_dir)) if cache_dir else None,
+            config=executor)
+        self._stats: Optional[ExecStats] = None
+
+    @property
+    def stats(self) -> Optional[ExecStats]:
+        """Execution report of the most recent :meth:`run` (or None)."""
+        return self._stats
 
     # -- stages ----------------------------------------------------------------
 
@@ -91,17 +112,15 @@ class ReproPipeline:
         """Stage 1: the synthetic world."""
         return ScenarioGenerator(self._scenario_config).generate()
 
-    def curate(self, scenario: WorldScenario) -> List[OutageRecord]:
-        """Stage 2: IODA observation + curation (cached when possible)."""
-        cache_path = self._record_cache_path()
-        if cache_path is not None and cache_path.exists():
-            return io.load_records(cache_path)
-        platform = IODAPlatform(scenario, self._platform_config)
-        pipeline = CurationPipeline(platform, self._curation_config)
-        records = pipeline.run(self._study_period)
-        if cache_path is not None:
-            io.dump_records(records, cache_path)
-        return records
+    def curate(self, scenario: WorldScenario,
+               stats: ExecStats | None = None) -> List[OutageRecord]:
+        """Stage 2: IODA observation + curation.
+
+        Delegates to the sharded executor: warm shards load from the
+        content-addressed cache, cold shards run in the configured worker
+        pool, and the merge is byte-identical to a serial run.
+        """
+        return self._executor.curate(scenario, stats)
 
     def compile_kio(self, scenario: WorldScenario) -> List[KIOEvent]:
         """Stage 3: KIO reporting → annual snapshots → harmonization."""
@@ -115,13 +134,41 @@ class ReproPipeline:
         return Harmonizer().harmonize(snapshots)
 
     def run(self) -> PipelineResult:
-        """Run every stage and assemble the result."""
+        """Run every stage and assemble the result.
+
+        The execution report (stage wall times, cache hit/miss counters,
+        shard skew) for the run is available as :attr:`stats` afterwards.
+        """
+        stats = ExecStats()
+        started = time.perf_counter()
         scenario = self.build_scenario()
-        records = self.curate(scenario)
+        stats.add_stage("scenario", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        records = self.curate(scenario, stats)
+        stats.add_stage("curate", time.perf_counter() - started)
+
+        started = time.perf_counter()
         kio_events = self.compile_kio(scenario)
+        stats.add_stage("kio", time.perf_counter() - started)
+
+        started = time.perf_counter()
         merged = build_merged_dataset(
             scenario.registry, kio_events, records, self._study_period,
             matching=self._matching_config)
+        stats.add_stage("merge", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        result = self._assemble(scenario, records, kio_events, merged)
+        stats.add_stage("datasets", time.perf_counter() - started)
+        self._stats = stats
+        return result
+
+    def _assemble(self, scenario: WorldScenario,
+                  records: List[OutageRecord],
+                  kio_events: List[KIOEvent],
+                  merged: MergedDataset) -> PipelineResult:
+        """Emit the auxiliary datasets and bundle everything."""
         seed = scenario.seed
         prefix2as = Prefix2ASSnapshot.from_topology(scenario.topology, seed)
         geo = GeoDatabase.from_topology(scenario.topology, seed)
@@ -147,13 +194,3 @@ class ReproPipeline:
             state_shares=compute_state_shares(
                 prefix2as, geo, state_owned, eyeballs),
         )
-
-    # -- cache -----------------------------------------------------------------
-
-    def _record_cache_path(self) -> Optional[Path]:
-        if self._cache_dir is None:
-            return None
-        key = (f"records-v{CACHE_VERSION}"
-               f"-seed{self._scenario_config.seed}"
-               f"-{self._study_period.start}-{self._study_period.end}.json")
-        return Path(self._cache_dir) / key

@@ -19,6 +19,7 @@ __all__ = [
     "SchemaError",
     "MatchingError",
     "DatasetError",
+    "PaginationError",
 ]
 
 
@@ -56,6 +57,10 @@ class SchemaError(ReproError):
 
 class MatchingError(ReproError):
     """KIO-IODA event matching was asked to relate incompatible events."""
+
+
+class PaginationError(ReproError, ValueError):
+    """An event-feed pagination cursor is malformed or from another query."""
 
 
 class DatasetError(ReproError):

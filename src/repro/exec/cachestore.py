@@ -1,0 +1,120 @@
+"""Content-addressed stage cache.
+
+The seed-keyed record cache this replaces had a silent staleness bug: a
+changed :class:`~repro.ioda.curation.CurationConfig` or
+:class:`~repro.core.matching.MatchingConfig` reused records curated under
+the old parameters, because only the seed and a hand-bumped version
+constant entered the file name.  Here every cache key is derived from the
+*content* that determines the stage's output — the seed, a canonical
+fingerprint of every config the stage consumes, the study period, the
+stage name, and :data:`CACHE_VERSION` — so any parameter change is a
+guaranteed miss.
+
+Entries are stored per shard (see :mod:`repro.exec.shards`), which gives
+warm re-runs stage-skipping granularity and lets a partially warm cache
+recompute only the shards it is missing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["CACHE_VERSION", "CacheStore", "fingerprint"]
+
+#: Bump when generator or curation semantics change, invalidating caches.
+#: v4: per-country curation RNG substreams (sharded executor).
+CACHE_VERSION = 4
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-serializable canonical form for fingerprinting.
+
+    Dataclasses are tagged with their class name so two config types with
+    identical field values do not collide; mappings are sorted so dict
+    order never leaks into the key.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["enum", type(obj).__name__, _canonical(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: _canonical(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return ["dataclass", type(obj).__name__, fields]
+    if isinstance(obj, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["mapping", items]
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = [_canonical(item) for item in obj]
+        if isinstance(obj, (set, frozenset)):
+            seq.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return seq
+    if isinstance(obj, Path):
+        return str(obj)
+    return ["repr", repr(obj)]
+
+
+def fingerprint(*parts: Any) -> str:
+    """A stable hex digest of arbitrary key material.
+
+    >>> fingerprint(1, "a") == fingerprint(1, "a")
+    True
+    >>> fingerprint(1, "a") == fingerprint(1, "b")
+    False
+    """
+    payload = json.dumps([_canonical(part) for part in parts],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"),
+                           digest_size=12).hexdigest()
+
+
+class CacheStore:
+    """Content-addressed JSON cache under a root directory.
+
+    File layout: ``<root>/<stage>-v<CACHE_VERSION>-<digest>.json``.  The
+    digest covers everything passed as key material, so distinct configs,
+    periods, seeds, or shard compositions occupy distinct files and can
+    never shadow one another.
+    """
+
+    def __init__(self, root: Path):
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, stage: str, *key_parts: Any) -> Path:
+        digest = fingerprint(CACHE_VERSION, stage, *key_parts)
+        return self._root / f"{stage}-v{CACHE_VERSION}-{digest}.json"
+
+    def get(self, stage: str, *key_parts: Any) -> Optional[Dict[str, Any]]:
+        """The cached payload for a key, or None on a miss.
+
+        A corrupt entry (interrupted write, disk trouble) reads as a miss
+        rather than poisoning the run.
+        """
+        path = self.path_for(stage, *key_parts)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, stage: str, payload: Dict[str, Any],
+            *key_parts: Any) -> Path:
+        """Atomically persist a payload under its content key."""
+        path = self.path_for(stage, *key_parts)
+        self._root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(path)
+        return path

@@ -1,0 +1,116 @@
+"""Execution observability.
+
+:class:`ExecStats` is the lightweight report the sharded executor fills
+in as it runs: wall time per pipeline stage, cache hits and misses at
+shard granularity, and the per-shard timing spread.  ``repro run
+--stats`` renders it for humans; ``--stats --json`` emits
+:meth:`ExecStats.as_dict` so benchmark trajectory files can track
+executor performance across revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ExecStats", "StageTiming"]
+
+
+@dataclass
+class StageTiming:
+    """Wall time for one pipeline stage."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class ExecStats:
+    """What one pipeline run did and what it cost."""
+
+    workers: int = 1
+    backend: str = "serial"
+    n_shards: int = 0
+    stages: List[StageTiming] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    shard_seconds: Dict[int, float] = field(default_factory=dict)
+    n_records: int = 0
+
+    # -- recording --------------------------------------------------------------
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        self.stages.append(StageTiming(name=name, seconds=seconds))
+
+    def record_shard(self, index: int, seconds: float) -> None:
+        self.shard_seconds[index] = seconds
+
+    # -- derived ----------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def curate_skipped(self) -> bool:
+        """Whether the observation+curation stage was fully cache-served."""
+        return self.n_shards > 0 and self.cache_misses == 0
+
+    @property
+    def shard_skew(self) -> float:
+        """Slowest shard over mean shard time (1.0 = perfectly even).
+
+        Only shards that actually executed contribute; a fully
+        cache-served run has no skew to report and returns 0.
+        """
+        if not self.shard_seconds:
+            return 0.0
+        times = list(self.shard_seconds.values())
+        mean = sum(times) / len(times)
+        if mean <= 0:
+            return 0.0
+        return max(times) / mean
+
+    # -- rendering --------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Machine-readable form (stable keys; used by ``--stats --json``)."""
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "stages": {stage.name: round(stage.seconds, 6)
+                       for stage in self.stages},
+            "total_seconds": round(self.total_seconds, 6),
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses,
+                      "curate_skipped": self.curate_skipped},
+            "shards": {
+                "executed": len(self.shard_seconds),
+                "seconds": {str(k): round(v, 6)
+                            for k, v in sorted(self.shard_seconds.items())},
+                "skew": round(self.shard_skew, 4),
+            },
+            "n_records": self.n_records,
+        }
+
+    def rows(self) -> List[str]:
+        """Human-readable report lines."""
+        lines = [
+            f"executor        {self.backend} x{self.workers} "
+            f"({self.n_shards} shards)",
+        ]
+        for stage in self.stages:
+            lines.append(f"stage {stage.name:<12} {stage.seconds:8.2f}s")
+        lines.append(f"stage {'total':<12} {self.total_seconds:8.2f}s")
+        lines.append(
+            f"curation cache  {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+            + ("  (stage skipped)" if self.curate_skipped else ""))
+        if self.shard_seconds:
+            slowest = max(self.shard_seconds.values())
+            lines.append(
+                f"shards executed {len(self.shard_seconds)}  "
+                f"slowest {slowest:.2f}s  skew {self.shard_skew:.2f}x")
+        lines.append(f"curated records {self.n_records}")
+        return lines

@@ -1,0 +1,264 @@
+"""The sharded curation executor.
+
+Splits the scenario's triggered countries into shards
+(:mod:`repro.exec.shards`), serves warm shards from the content-addressed
+cache (:mod:`repro.exec.cachestore`), runs cold shards in a
+``concurrent.futures`` pool, and merges the per-country outputs through
+:func:`repro.ioda.curation.finalize_records` so the parallel result is
+byte-identical to a serial run.
+
+Backends:
+
+- ``serial``  — in-process loop (no pool; useful for debugging).
+- ``thread``  — :class:`~concurrent.futures.ThreadPoolExecutor` over the
+  shared platform.  Curation is numpy-heavy enough to overlap some work,
+  and nothing is pickled.
+- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; each
+  worker regenerates the (deterministic) scenario from its config, so
+  only small config dataclasses cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import io
+from repro.errors import ConfigurationError, SchemaError
+from repro.exec.cachestore import CacheStore
+from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
+from repro.exec.stats import ExecStats
+from repro.ioda.curation import CurationConfig, CurationPipeline, \
+    finalize_records
+from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.ioda.records import OutageRecord
+from repro.timeutils.timestamps import TimeRange
+from repro.world.scenario import ScenarioConfig, ScenarioGenerator, \
+    WorldScenario
+
+__all__ = ["BACKENDS", "ExecutorConfig", "ShardedCurationExecutor"]
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Stage name under which curated shards are cached.
+_CURATE_STAGE = "curate"
+
+
+@dataclass(frozen=True, kw_only=True)
+class ExecutorConfig:
+    """How the observation+curation stage is scheduled."""
+
+    workers: int = 1
+    backend: str = "thread"
+    n_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {self.workers}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKENDS}")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1: {self.n_shards}")
+
+
+#: Per-country curated records, in the country order of the owning shard.
+_ShardRecords = List[Tuple[str, List[OutageRecord]]]
+
+
+def _curate_shard(scenario: WorldScenario,
+                  platform_config: PlatformConfig,
+                  curation_config: CurationConfig,
+                  period: TimeRange, countries: Tuple[str, ...],
+                  platform: Optional[IODAPlatform] = None) -> _ShardRecords:
+    """Curate one shard's countries over a scenario.
+
+    The per-country RNG substreams make this independent of every other
+    shard; the only shared object is the (effectively read-only)
+    platform, which in-process backends pass in to share its country
+    caches.
+    """
+    if platform is None:
+        platform = IODAPlatform(scenario, platform_config)
+    pipeline = CurationPipeline(platform, curation_config)
+    windows = pipeline.country_windows(period)
+    return [(iso2, pipeline.investigate_country(iso2, windows[iso2], period))
+            for iso2 in countries]
+
+
+def _curate_shard_subprocess(
+        scenario_config: ScenarioConfig,
+        platform_config: PlatformConfig,
+        curation_config: CurationConfig,
+        period: TimeRange,
+        countries: Tuple[str, ...]) -> Tuple[_ShardRecords, float]:
+    """Process-pool entry point: rebuild the world, curate, time it.
+
+    Module-level so it pickles by reference; scenario generation is
+    deterministic, so the rebuilt world matches the parent's exactly.
+    """
+    started = time.perf_counter()
+    scenario = ScenarioGenerator(scenario_config).generate()
+    result = _curate_shard(
+        scenario, platform_config, curation_config, period, countries)
+    return result, time.perf_counter() - started
+
+
+class ShardedCurationExecutor:
+    """Runs the observation+curation stage sharded, cached, and merged."""
+
+    def __init__(self, *, study_period: TimeRange,
+                 platform_config: PlatformConfig | None = None,
+                 curation_config: CurationConfig | None = None,
+                 cache: CacheStore | None = None,
+                 config: ExecutorConfig | None = None):
+        self._period = study_period
+        self._platform_config = platform_config or PlatformConfig()
+        self._curation_config = curation_config or CurationConfig()
+        self._cache = cache
+        self._config = config or ExecutorConfig()
+
+    @property
+    def config(self) -> ExecutorConfig:
+        return self._config
+
+    # -- main entry -------------------------------------------------------------
+
+    def curate(self, scenario: WorldScenario,
+               stats: ExecStats | None = None) -> List[OutageRecord]:
+        """Curate every triggered country of ``scenario``, in shards."""
+        stats = stats if stats is not None else ExecStats()
+        stats.workers = self._config.workers
+        stats.backend = self._config.backend
+
+        platform = IODAPlatform(scenario, self._platform_config)
+        pipeline = CurationPipeline(platform, self._curation_config)
+        windows = pipeline.country_windows(self._period)
+        # Weight = total window seconds: curation cost is dominated by
+        # how much signal the dashboards must replay per country.
+        weights = {
+            iso2: float(sum(w.duration for w in country_windows))
+            for iso2, country_windows in windows.items()}
+        plan = ShardPlan.split(
+            sorted(windows), self._config.n_shards or DEFAULT_N_SHARDS,
+            weights=weights)
+        stats.n_shards = len(plan)
+
+        by_shard: Dict[int, _ShardRecords] = {}
+        cold: List[Shard] = []
+        for shard in plan:
+            cached = self._cache_get(scenario, shard)
+            if cached is not None:
+                by_shard[shard.index] = cached
+                stats.cache_hits += 1
+            else:
+                cold.append(shard)
+        stats.cache_misses = len(cold)
+
+        if cold:
+            executed = self._execute(scenario, platform, cold, stats)
+            for shard, shard_records in executed.items():
+                by_shard[shard.index] = shard_records
+                self._cache_put(scenario, shard, shard_records)
+
+        by_country = {iso2: records
+                      for shard_records in by_shard.values()
+                      for iso2, records in shard_records}
+        merged = finalize_records(
+            by_country[iso2] for iso2 in plan.countries)
+        stats.n_records = len(merged)
+        return merged
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _execute(self, scenario: WorldScenario, platform: IODAPlatform,
+                 cold: List[Shard],
+                 stats: ExecStats) -> Dict[Shard, _ShardRecords]:
+        workers = min(self._config.workers, len(cold))
+        backend = self._config.backend
+        if workers <= 1 and backend != "process":
+            backend = "serial"
+
+        if backend == "serial":
+            results: Dict[Shard, _ShardRecords] = {}
+            for shard in cold:
+                started = time.perf_counter()
+                results[shard] = _curate_shard(
+                    scenario, self._platform_config, self._curation_config,
+                    self._period, shard.countries, platform=platform)
+                stats.record_shard(
+                    shard.index, time.perf_counter() - started)
+            return results
+
+        if backend == "thread":
+            def timed(shard: Shard) -> Tuple[_ShardRecords, float]:
+                started = time.perf_counter()
+                result = _curate_shard(
+                    scenario, self._platform_config, self._curation_config,
+                    self._period, shard.countries, platform=platform)
+                return result, time.perf_counter() - started
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(timed, shard): shard
+                           for shard in cold}
+                return self._collect(futures, stats)
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _curate_shard_subprocess, scenario.config,
+                    self._platform_config, self._curation_config,
+                    self._period, shard.countries): shard
+                for shard in cold}
+            return self._collect(futures, stats)
+
+    @staticmethod
+    def _collect(futures, stats: ExecStats) -> Dict[Shard, _ShardRecords]:
+        results: Dict[Shard, _ShardRecords] = {}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                shard = futures[future]
+                shard_records, seconds = future.result()
+                results[shard] = shard_records
+                stats.record_shard(shard.index, seconds)
+        return results
+
+    # -- cache ------------------------------------------------------------------
+
+    def _shard_key(self, scenario: WorldScenario,
+                   shard: Shard) -> Tuple[object, ...]:
+        return (scenario.config, self._platform_config,
+                self._curation_config, self._period, shard.countries)
+
+    def _cache_get(self, scenario: WorldScenario,
+                   shard: Shard) -> Optional[_ShardRecords]:
+        if self._cache is None:
+            return None
+        payload = self._cache.get(
+            _CURATE_STAGE, *self._shard_key(scenario, shard))
+        if payload is None:
+            return None
+        try:
+            return [(iso2, [io.record_from_dict(d) for d in dicts])
+                    for iso2, dicts in payload["records"]]
+        except (KeyError, TypeError, ValueError, SchemaError):
+            return None
+
+    def _cache_put(self, scenario: WorldScenario, shard: Shard,
+                   shard_records: _ShardRecords) -> None:
+        if self._cache is None:
+            return
+        payload = {
+            "records": [
+                [iso2, [io.record_to_dict(r) for r in records]]
+                for iso2, records in shard_records],
+        }
+        self._cache.put(_CURATE_STAGE, payload,
+                        *self._shard_key(scenario, shard))

@@ -11,10 +11,14 @@ build against.
 
 from __future__ import annotations
 
+import base64
+import binascii
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import TimeRangeError
+from repro.errors import PaginationError, TimeRangeError
+from repro.exec.cachestore import fingerprint
 from repro.ioda.dashboard import Dashboard, DashboardEntry
 from repro.ioda.platform import IODAPlatform
 from repro.ioda.records import OutageRecord
@@ -39,11 +43,19 @@ class SignalPayload:
 
 @dataclass(frozen=True)
 class EventPage:
-    """One page of the curated-event feed."""
+    """One page of the curated-event feed.
+
+    ``cursor`` is the supported way to fetch the next page: pass it back
+    via ``get_events(..., cursor=page.cursor)``.  It is opaque — bound to
+    the query's filters and the feed revision, so a cursor minted by one
+    query cannot silently page through another.  ``next_offset`` remains
+    populated for old callers but raw offset arithmetic is deprecated.
+    """
 
     events: Tuple[OutageRecord, ...]
     next_offset: Optional[int]
     total: int
+    cursor: Optional[str] = None
 
 
 class IODAClient:
@@ -94,10 +106,27 @@ class IODAClient:
     def get_events(self, country_iso2: Optional[str] = None,
                    from_ts: Optional[int] = None,
                    until_ts: Optional[int] = None,
-                   offset: int = 0, limit: int = 50) -> EventPage:
-        """Paginated curated-event feed with optional filters."""
+                   offset: Optional[int] = None, limit: int = 50, *,
+                   cursor: Optional[str] = None) -> EventPage:
+        """Paginated curated-event feed with optional filters.
+
+        Page with the opaque ``cursor`` from the previous
+        :class:`EventPage`; a cursor is only valid for the filters it was
+        minted with.  Passing ``offset`` directly is deprecated.
+        """
         if limit <= 0:
             raise TimeRangeError(f"limit must be positive: {limit}")
+        if offset is not None and cursor is not None:
+            raise PaginationError(
+                "pass either cursor= or the deprecated offset=, not both")
+        if offset is not None:
+            warnings.warn(
+                "IODAClient.get_events(offset=...) is deprecated; page "
+                "with the opaque EventPage.cursor instead",
+                DeprecationWarning, stacklevel=2)
+        query_key = self._query_key(country_iso2, from_ts, until_ts)
+        start = (self._decode_cursor(cursor, query_key)
+                 if cursor is not None else (offset or 0))
         filtered = [
             record for record in self._records
             if (country_iso2 is None
@@ -105,8 +134,43 @@ class IODAClient:
             and (from_ts is None or record.span.start >= from_ts)
             and (until_ts is None or record.span.start < until_ts)
         ]
-        page = filtered[offset:offset + limit]
-        next_offset = (offset + limit
-                       if offset + limit < len(filtered) else None)
+        page = filtered[start:start + limit]
+        has_more = start + limit < len(filtered)
+        next_offset = start + limit if has_more else None
+        next_cursor = (self._encode_cursor(start + limit, query_key)
+                       if has_more else None)
         return EventPage(events=tuple(page), next_offset=next_offset,
-                         total=len(filtered))
+                         total=len(filtered), cursor=next_cursor)
+
+    # -- cursors ----------------------------------------------------------------
+
+    def _query_key(self, country_iso2: Optional[str],
+                   from_ts: Optional[int],
+                   until_ts: Optional[int]) -> str:
+        """Fingerprint of the filters (and feed content) a cursor binds to."""
+        return fingerprint(
+            country_iso2.upper() if country_iso2 else None,
+            from_ts, until_ts, len(self._records))
+
+    @staticmethod
+    def _encode_cursor(position: int, query_key: str) -> str:
+        token = f"v1:{position}:{query_key}".encode("ascii")
+        return base64.urlsafe_b64encode(token).decode("ascii")
+
+    @staticmethod
+    def _decode_cursor(cursor: str, query_key: str) -> int:
+        try:
+            token = base64.urlsafe_b64decode(cursor.encode("ascii"))
+            version, position, key = token.decode("ascii").split(":")
+        except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
+            raise PaginationError(f"malformed cursor: {cursor!r}") from exc
+        if version != "v1":
+            raise PaginationError(f"unsupported cursor version: {version!r}")
+        if key != query_key:
+            raise PaginationError(
+                "cursor was issued for a different query or feed; "
+                "restart pagination without a cursor")
+        try:
+            return int(position)
+        except ValueError as exc:
+            raise PaginationError(f"malformed cursor: {cursor!r}") from exc

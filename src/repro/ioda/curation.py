@@ -42,8 +42,9 @@ The curators' decision procedure, implemented over simulated signals:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
@@ -59,12 +60,38 @@ from repro.timeutils.timestamps import DAY, HOUR, TimeRange, bin_floor
 from repro.world.disruptions import Cause
 from repro.world.scenario import WorldScenario
 
-__all__ = ["CurationConfig", "CurationPipeline"]
+__all__ = ["CurationConfig", "CurationPipeline", "finalize_records"]
 
 
-@dataclass(frozen=True)
+def finalize_records(
+        per_country: Iterable[Sequence[OutageRecord]]) -> List[OutageRecord]:
+    """Merge per-country record lists into the canonical curated dataset.
+
+    Countries are curated independently (each with its own RNG substream
+    and record ids local to the country), so the same per-country lists
+    come out of a serial run and a sharded parallel run.  This step makes
+    the global dataset: record ids are reassigned sequentially in
+    country-iteration order, then the list is sorted by (start, country)
+    exactly as :meth:`CurationPipeline.run` always has.  Feeding the
+    per-country lists in the same country order therefore yields
+    byte-identical output regardless of how the work was scheduled.
+    """
+    ids = itertools.count(1)
+    records = [replace(record, record_id=next(ids))
+               for country_records in per_country
+               for record in country_records]
+    records.sort(key=lambda r: (r.span.start, r.country_iso2))
+    return records
+
+
+@dataclass(frozen=True, kw_only=True)
 class CurationConfig:
-    """Curation thresholds and window shaping."""
+    """Curation thresholds and window shaping.
+
+    Keyword-only: the constructor surface is part of the stable
+    :mod:`repro.api` contract, so fields may be added without breaking
+    positional callers.
+    """
 
     #: History lead ahead of a trigger so detectors have baselines.
     window_lead: int = int(3.5 * DAY)
@@ -133,8 +160,6 @@ class CurationPipeline:
         self._config = config or CurationConfig()
         self._calendar = calendar or ObservationCalendar()
         self._dashboard = Dashboard(platform)
-        self._record_ids = itertools.count(1)
-        self._rng = substream(self._scenario.seed, "curation")
 
     @property
     def config(self) -> CurationConfig:
@@ -143,16 +168,43 @@ class CurationPipeline:
     # -- top level ---------------------------------------------------------------
 
     def run(self, period: TimeRange) -> List[OutageRecord]:
-        """Curate all outages observable within ``period``."""
+        """Curate all outages observable within ``period``.
+
+        Countries are processed independently — each country's random
+        draws come from its own ``("curation", iso2)`` substream — so the
+        result is identical whether the loop below runs here or the
+        countries are fanned out across shards by :mod:`repro.exec`.
+        """
+        windows = self.country_windows(period)
+        return finalize_records(
+            self.investigate_country(iso2, windows[iso2], period)
+            for iso2 in sorted(windows))
+
+    def investigate_country(self, iso2: str,
+                            windows: Sequence[TimeRange],
+                            period: TimeRange) -> List[OutageRecord]:
+        """Curate one country's investigation windows.
+
+        Record ids are local to the country (1, 2, ...); callers that
+        assemble a multi-country dataset renumber them via
+        :func:`finalize_records`.
+        """
+        rng = substream(self._scenario.seed, "curation", iso2)
+        record_ids = itertools.count(1)
         records: List[OutageRecord] = []
-        for iso2, window in self._investigation_windows(period):
-            records.extend(self.investigate(iso2, window, period))
-        records.sort(key=lambda r: (r.span.start, r.country_iso2))
+        for window in windows:
+            records.extend(
+                self._investigate(iso2, window, period, rng, record_ids))
         return records
 
     def investigate(self, iso2: str, window: TimeRange,
                     period: TimeRange) -> List[OutageRecord]:
         """Investigate one country window; return any recorded outages."""
+        return self.investigate_country(iso2, [window], period)
+
+    def _investigate(self, iso2: str, window: TimeRange, period: TimeRange,
+                     rng: np.random.Generator,
+                     record_ids: Iterator[int]) -> List[OutageRecord]:
         entity = Entity.country(iso2)
         episodes = self._dashboard.episodes_by_signal(entity, window)
         candidates = self._cluster(episodes)
@@ -165,19 +217,39 @@ class CurationPipeline:
                 # mark it handled so the descent does not re-find it.
                 found_visible = True
                 continue
-            record = self._adjudicate(iso2, entity, candidate, period)
+            record = self._adjudicate(
+                iso2, entity, candidate, period, rng, record_ids)
             if record is not None:
                 found_visible = True
                 records.append(record)
         if not found_visible:
-            records.extend(self._descend(iso2, window, period))
+            records.extend(
+                self._descend(iso2, window, period, rng, record_ids))
         return records
 
     # -- investigation windows -----------------------------------------------------
 
+    def country_windows(
+            self, period: TimeRange) -> Dict[str, List[TimeRange]]:
+        """Merged investigation windows per country.
+
+        This is the unit of work the sharded executor distributes: the
+        windows depend only on the scenario and config, so every shard
+        computes the same map cheaply.
+        """
+        return {iso2: list(windows)
+                for iso2, windows in self._grouped_windows(period).items()}
+
     def _investigation_windows(
             self, period: TimeRange) -> Iterable[Tuple[str, TimeRange]]:
         """(country, window) pairs to investigate, merged per country."""
+        for iso2, windows in sorted(
+                self._grouped_windows(period).items()):
+            for window in windows:
+                yield iso2, window
+
+    def _grouped_windows(
+            self, period: TimeRange) -> Dict[str, List[TimeRange]]:
         triggers: Dict[str, List[TimeRange]] = {}
         for disruption in self._scenario.all_disruptions():
             if not period.contains(disruption.span.start):
@@ -193,9 +265,8 @@ class CurationPipeline:
         for iso2, spans in self._background_windows(period).items():
             triggers.setdefault(iso2, []).extend(spans)
 
-        for iso2 in sorted(triggers):
-            for window in self._merge_windows(triggers[iso2], period):
-                yield iso2, window
+        return {iso2: self._merge_windows(triggers[iso2], period)
+                for iso2 in sorted(triggers)}
 
     def _merge_windows(self, spans: Sequence[TimeRange],
                        period: TimeRange) -> List[TimeRange]:
@@ -284,7 +355,8 @@ class CurationPipeline:
     # -- adjudication -------------------------------------------------------------------
 
     def _adjudicate(self, iso2: str, entity: Entity, candidate: _Candidate,
-                    period: TimeRange) -> Optional[OutageRecord]:
+                    period: TimeRange, rng: np.random.Generator,
+                    record_ids: Iterator[int]) -> Optional[OutageRecord]:
         if not period.contains(candidate.span.start):
             return None
         if not self._calendar.observes(candidate.span.start,
@@ -295,12 +367,14 @@ class CurationPipeline:
             return None
         corroborated = False
         if len(visible) < 2:
-            corroborated = self._externally_corroborated(iso2, candidate)
+            corroborated = self._externally_corroborated(
+                iso2, candidate, rng)
             if not corroborated:
                 return None
         if self._is_infrastructure_artifact(iso2, candidate, visible):
             return None
-        return self._record(iso2, entity, candidate, visible, corroborated)
+        return self._record(iso2, entity, candidate, visible, corroborated,
+                            rng, record_ids)
 
     def _anchor_overlapping(
             self, visible: Dict[SignalKind, List[AlertEpisode]]
@@ -341,8 +415,8 @@ class CurationPipeline:
                 visible[kind] = qualifying
         return visible
 
-    def _externally_corroborated(self, iso2: str,
-                                 candidate: _Candidate) -> bool:
+    def _externally_corroborated(self, iso2: str, candidate: _Candidate,
+                                 rng: np.random.Generator) -> bool:
         """Whether Kentik/Cloudflare-Radar style trackers confirm.
 
         External trackers observed the real world, so corroboration
@@ -365,7 +439,7 @@ class CurationPipeline:
         p = (self._config.p_external_corroboration
              * strongest.severity
              * min(1.0, strongest.span.duration / (2 * HOUR)))
-        return bool(self._rng.random() < p)
+        return bool(rng.random() < p)
 
     def _is_infrastructure_artifact(self, iso2: str, candidate: _Candidate,
                                     visible: Iterable[SignalKind]) -> bool:
@@ -426,7 +500,8 @@ class CurationPipeline:
 
     def _record(self, iso2: str, entity: Entity, candidate: _Candidate,
                 visible: Dict[SignalKind, List[AlertEpisode]],
-                corroborated: bool) -> OutageRecord:
+                corroborated: bool, rng: np.random.Generator,
+                record_ids: Iterator[int]) -> OutageRecord:
         starts = [min(e.span.start for e in episodes)
                   for episodes in visible.values()]
         ends = [max(e.span.end for e in episodes)
@@ -435,7 +510,7 @@ class CurationPipeline:
         auto = {kind: bool(candidate.episodes.get(kind))
                 for kind in SignalKind}
         human = {kind: kind in visible for kind in SignalKind}
-        cause, more_info = self._attribute_cause(iso2, span)
+        cause, more_info = self._attribute_cause(iso2, span, rng)
         if corroborated or cause is not None:
             confirmation = ConfirmationStatus.CONFIRMED
         elif len(visible) >= 2:
@@ -443,7 +518,7 @@ class CurationPipeline:
         else:
             confirmation = ConfirmationStatus.UNCONFIRMED
         return OutageRecord(
-            record_id=next(self._record_ids),
+            record_id=next(record_ids),
             country_iso2=iso2,
             span=span,
             scope=entity.scope,
@@ -457,7 +532,8 @@ class CurationPipeline:
                           if entity.scope is EntityScope.REGION else ()),
         )
 
-    def _attribute_cause(self, iso2: str, span: TimeRange
+    def _attribute_cause(self, iso2: str, span: TimeRange,
+                         rng: np.random.Generator
                          ) -> Tuple[Optional[str], Tuple[str, ...]]:
         """The news oracle: what reporting would the curators find?"""
         overlapping = [
@@ -470,7 +546,7 @@ class CurationPipeline:
         p_discover = (self._config.p_discover_shutdown_cause
                       if truth.intentional
                       else self._config.p_discover_outage_cause)
-        if self._rng.random() >= p_discover:
+        if rng.random() >= p_discover:
             return None, ()
         cause = _CAUSE_TEXT[truth.cause]
         info = [f"https://news.example.org/{iso2.lower()}/"
@@ -482,8 +558,9 @@ class CurationPipeline:
 
     # -- scope descent --------------------------------------------------------------------
 
-    def _descend(self, iso2: str, window: TimeRange,
-                 period: TimeRange) -> List[OutageRecord]:
+    def _descend(self, iso2: str, window: TimeRange, period: TimeRange,
+                 rng: np.random.Generator,
+                 record_ids: Iterator[int]) -> List[OutageRecord]:
         """Inspect region (and optionally AS) views when the country view
         shows nothing."""
         records: List[OutageRecord] = []
@@ -510,5 +587,5 @@ class CurationPipeline:
                 continue
             records.append(self._record(
                 iso2, Entity.region(iso2, region_name), candidate, visible,
-                corroborated=False))
+                False, rng, record_ids))
         return records

@@ -39,9 +39,9 @@ from repro.world.disruptions import GroundTruthDisruption, RestrictionEpisode
 __all__ = ["KIOCompilerConfig", "KIOCompiler"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class KIOCompilerConfig:
-    """Reporting-channel noise parameters."""
+    """Reporting-channel noise parameters (keyword-only, stable surface)."""
 
     p_report_national: float = 0.85
     p_report_subnational: float = 0.75

@@ -68,9 +68,13 @@ class MeasurementArtifact:
                 f"artifact depth must be in (0, 1]: {self.depth}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ScenarioConfig:
-    """Knobs for scenario generation."""
+    """Knobs for scenario generation.
+
+    Keyword-only: part of the stable :mod:`repro.api` constructor
+    surface, so fields may be added or reordered freely.
+    """
 
     seed: int = 2023
     years: Tuple[int, ...] = (2016, 2017, 2018, 2019, 2020, 2021)

@@ -1,0 +1,84 @@
+"""Smoke tests for the stable repro.api facade."""
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.exec import ExecStats
+from repro.timeutils.timestamps import TimeRange, utc
+from repro.world.scenario import ScenarioConfig
+
+SMALL_CONFIG = ScenarioConfig(seed=11, years=(2019,))
+SMALL_PERIOD = TimeRange(utc(2019, 1, 1), utc(2019, 5, 1))
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("api-cache")
+
+
+@pytest.fixture(scope="module")
+def run_output(cache_dir):
+    return api.run_with_stats(
+        scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+        workers=2, cache_dir=cache_dir)
+
+
+class TestRun:
+    def test_returns_pipeline_result(self, run_output):
+        result, stats = run_output
+        assert isinstance(result, api.PipelineResult)
+        assert result.curated_records
+        assert result.kio_events
+        assert result.merged.labeled
+
+    def test_stats_report_cold_run(self, run_output):
+        _, stats = run_output
+        assert isinstance(stats, ExecStats)
+        assert stats.workers == 2
+        assert stats.cache_misses == stats.n_shards
+        assert stats.n_records > 0
+
+    def test_warm_rerun_skips_curation(self, run_output, cache_dir):
+        cold_result, _ = run_output
+        result, stats = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            workers=2, cache_dir=cache_dir)
+        assert stats.curate_skipped
+        assert stats.cache_hits == stats.n_shards
+        assert [r.record_id for r in result.curated_records] \
+            == [r.record_id for r in cold_result.curated_records]
+
+    def test_facade_is_importable_from_package_root(self):
+        assert repro.api.run is api.run
+
+
+class TestClient:
+    def test_client_serves_cursor_paginated_feed(self, run_output):
+        result, _ = run_output
+        client = api.client(result)
+        seen = []
+        cursor = None
+        while True:
+            page = client.get_events(limit=25, cursor=cursor)
+            seen.extend(page.events)
+            if page.cursor is None:
+                break
+            cursor = page.cursor
+        assert len(seen) == len(result.curated_records)
+
+    def test_records_override(self, run_output):
+        result, _ = run_output
+        subset = result.curated_records[:3]
+        client = api.client(result, records=subset)
+        page = client.get_events(limit=10)
+        assert page.total == len(subset)
+
+
+class TestRecordIO:
+    def test_dump_load_roundtrip(self, run_output, tmp_path):
+        result, _ = run_output
+        path = tmp_path / "records.json"
+        api.dump_records(result.curated_records, path)
+        loaded = api.load_records(path)
+        assert loaded == list(result.curated_records)

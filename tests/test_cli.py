@@ -25,6 +25,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_executor_flags(self):
+        args = build_parser().parse_args(
+            ["--workers", "4", "--backend", "process", "--shards", "3",
+             "run", "--stats", "--json"])
+        assert (args.workers, args.backend, args.shards) == (4, "process", 3)
+        assert args.stats and args.json
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "mpi", "run"])
+
+    def test_invalid_executor_values_exit_cleanly(self, capsys):
+        assert main(["--workers", "0", "run"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+        assert main(["--shards", "0", "run"]) == 2
+        assert "n_shards must be >= 1" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_signals_command(self, capsys):
@@ -47,6 +64,17 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Table 2" in output
         assert "IODA shutdowns" in output
+
+    def test_run_stats_json_is_machine_readable(self, capsys,
+                                                pipeline_result):
+        import json
+        status = main(["--cache-dir", str(CACHE_DIR), "--workers", "2",
+                       "run", "--stats", "--json"])
+        assert status == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["workers"] == 2
+        assert report["cache"]["hits"] == report["n_shards"]
+        assert report["cache"]["curate_skipped"]
 
     def test_export_command(self, capsys, tmp_path, pipeline_result):
         status = main(["--cache-dir", str(CACHE_DIR), "export",

@@ -1,0 +1,296 @@
+"""Tests for the sharded execution engine (repro.exec).
+
+The headline guarantees under test:
+
+- a parallel run (any worker count, any backend) is byte-identical to a
+  serial run;
+- a warm content-addressed cache serves every shard and skips the
+  observation+curation stage entirely (visible in ExecStats counters);
+- changing any config that feeds a stage forces cache misses — the
+  regression for the old seed-keyed cache, which silently reused records
+  curated under different parameters.
+
+The end-to-end tests run on a deliberately small scenario (one study
+year, six-month period) so each cold curation costs seconds, not
+minutes.
+"""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.errors import ConfigurationError
+from repro.exec import (
+    CACHE_VERSION,
+    CacheStore,
+    DEFAULT_N_SHARDS,
+    ExecStats,
+    ExecutorConfig,
+    ShardPlan,
+    ShardedCurationExecutor,
+    fingerprint,
+)
+from repro.core.pipeline import ReproPipeline
+from repro.ioda.curation import CurationConfig
+from repro.timeutils.timestamps import TimeRange, utc
+from repro.world.scenario import ScenarioConfig, ScenarioGenerator
+
+SMALL_CONFIG = ScenarioConfig(seed=7, years=(2018,))
+SMALL_PERIOD = TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))
+
+
+def _record_bytes(records):
+    """Canonical serialized form, for byte-identity assertions."""
+    return json.dumps([io.record_to_dict(r) for r in records],
+                      sort_keys=True)
+
+
+def _curate(scenario, *, workers=1, backend="serial", cache=None,
+            n_shards=None, curation_config=None):
+    stats = ExecStats()
+    executor = ShardedCurationExecutor(
+        study_period=SMALL_PERIOD,
+        curation_config=curation_config,
+        cache=cache,
+        config=ExecutorConfig(workers=workers, backend=backend,
+                              n_shards=n_shards))
+    records = executor.curate(scenario, stats)
+    return records, stats
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return ScenarioGenerator(SMALL_CONFIG).generate()
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    """The serial-pipeline baseline every equivalence test compares to."""
+    return ReproPipeline(scenario_config=SMALL_CONFIG,
+                         study_period=SMALL_PERIOD).run()
+
+
+@pytest.fixture(scope="module")
+def serial_records(serial_result):
+    assert serial_result.curated_records
+    return serial_result.curated_records
+
+
+# -- sharding -------------------------------------------------------------------
+
+
+class TestShardPlan:
+    def test_round_robin_is_deterministic_and_complete(self):
+        countries = ["SY", "IN", "ET", "IR", "MM", "SD", "DZ"]
+        plan = ShardPlan.split(countries, 3)
+        again = ShardPlan.split(list(reversed(countries)), 3)
+        assert plan == again
+        assert plan.countries == tuple(sorted(countries))
+        assert sum(len(s.countries) for s in plan) == len(countries)
+
+    def test_weighted_split_balances_heavy_hitters(self):
+        countries = [f"C{i}" for i in range(8)]
+        weights = {c: 100.0 if c == "C0" else 1.0 for c in countries}
+        plan = ShardPlan.split(countries, 2, weights=weights)
+        shard_of = plan.shard_of()
+        heavy = shard_of["C0"]
+        # LPT puts every light country on the other shard.
+        assert all(shard_of[c] != heavy for c in countries if c != "C0")
+
+    def test_empty_shards_dropped(self):
+        plan = ShardPlan.split(["AA", "BB"], 8)
+        assert len(plan) == 2
+        assert plan.countries == ("AA", "BB")
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.split(["AA"], 0)
+
+
+# -- fingerprinting and the cache store -----------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_and_order_sensitive(self):
+        assert fingerprint(1, "a") == fingerprint(1, "a")
+        assert fingerprint(1, "a") != fingerprint("a", 1)
+
+    def test_mapping_order_does_not_leak(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_dataclass_type_is_part_of_the_key(self):
+        assert fingerprint(ScenarioConfig()) != fingerprint(CurationConfig())
+
+    def test_config_field_change_changes_key(self):
+        assert (fingerprint(CurationConfig())
+                != fingerprint(CurationConfig(min_visible_bins=3)))
+
+
+class TestCacheStore:
+    def test_roundtrip(self, tmp_path):
+        store = CacheStore(tmp_path)
+        payload = {"records": [["SY", []]]}
+        store.put("curate", payload, "key")
+        assert store.get("curate", "key") == payload
+        assert store.get("curate", "other-key") is None
+
+    def test_version_in_filename(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("curate", {}, "key")
+        assert f"-v{CACHE_VERSION}-" in path.name
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        path = store.put("curate", {"ok": True}, "key")
+        path.write_text("{truncated", encoding="utf-8")
+        assert store.get("curate", "key") is None
+
+    def test_distinct_configs_get_distinct_files(self, tmp_path):
+        # Regression: the old seed-keyed cache reused records across
+        # config changes because the config never entered the file name.
+        store = CacheStore(tmp_path)
+        default = store.path_for("curate", CurationConfig())
+        changed = store.path_for("curate",
+                                 CurationConfig(min_visible_bins=3))
+        assert default != changed
+
+
+# -- executor config ------------------------------------------------------------
+
+
+class TestExecutorConfig:
+    def test_defaults(self):
+        config = ExecutorConfig()
+        assert config.workers == 1
+        assert config.n_shards is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0},
+        {"backend": "mpi"},
+        {"n_shards": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(**kwargs)
+
+
+class TestExecStats:
+    def test_curate_skipped_semantics(self):
+        stats = ExecStats(n_shards=8, cache_hits=8, cache_misses=0)
+        assert stats.curate_skipped
+        stats = ExecStats(n_shards=8, cache_hits=7, cache_misses=1)
+        assert not stats.curate_skipped
+        assert not ExecStats().curate_skipped
+
+    def test_shard_skew(self):
+        stats = ExecStats()
+        assert stats.shard_skew == 0.0
+        stats.record_shard(0, 1.0)
+        stats.record_shard(1, 3.0)
+        assert stats.shard_skew == pytest.approx(1.5)
+
+    def test_as_dict_shape(self):
+        stats = ExecStats(workers=4, backend="thread", n_shards=8)
+        stats.add_stage("curate", 1.25)
+        report = stats.as_dict()
+        assert set(report) == {"workers", "backend", "n_shards", "stages",
+                               "total_seconds", "cache", "shards",
+                               "n_records"}
+        assert report["stages"] == {"curate": 1.25}
+        assert report["cache"] == {"hits": 0, "misses": 0,
+                                   "curate_skipped": True}
+
+
+# -- serial/parallel equivalence ------------------------------------------------
+
+
+class TestEquivalence:
+    def test_thread_pool_is_byte_identical_to_serial(self, small_scenario,
+                                                     serial_records):
+        parallel, stats = _curate(small_scenario, workers=4,
+                                  backend="thread")
+        assert _record_bytes(parallel) == _record_bytes(serial_records)
+        assert stats.n_shards == DEFAULT_N_SHARDS
+        assert len(stats.shard_seconds) == stats.n_shards
+
+    def test_process_pool_is_byte_identical_to_serial(self, small_scenario,
+                                                      serial_records):
+        parallel, _ = _curate(small_scenario, workers=2, backend="process")
+        assert _record_bytes(parallel) == _record_bytes(serial_records)
+
+    def test_shard_count_does_not_change_results(self, small_scenario,
+                                                 serial_records):
+        records, stats = _curate(small_scenario, n_shards=3)
+        assert stats.n_shards == 3
+        assert _record_bytes(records) == _record_bytes(serial_records)
+
+    def test_record_ids_are_sequential(self, serial_records):
+        assert sorted(r.record_id for r in serial_records) \
+            == list(range(1, len(serial_records) + 1))
+
+
+# -- caching --------------------------------------------------------------------
+
+
+class TestStageCache:
+    def test_cold_warm_and_config_invalidation(self, tmp_path,
+                                               small_scenario,
+                                               serial_records):
+        cache = CacheStore(tmp_path)
+
+        cold, cold_stats = _curate(small_scenario, workers=2,
+                                   backend="thread", cache=cache)
+        assert cold_stats.cache_hits == 0
+        assert cold_stats.cache_misses == cold_stats.n_shards
+        assert not cold_stats.curate_skipped
+        assert _record_bytes(cold) == _record_bytes(serial_records)
+
+        warm, warm_stats = _curate(small_scenario, workers=2,
+                                   backend="thread", cache=cache)
+        assert warm_stats.cache_hits == warm_stats.n_shards
+        assert warm_stats.cache_misses == 0
+        assert warm_stats.curate_skipped
+        assert not warm_stats.shard_seconds
+        assert _record_bytes(warm) == _record_bytes(serial_records)
+
+        # Regression: a changed curation config must miss, never be
+        # served records curated under the old parameters.
+        _, changed_stats = _curate(
+            small_scenario, cache=cache,
+            curation_config=CurationConfig(min_visible_bins=3))
+        assert changed_stats.cache_hits == 0
+        assert changed_stats.cache_misses == changed_stats.n_shards
+
+    def test_warm_cache_survives_pool_resize(self, tmp_path,
+                                             small_scenario,
+                                             serial_records):
+        cache = CacheStore(tmp_path)
+        _curate(small_scenario, workers=1, cache=cache)
+        resized, stats = _curate(small_scenario, workers=4,
+                                 backend="thread", cache=cache)
+        assert stats.curate_skipped
+        assert _record_bytes(resized) == _record_bytes(serial_records)
+
+
+# -- pipeline-level integration -------------------------------------------------
+
+
+def _label_rows(result):
+    return [(e.record.record_id, e.label, e.via_kio_match, e.via_cause,
+             e.matched_kio_ids) for e in result.merged.labeled]
+
+
+class TestPipelineIntegration:
+    def test_parallel_pipeline_matches_serial(self, serial_result,
+                                              serial_records):
+        pipeline = ReproPipeline(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            executor=ExecutorConfig(workers=4, backend="thread"))
+        result = pipeline.run()
+        assert _record_bytes(result.curated_records) \
+            == _record_bytes(serial_records)
+        assert _label_rows(result) == _label_rows(serial_result)
+        assert pipeline.stats is not None
+        assert [s.name for s in pipeline.stats.stages] \
+            == ["scenario", "curate", "kio", "merge", "datasets"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.impact import user_impact
-from repro.errors import TimeRangeError
+from repro.errors import PaginationError, TimeRangeError
 from repro.ioda.api import IODAClient
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -51,17 +51,56 @@ class TestAlertQueries:
 
 
 class TestEventFeed:
-    def test_pagination_walks_everything(self, client, pipeline_result):
+    def test_cursor_pagination_walks_everything(self, client,
+                                                pipeline_result):
+        seen = []
+        cursor = None
+        while True:
+            page = client.get_events(limit=100, cursor=cursor)
+            seen.extend(page.events)
+            if page.cursor is None:
+                break
+            cursor = page.cursor
+        assert len(seen) == len(pipeline_result.curated_records)
+        assert page.total == len(pipeline_result.curated_records)
+        assert seen == list(pipeline_result.curated_records) \
+            or len(seen) == len(pipeline_result.curated_records)
+
+    def test_offset_pagination_deprecated_but_working(self, client,
+                                                      pipeline_result):
         seen = []
         offset = 0
         while True:
-            page = client.get_events(offset=offset, limit=100)
+            with pytest.deprecated_call():
+                page = client.get_events(offset=offset, limit=100)
             seen.extend(page.events)
             if page.next_offset is None:
                 break
             offset = page.next_offset
         assert len(seen) == len(pipeline_result.curated_records)
-        assert page.total == len(pipeline_result.curated_records)
+
+    def test_cursor_and_offset_agree(self, client):
+        with pytest.deprecated_call():
+            by_offset = client.get_events(offset=100, limit=50)
+        first = client.get_events(limit=100)
+        by_cursor = client.get_events(limit=50, cursor=first.cursor)
+        assert by_cursor.events == by_offset.events
+
+    def test_cursor_bound_to_filters(self, client):
+        page = client.get_events(limit=10)
+        assert page.cursor is not None
+        with pytest.raises(PaginationError):
+            client.get_events(country_iso2="SY", limit=10,
+                              cursor=page.cursor)
+
+    def test_malformed_cursor_rejected(self, client):
+        with pytest.raises(PaginationError):
+            client.get_events(cursor="not-a-cursor")
+
+    def test_cursor_offset_conflict_rejected(self, client):
+        page = client.get_events(limit=10)
+        with pytest.raises(PaginationError):
+            client.get_events(offset=10, cursor=page.cursor)
 
     def test_country_filter(self, client):
         page = client.get_events(country_iso2="sy", limit=500)
