@@ -32,7 +32,9 @@ from repro.analysis.institutions import (
 from repro.analysis.mobilization import MobilizationTable, mobilization_table
 from repro.analysis.temporal import TemporalAnalysis, analyze_temporal
 from repro.analysis.observability import (
+    ExecStats,
     ObservabilityTable,
+    execution_report,
     observability_table,
 )
 from repro.analysis.kio_trends import KIOTrends, kio_trends
@@ -54,6 +56,7 @@ __all__ = [
     "state_control_split", "state_share_distributions",
     "MobilizationTable", "mobilization_table",
     "TemporalAnalysis", "analyze_temporal",
+    "ExecStats", "execution_report",
     "ObservabilityTable", "observability_table",
     "KIOTrends", "kio_trends",
     "MatchTimeline", "match_timeline",

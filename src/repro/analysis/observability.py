@@ -9,6 +9,13 @@ Two reports live here:
 - Execution observability: the rendered :class:`repro.exec.ExecStats`
   report for a pipeline run — per-stage wall time, shard-cache hit/miss
   counters, and shard skew — as surfaced by ``repro run --stats``.
+  Since :mod:`repro.obs` landed, that report is a derived view over the
+  run's span tree (:meth:`ExecStats.from_obs`); the full tree plus
+  metrics live in the run journal and the ``--trace`` Chrome export,
+  summarized by ``repro trace summarize`` (:mod:`repro.obs.summary`).
+
+:class:`ExecStats` and :func:`execution_report` are re-exported from
+:mod:`repro.analysis` and :mod:`repro.api` as the stable import path.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from repro.errors import SignalError
 from repro.exec.stats import ExecStats
 from repro.signals.kinds import SignalKind
 
-__all__ = ["ObservabilityTable", "execution_report",
+__all__ = ["ExecStats", "ObservabilityTable", "execution_report",
            "observability_table"]
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.observability import execution_report
 from repro.core.matching import MatchingConfig
 from repro.core.pipeline import PipelineResult, ReproPipeline
 from repro.exec import ExecStats, ExecutorConfig
@@ -29,17 +30,26 @@ from repro.ioda.curation import CurationConfig
 from repro.ioda.platform import IODAPlatform, PlatformConfig
 from repro.ioda.records import OutageRecord
 from repro.kio.compiler import KIOCompilerConfig
+from repro.obs import Observability, RunJournal, read_journal, \
+    summarize_events, write_chrome_trace
 from repro.timeutils.timestamps import TimeRange
 from repro.world.scenario import STUDY_PERIOD, ScenarioConfig
 
 __all__ = [
+    "ExecStats",
     "IODAClient",
+    "Observability",
     "PipelineResult",
+    "RunJournal",
     "client",
     "dump_records",
+    "execution_report",
     "load_records",
+    "read_journal",
     "run",
     "run_with_stats",
+    "summarize_events",
+    "write_chrome_trace",
 ]
 
 
@@ -50,7 +60,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
               curation_config: Optional[CurationConfig],
               kio_config: Optional[KIOCompilerConfig],
               matching_config: Optional[MatchingConfig],
-              study_period: TimeRange) -> ReproPipeline:
+              study_period: TimeRange,
+              observability: Optional[Observability]) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=scenario_config or ScenarioConfig(seed=seed),
         platform_config=platform_config,
@@ -60,7 +71,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         study_period=study_period,
         cache_dir=Path(cache_dir) if cache_dir is not None else None,
         executor=ExecutorConfig(
-            workers=workers, backend=backend, n_shards=shards))
+            workers=workers, backend=backend, n_shards=shards),
+        observability=observability)
 
 
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
@@ -71,7 +83,8 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         curation_config: Optional[CurationConfig] = None,
         kio_config: Optional[KIOCompilerConfig] = None,
         matching_config: Optional[MatchingConfig] = None,
-        study_period: TimeRange = STUDY_PERIOD) -> PipelineResult:
+        study_period: TimeRange = STUDY_PERIOD,
+        observability: Optional[Observability] = None) -> PipelineResult:
     """Run the full reproduction pipeline and return its result.
 
     ``workers``/``backend`` schedule the observation+curation stage
@@ -80,13 +93,19 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     cache so warm re-runs skip straight to the merge.  ``seed`` is
     shorthand for ``scenario_config=ScenarioConfig(seed=...)`` and is
     ignored when an explicit ``scenario_config`` is given.
+
+    Pass an :class:`Observability` session (optionally constructed with
+    a JSONL journal path) to capture the run's span tree and metrics —
+    afterwards ``observability.tracer.spans()`` feeds
+    :func:`write_chrome_trace` and ``observability.metrics_snapshot()``
+    is the ``--metrics-json`` payload.  Tracing never perturbs results.
     """
     result, _ = run_with_stats(
         seed=seed, workers=workers, backend=backend, shards=shards,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period)
+        study_period=study_period, observability=observability)
     return result
 
 
@@ -99,15 +118,21 @@ def run_with_stats(
         curation_config: Optional[CurationConfig] = None,
         kio_config: Optional[KIOCompilerConfig] = None,
         matching_config: Optional[MatchingConfig] = None,
-        study_period: TimeRange = STUDY_PERIOD
+        study_period: TimeRange = STUDY_PERIOD,
+        observability: Optional[Observability] = None
 ) -> Tuple[PipelineResult, ExecStats]:
-    """Like :func:`run`, but also return the :class:`ExecStats` report."""
+    """Like :func:`run`, but also return the :class:`ExecStats` report.
+
+    The report is the derived view over the run's span tree
+    (:meth:`ExecStats.from_obs`); render it with
+    :func:`execution_report`.
+    """
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period)
+        study_period=study_period, observability=observability)
     result = pipeline.run()
     assert pipeline.stats is not None
     return result, pipeline.stats

@@ -5,7 +5,11 @@
 - ``run``      — run the full pipeline and print the headline tables;
   ``--workers N`` shards the observation+curation stage across a worker
   pool, ``--stats`` appends the execution report, ``--stats --json``
-  emits it machine-readable for benchmark trajectories.
+  emits it machine-readable for benchmark trajectories.  Observability
+  exports: ``--journal RUN.jsonl`` streams the JSONL run journal,
+  ``--trace TRACE.json`` writes a Chrome ``trace_event`` file (open in
+  ``chrome://tracing`` or Perfetto), ``--metrics-json METRICS.json``
+  dumps the metrics registry snapshot.
 - ``report``   — regenerate EXPERIMENTS.md.
 - ``export``   — write the curated records and harmonized KIO events to
   JSON files (the paper's released dataset artifact).
@@ -13,6 +17,8 @@
   over a UTC time window.
 - ``triage``   — run the §7 triage heuristic over the most recent curated
   events.
+- ``trace``    — ``trace summarize RUN.jsonl`` replays a run journal and
+  prints the slowest spans and hottest counters.
 """
 
 from __future__ import annotations
@@ -33,9 +39,11 @@ from repro.analysis.observability import execution_report
 from repro.analysis.report import build_report, render_markdown
 from repro.core.heuristics import ShutdownTriage
 from repro.core.pipeline import ReproPipeline
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SignalError
 from repro.exec import BACKENDS, ExecutorConfig
 from repro.io import dump_kio_events, dump_records, dump_records_csv
+from repro.obs import Observability, read_journal, summarize_events, \
+    write_chrome_trace
 from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -74,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "cache hits/misses, shard skew)")
     run.add_argument("--json", action="store_true",
                      help="with --stats, emit the report as JSON only")
+    run.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                     help="write a Chrome trace_event JSON of the run "
+                          "(open in chrome://tracing or Perfetto)")
+    run.add_argument("--journal", type=Path, default=None, metavar="PATH",
+                     help="stream a JSONL run journal (replay with "
+                          "'repro trace summarize PATH')")
+    run.add_argument("--metrics-json", type=Path, default=None,
+                     metavar="PATH", dest="metrics_json",
+                     help="write the metrics registry snapshot as JSON")
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -97,25 +114,56 @@ def build_parser() -> argparse.ArgumentParser:
     triage = commands.add_parser(
         "triage", help="triage the most recent curated events")
     triage.add_argument("--limit", type=int, default=10)
+
+    trace = commands.add_parser(
+        "trace", help="inspect observability artifacts of past runs")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    summarize = trace_commands.add_parser(
+        "summarize", help="replay a JSONL run journal: slowest spans, "
+                          "hottest counters")
+    summarize.add_argument("journal", type=Path,
+                           help="path to a RUN.jsonl journal")
+    summarize.add_argument("--top", type=int, default=10,
+                           help="rows per section (default 10)")
     return parser
 
 
-def _pipeline(args: argparse.Namespace) -> ReproPipeline:
+def _pipeline(args: argparse.Namespace,
+              observability: Observability | None = None) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=ScenarioConfig(seed=args.seed),
         cache_dir=args.cache_dir,
         executor=ExecutorConfig(workers=args.workers,
                                 backend=args.backend,
-                                n_shards=args.shards))
+                                n_shards=args.shards),
+        observability=observability)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
-    pipeline = _pipeline(args)
+    obs = (Observability(journal=args.journal)
+           if (args.trace or args.journal or args.metrics_json) else None)
+    pipeline = _pipeline(args, observability=obs)
     result = pipeline.run()
+    exported = []
+    if obs is not None:
+        if args.trace:
+            exported.append(write_chrome_trace(obs.tracer.spans(),
+                                               args.trace))
+        if args.journal:
+            exported.append(args.journal)
+        if args.metrics_json:
+            args.metrics_json.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics_json.write_text(
+                json.dumps(obs.metrics_snapshot(), indent=2),
+                encoding="utf-8")
+            exported.append(args.metrics_json)
     if args.stats and args.json:
         print(json.dumps(pipeline.stats.as_dict(), indent=2))
+        for path in exported:
+            print(f"wrote {path}", file=sys.stderr)
         return 0
     print("== Table 2 ==")
     print("\n".join(summarize_merged(result.merged).rows()))
@@ -128,6 +176,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.stats:
         print("\n== Execution ==")
         print("\n".join(execution_report(pipeline.stats)))
+    for path in exported:
+        print(f"wrote {path}")
     return 0
 
 
@@ -206,6 +256,21 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        if not args.journal.exists():
+            print(f"repro: error: no such journal: {args.journal}",
+                  file=sys.stderr)
+            return 2
+        events = read_journal(args.journal)
+        if not events:
+            print(f"repro: error: empty or unreadable journal: "
+                  f"{args.journal}", file=sys.stderr)
+            return 2
+        print("\n".join(summarize_events(events).rows(top=args.top)))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -213,6 +278,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "signals": _cmd_signals,
     "triage": _cmd_triage,
+    "trace": _cmd_trace,
 }
 
 
@@ -222,6 +288,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ConfigurationError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except SignalError as exc:
+        # E.g. an empty merged dataset leaves Figure 16 with nothing to
+        # summarize; exit cleanly instead of tracebacking.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -24,6 +24,7 @@ from repro.countries.registry import CountryRegistry
 from repro.errors import MatchingError
 from repro.ioda.records import OutageRecord
 from repro.kio.schema import KIOEvent
+from repro.obs.runtime import current
 from repro.timeutils.timestamps import DAY, TimeRange
 
 __all__ = ["MatchingConfig", "Match", "EventMatcher"]
@@ -77,18 +78,27 @@ class EventMatcher:
               ioda_records: Sequence[OutageRecord]) -> List[Match]:
         """All (KIO, IODA) pairs whose country agrees and whose IODA start
         falls inside the KIO window."""
-        by_country: Dict[str, List[Tuple[TimeRange, KIOEvent]]] = {}
-        for event in kio_events:
-            country = self._registry.by_name(event.country_name)
-            by_country.setdefault(country.iso2, []).append(
-                (self.kio_window_utc(event), event))
-        matches: List[Match] = []
-        for record in ioda_records:
-            for window, event in by_country.get(record.country_iso2, []):
-                if window.contains(record.span.start):
-                    matches.append(Match(
-                        kio_event_id=event.event_id,
-                        ioda_record_id=record.record_id))
+        obs = current()
+        with obs.span("matching.match", n_kio=len(kio_events),
+                      n_ioda=len(ioda_records)):
+            by_country: Dict[str, List[Tuple[TimeRange, KIOEvent]]] = {}
+            for event in kio_events:
+                country = self._registry.by_name(event.country_name)
+                by_country.setdefault(country.iso2, []).append(
+                    (self.kio_window_utc(event), event))
+            comparisons = 0
+            matches: List[Match] = []
+            for record in ioda_records:
+                windows = by_country.get(record.country_iso2, [])
+                comparisons += len(windows)
+                for window, event in windows:
+                    if window.contains(record.span.start):
+                        matches.append(Match(
+                            kio_event_id=event.event_id,
+                            ioda_record_id=record.record_id))
+        metrics = obs.metrics
+        metrics.counter("matching.window_comparisons").inc(comparisons)
+        metrics.counter("matching.matches").inc(len(matches))
         return matches
 
     def matched_ioda_ids(self, matches: Sequence[Match]) -> frozenset[int]:

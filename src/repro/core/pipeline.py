@@ -17,7 +17,6 @@ byte-identical to serial ones.  Prefer the stable facade
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional
@@ -26,6 +25,7 @@ from repro.core.matching import MatchingConfig
 from repro.exec.cachestore import CACHE_VERSION, CacheStore
 from repro.exec.stats import ExecStats
 from repro.exec.workers import ExecutorConfig, ShardedCurationExecutor
+from repro.obs.runtime import Observability, activate
 from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.datasets import (
     CoupDataset,
@@ -85,7 +85,8 @@ class ReproPipeline:
                  matching_config: MatchingConfig | None = None,
                  study_period: TimeRange = STUDY_PERIOD,
                  cache_dir: Optional[Path] = None,
-                 executor: ExecutorConfig | None = None):
+                 executor: ExecutorConfig | None = None,
+                 observability: Observability | None = None):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -99,12 +100,24 @@ class ReproPipeline:
             curation_config=curation_config,
             cache=CacheStore(Path(cache_dir)) if cache_dir else None,
             config=executor)
+        self._observability = observability
+        self._last_obs: Optional[Observability] = None
         self._stats: Optional[ExecStats] = None
 
     @property
     def stats(self) -> Optional[ExecStats]:
         """Execution report of the most recent :meth:`run` (or None)."""
         return self._stats
+
+    @property
+    def observability(self) -> Optional[Observability]:
+        """The observability session of the most recent :meth:`run`.
+
+        Holds the full span tree and metrics registry — what
+        ``--trace`` and ``--metrics-json`` export; :attr:`stats` is the
+        condensed view derived from it.
+        """
+        return self._last_obs
 
     # -- stages ----------------------------------------------------------------
 
@@ -136,32 +149,37 @@ class ReproPipeline:
     def run(self) -> PipelineResult:
         """Run every stage and assemble the result.
 
-        The execution report (stage wall times, cache hit/miss counters,
-        shard skew) for the run is available as :attr:`stats` afterwards.
+        Every run executes under an observability session
+        (:mod:`repro.obs`): the five stages become ``stage:*`` spans,
+        the executor's shard work nests under the curate stage, and hot
+        paths count into the session's metrics registry.  The
+        :class:`ExecStats` report surfaced as :attr:`stats` is derived
+        from that span tree afterwards — same keys and rows as when the
+        pipeline filled it in by hand.  Callers wanting the journal /
+        Chrome-trace exports pass their own session via the
+        ``observability`` constructor argument (see :mod:`repro.api`).
         """
-        stats = ExecStats()
-        started = time.perf_counter()
-        scenario = self.build_scenario()
-        stats.add_stage("scenario", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        records = self.curate(scenario, stats)
-        stats.add_stage("curate", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        kio_events = self.compile_kio(scenario)
-        stats.add_stage("kio", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        merged = build_merged_dataset(
-            scenario.registry, kio_events, records, self._study_period,
-            matching=self._matching_config)
-        stats.add_stage("merge", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        result = self._assemble(scenario, records, kio_events, merged)
-        stats.add_stage("datasets", time.perf_counter() - started)
-        self._stats = stats
+        obs = (self._observability if self._observability is not None
+               else Observability())
+        with activate(obs):
+            with obs.span("run", seed=self._scenario_config.seed):
+                with obs.span("stage:scenario"):
+                    scenario = self.build_scenario()
+                with obs.span("stage:curate"):
+                    records = self.curate(scenario)
+                with obs.span("stage:kio"):
+                    kio_events = self.compile_kio(scenario)
+                with obs.span("stage:merge"):
+                    merged = build_merged_dataset(
+                        scenario.registry, kio_events, records,
+                        self._study_period,
+                        matching=self._matching_config)
+                with obs.span("stage:datasets"):
+                    result = self._assemble(
+                        scenario, records, kio_events, merged)
+        self._stats = ExecStats.from_obs(obs)
+        self._last_obs = obs
+        obs.finish()
         return result
 
     def _assemble(self, scenario: WorldScenario,

@@ -24,6 +24,8 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
+from repro.obs.runtime import current
+
 __all__ = ["CACHE_VERSION", "CacheStore", "fingerprint"]
 
 #: Bump when generator or curation semantics change, invalidating caches.
@@ -100,21 +102,34 @@ class CacheStore:
         A corrupt entry (interrupted write, disk trouble) reads as a miss
         rather than poisoning the run.
         """
+        obs = current()
         path = self.path_for(stage, *key_parts)
         if not path.exists():
+            obs.metrics.counter("cachestore.misses", stage=stage).inc()
             return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+            payload = json.loads(text)
         except (OSError, ValueError):
+            obs.metrics.counter("cachestore.misses", stage=stage).inc()
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            obs.metrics.counter("cachestore.misses", stage=stage).inc()
+            return None
+        obs.metrics.counter("cachestore.hits", stage=stage).inc()
+        obs.metrics.counter("cachestore.bytes_read",
+                            stage=stage).inc(len(text))
+        return payload
 
     def put(self, stage: str, payload: Dict[str, Any],
             *key_parts: Any) -> Path:
         """Atomically persist a payload under its content key."""
         path = self.path_for(stage, *key_parts)
         self._root.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.write_text(text, encoding="utf-8")
         tmp.replace(path)
+        current().metrics.counter("cachestore.bytes_written",
+                                  stage=stage).inc(len(text))
         return path

@@ -1,19 +1,37 @@
 """Execution observability.
 
-:class:`ExecStats` is the lightweight report the sharded executor fills
-in as it runs: wall time per pipeline stage, cache hits and misses at
-shard granularity, and the per-shard timing spread.  ``repro run
---stats`` renders it for humans; ``--stats --json`` emits
+:class:`ExecStats` is the run report surfaced by ``repro run --stats``:
+wall time per pipeline stage, cache hits and misses at shard
+granularity, and the per-shard timing spread.  ``--stats --json`` emits
 :meth:`ExecStats.as_dict` so benchmark trajectory files can track
 executor performance across revisions.
+
+Since the :mod:`repro.obs` subsystem landed, the pipeline no longer
+fills this report in by hand: it is **derived** from the run's span
+tree and metrics registry via :meth:`ExecStats.from_obs` — stage
+timings come from the ``stage:*`` spans, shard timings from the
+``exec.shard`` spans, cache counters from the ``exec.cache.*``
+counters, and the executor shape from the curate-stage span
+attributes.  The dataclass (and its mutating helpers) remain for
+direct executor callers and for constructing reports by hand; the
+``as_dict()``/``rows()`` output is byte-compatible either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.runtime import Observability
 
 __all__ = ["ExecStats", "StageTiming"]
+
+#: Span-name prefix identifying pipeline stages in the span tree.
+STAGE_PREFIX = "stage:"
+
+#: Span name the executor gives each executed shard.
+SHARD_SPAN = "exec.shard"
 
 
 @dataclass
@@ -44,6 +62,40 @@ class ExecStats:
 
     def record_shard(self, index: int, seconds: float) -> None:
         self.shard_seconds[index] = seconds
+
+    # -- derivation from the span tree -------------------------------------------
+
+    @classmethod
+    def from_obs(cls, obs: "Observability") -> "ExecStats":
+        """Derive the execution report from an observability session.
+
+        The session must cover one pipeline run: ``stage:*`` spans for
+        the stage timings (ordered by start time), ``exec.shard`` spans
+        for the per-shard spread, ``exec.cache.hits``/``.misses``
+        counters, and the executor shape annotated on the curate-stage
+        span by :class:`repro.exec.workers.ShardedCurationExecutor`.
+        """
+        stats = cls()
+        spans = obs.tracer.spans()
+        stage_spans = sorted(
+            (s for s in spans if s.name.startswith(STAGE_PREFIX)),
+            key=lambda s: s.start)
+        for span in stage_spans:
+            stats.add_stage(span.name[len(STAGE_PREFIX):], span.duration)
+            if span.name == STAGE_PREFIX + "curate":
+                stats.workers = int(span.attrs.get("workers", stats.workers))
+                stats.backend = str(span.attrs.get("backend", stats.backend))
+                stats.n_shards = int(
+                    span.attrs.get("n_shards", stats.n_shards))
+                stats.n_records = int(
+                    span.attrs.get("n_records", stats.n_records))
+        for span in spans:
+            if span.name == SHARD_SPAN and "shard" in span.attrs:
+                stats.record_shard(int(span.attrs["shard"]), span.duration)
+        counters = obs.metrics.snapshot()["counters"]
+        stats.cache_hits = int(counters.get("exec.cache.hits", 0))
+        stats.cache_misses = int(counters.get("exec.cache.misses", 0))
+        return stats
 
     # -- derived ----------------------------------------------------------------
 

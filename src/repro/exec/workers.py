@@ -16,6 +16,15 @@ Backends:
 - ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; each
   worker regenerates the (deterministic) scenario from its config, so
   only small config dataclasses cross the process boundary.
+
+When an observability session is active (:mod:`repro.obs`), every
+executed shard is traced as an ``exec.shard`` span parented under the
+scheduling thread's current span: thread workers record straight into
+the shared tracer with an explicit parent id, and process workers
+collect into a local session whose spans and metrics the parent adopts
+on completion.  Cache hits/misses are counted into the session's
+metrics registry.  None of this touches the RNG substreams, so results
+remain byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -30,7 +39,8 @@ from repro import io
 from repro.errors import ConfigurationError, SchemaError
 from repro.exec.cachestore import CacheStore
 from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
-from repro.exec.stats import ExecStats
+from repro.exec.stats import SHARD_SPAN, ExecStats
+from repro.obs.runtime import Observability, activate, current
 from repro.ioda.curation import CurationConfig, CurationPipeline, \
     finalize_records
 from repro.ioda.platform import IODAPlatform, PlatformConfig
@@ -91,22 +101,45 @@ def _curate_shard(scenario: WorldScenario,
             for iso2 in countries]
 
 
+#: What one scheduled shard sends back: records, wall seconds, and —
+#: from process workers — the locally collected spans and metrics that
+#: the parent grafts into the run's observability session.
+_ShardOutcome = Tuple[_ShardRecords, float, list, Optional[dict]]
+
+
 def _curate_shard_subprocess(
         scenario_config: ScenarioConfig,
         platform_config: PlatformConfig,
         curation_config: CurationConfig,
         period: TimeRange,
-        countries: Tuple[str, ...]) -> Tuple[_ShardRecords, float]:
+        countries: Tuple[str, ...],
+        shard_index: int = -1,
+        collect_obs: bool = False) -> _ShardOutcome:
     """Process-pool entry point: rebuild the world, curate, time it.
 
     Module-level so it pickles by reference; scenario generation is
     deterministic, so the rebuilt world matches the parent's exactly.
+    When the parent run has observability enabled, the worker collects
+    into its own session and returns the span records and metrics
+    snapshot for the parent to adopt — ids are remapped on adoption, so
+    nothing here needs to coordinate with the parent tracer.
     """
     started = time.perf_counter()
-    scenario = ScenarioGenerator(scenario_config).generate()
-    result = _curate_shard(
-        scenario, platform_config, curation_config, period, countries)
-    return result, time.perf_counter() - started
+    if not collect_obs:
+        scenario = ScenarioGenerator(scenario_config).generate()
+        result = _curate_shard(
+            scenario, platform_config, curation_config, period, countries)
+        return result, time.perf_counter() - started, [], None
+    local = Observability()
+    with activate(local):
+        with local.span(SHARD_SPAN, shard=shard_index,
+                        countries=len(countries), backend="process"):
+            scenario = ScenarioGenerator(scenario_config).generate()
+            result = _curate_shard(
+                scenario, platform_config, curation_config, period,
+                countries)
+    return (result, time.perf_counter() - started,
+            local.tracer.spans(), local.metrics.snapshot())
 
 
 class ShardedCurationExecutor:
@@ -132,9 +165,12 @@ class ShardedCurationExecutor:
     def curate(self, scenario: WorldScenario,
                stats: ExecStats | None = None) -> List[OutageRecord]:
         """Curate every triggered country of ``scenario``, in shards."""
+        obs = current()
         stats = stats if stats is not None else ExecStats()
         stats.workers = self._config.workers
         stats.backend = self._config.backend
+        obs.annotate(workers=self._config.workers,
+                     backend=self._config.backend)
 
         platform = IODAPlatform(scenario, self._platform_config)
         pipeline = CurationPipeline(platform, self._curation_config)
@@ -148,6 +184,7 @@ class ShardedCurationExecutor:
             sorted(windows), self._config.n_shards or DEFAULT_N_SHARDS,
             weights=weights)
         stats.n_shards = len(plan)
+        obs.annotate(n_shards=len(plan))
 
         by_shard: Dict[int, _ShardRecords] = {}
         cold: List[Shard] = []
@@ -159,6 +196,8 @@ class ShardedCurationExecutor:
             else:
                 cold.append(shard)
         stats.cache_misses = len(cold)
+        obs.metrics.counter("exec.cache.hits").inc(stats.cache_hits)
+        obs.metrics.counter("exec.cache.misses").inc(len(cold))
 
         if cold:
             executed = self._execute(scenario, platform, cold, stats)
@@ -172,6 +211,7 @@ class ShardedCurationExecutor:
         merged = finalize_records(
             by_country[iso2] for iso2 in plan.countries)
         stats.n_records = len(merged)
+        obs.annotate(n_records=len(merged))
         return merged
 
     # -- scheduling -------------------------------------------------------------
@@ -179,6 +219,12 @@ class ShardedCurationExecutor:
     def _execute(self, scenario: WorldScenario, platform: IODAPlatform,
                  cold: List[Shard],
                  stats: ExecStats) -> Dict[Shard, _ShardRecords]:
+        obs = current()
+        # Shard spans run on pool threads (empty span stacks) or in
+        # other processes, so the scheduling thread's innermost span —
+        # the curate stage — is captured here and threaded through as
+        # the explicit parent.
+        parent_id = obs.tracer.current_id()
         workers = min(self._config.workers, len(cold))
         backend = self._config.backend
         if workers <= 1 and backend != "process":
@@ -188,46 +234,62 @@ class ShardedCurationExecutor:
             results: Dict[Shard, _ShardRecords] = {}
             for shard in cold:
                 started = time.perf_counter()
-                results[shard] = _curate_shard(
-                    scenario, self._platform_config, self._curation_config,
-                    self._period, shard.countries, platform=platform)
+                with obs.span(SHARD_SPAN, parent=parent_id,
+                              shard=shard.index,
+                              countries=len(shard.countries),
+                              backend="serial"):
+                    results[shard] = _curate_shard(
+                        scenario, self._platform_config,
+                        self._curation_config, self._period,
+                        shard.countries, platform=platform)
                 stats.record_shard(
                     shard.index, time.perf_counter() - started)
             return results
 
         if backend == "thread":
-            def timed(shard: Shard) -> Tuple[_ShardRecords, float]:
+            def timed(shard: Shard) -> _ShardOutcome:
                 started = time.perf_counter()
-                result = _curate_shard(
-                    scenario, self._platform_config, self._curation_config,
-                    self._period, shard.countries, platform=platform)
-                return result, time.perf_counter() - started
+                with obs.span(SHARD_SPAN, parent=parent_id,
+                              shard=shard.index,
+                              countries=len(shard.countries),
+                              backend="thread"):
+                    result = _curate_shard(
+                        scenario, self._platform_config,
+                        self._curation_config, self._period,
+                        shard.countries, platform=platform)
+                return result, time.perf_counter() - started, [], None
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(timed, shard): shard
                            for shard in cold}
-                return self._collect(futures, stats)
+                return self._collect(futures, stats, obs, parent_id)
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
                     _curate_shard_subprocess, scenario.config,
                     self._platform_config, self._curation_config,
-                    self._period, shard.countries): shard
+                    self._period, shard.countries, shard.index,
+                    obs.enabled): shard
                 for shard in cold}
-            return self._collect(futures, stats)
+            return self._collect(futures, stats, obs, parent_id)
 
     @staticmethod
-    def _collect(futures, stats: ExecStats) -> Dict[Shard, _ShardRecords]:
+    def _collect(futures, stats: ExecStats, obs,
+                 parent_id) -> Dict[Shard, _ShardRecords]:
         results: Dict[Shard, _ShardRecords] = {}
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 shard = futures[future]
-                shard_records, seconds = future.result()
+                shard_records, seconds, spans, metrics = future.result()
                 results[shard] = shard_records
                 stats.record_shard(shard.index, seconds)
+                if spans:
+                    obs.tracer.adopt(spans, parent_id)
+                if metrics:
+                    obs.metrics.merge(metrics)
         return results
 
     # -- cache ------------------------------------------------------------------

@@ -52,6 +52,7 @@ from repro.ioda.calendar import ObservationCalendar
 from repro.ioda.dashboard import Dashboard, ioda_url
 from repro.ioda.platform import IODAPlatform
 from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.obs.runtime import current
 from repro.rng import substream
 from repro.signals.alerts import AlertEpisode
 from repro.signals.entities import Entity, EntityScope
@@ -81,6 +82,8 @@ def finalize_records(
                for country_records in per_country
                for record in country_records]
     records.sort(key=lambda r: (r.span.start, r.country_iso2))
+    current().metrics.counter("curation.records_finalized") \
+        .inc(len(records))
     return records
 
 
@@ -189,12 +192,20 @@ class CurationPipeline:
         assemble a multi-country dataset renumber them via
         :func:`finalize_records`.
         """
-        rng = substream(self._scenario.seed, "curation", iso2)
-        record_ids = itertools.count(1)
-        records: List[OutageRecord] = []
-        for window in windows:
-            records.extend(
-                self._investigate(iso2, window, period, rng, record_ids))
+        obs = current()
+        with obs.span("curate.country", country=iso2,
+                      windows=len(windows)):
+            rng = substream(self._scenario.seed, "curation", iso2)
+            record_ids = itertools.count(1)
+            records: List[OutageRecord] = []
+            for window in windows:
+                records.extend(
+                    self._investigate(iso2, window, period, rng,
+                                      record_ids))
+        metrics = obs.metrics
+        metrics.counter("curation.windows_investigated").inc(len(windows))
+        metrics.counter("curation.records_curated", country=iso2) \
+            .inc(len(records))
         return records
 
     def investigate(self, iso2: str, window: TimeRange,
@@ -208,6 +219,8 @@ class CurationPipeline:
         entity = Entity.country(iso2)
         episodes = self._dashboard.episodes_by_signal(entity, window)
         candidates = self._cluster(episodes)
+        current().metrics.counter("curation.candidates_clustered") \
+            .inc(len(candidates))
         records: List[OutageRecord] = []
         found_visible = False
         for candidate in candidates:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.countries.registry import Country, CountryRegistry
 from repro.kio.schema import KIOCategory, KIOEvent, NetworkType
+from repro.obs.runtime import current
 from repro.rng import substream
 from repro.signals.entities import EntityScope
 from repro.timeutils.timestamps import DAY
@@ -70,11 +71,16 @@ class KIOCompiler:
                 restrictions: Sequence[RestrictionEpisode],
                 years: Iterable[int]) -> List[KIOEvent]:
         """All KIO events for the given years."""
+        obs = current()
         year_set = set(years)
-        events: List[KIOEvent] = []
-        events.extend(self._shutdown_entries(shutdowns, year_set))
-        events.extend(self._restriction_entries(restrictions, year_set))
-        events.sort(key=lambda e: (e.year, e.start_day, e.country_name))
+        with obs.span("kio.compile", n_shutdowns=len(shutdowns),
+                      n_restrictions=len(restrictions),
+                      years=len(year_set)):
+            events: List[KIOEvent] = []
+            events.extend(self._shutdown_entries(shutdowns, year_set))
+            events.extend(self._restriction_entries(restrictions, year_set))
+            events.sort(key=lambda e: (e.year, e.start_day, e.country_name))
+        obs.metrics.counter("kio.events_compiled").inc(len(events))
         return events
 
     # -- shutdowns ---------------------------------------------------------------

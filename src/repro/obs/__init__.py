@@ -1,0 +1,60 @@
+"""repro.obs — structured observability for the pipeline.
+
+A dependency-free observability subsystem with three coordinated parts:
+
+- **Span tracing** (:mod:`repro.obs.trace`): hierarchical, monotonic
+  spans with attributes, nested through per-thread stacks and grafted
+  across the :mod:`repro.exec` thread/process workers, so shard work
+  appears under the run's root span.
+- **Metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  fixed-bucket histograms with percentile summaries, incremented from
+  the hot paths (curation, matching, KIO compilation, the cache store,
+  RNG substream derivation) and mergeable across process workers.
+- **Run journal** (:mod:`repro.obs.journal`): a streamed JSONL record
+  of every span close and metrics snapshot, replayable by ``repro trace
+  summarize`` (:mod:`repro.obs.summary`) and exportable as a Chrome
+  ``trace_event`` JSON (:mod:`repro.obs.export`) for
+  ``chrome://tracing`` / Perfetto.
+
+Instrumentation is **zero-cost when disabled**: library code records
+into :func:`current`, which returns a no-op session unless a run has
+:func:`activate`\\ d a real :class:`Observability`.  Recording never
+touches the RNG substreams, so enabling observability cannot perturb
+results — serial/parallel byte-identity holds with tracing on.
+"""
+
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.journal import JOURNAL_VERSION, RunJournal, iter_journal, \
+    read_journal
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
+    NullMetrics, series_key
+from repro.obs.runtime import NULL_OBS, Observability, activate, current
+from repro.obs.summary import JournalSummary, aggregate_spans, \
+    summarize_events
+from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalSummary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullMetrics",
+    "NullTracer",
+    "Observability",
+    "RunJournal",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "aggregate_spans",
+    "chrome_trace",
+    "current",
+    "iter_journal",
+    "read_journal",
+    "series_key",
+    "summarize_events",
+    "write_chrome_trace",
+]

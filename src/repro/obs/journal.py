@@ -1,0 +1,95 @@
+"""The JSONL run journal.
+
+A :class:`RunJournal` streams one JSON object per line as the run
+happens: a ``run_start`` header, a ``span`` event every time a span
+closes (including spans adopted from process workers), periodic or
+final ``metrics`` snapshots, and a ``run_end`` footer.  Because events
+are appended as they occur, a crashed run still leaves a readable
+journal up to the moment it died — the property that makes journals
+useful for debugging in the first place.
+
+:func:`read_journal` replays a journal file back into event dicts;
+``repro trace summarize RUN.jsonl`` is built on it (see
+:mod:`repro.obs.summary`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = ["JOURNAL_VERSION", "RunJournal", "iter_journal", "read_journal"]
+
+#: Journal format version, stamped into the ``run_start`` event.
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Append-only JSONL event stream for one run."""
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[Any] = self._path.open(
+            "w", encoding="utf-8", buffering=1)
+        self.write({"type": "run_start", "version": JOURNAL_VERSION,
+                    "ts": round(time.time(), 6)})
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def write(self, event: Dict[str, Any]) -> None:
+        """Append one event; a closed journal silently drops writes."""
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(line + "\n")
+
+    def close(self, footer: Optional[Dict[str, Any]] = None) -> None:
+        """Write the ``run_end`` footer (once) and release the file."""
+        with self._lock:
+            if self._file is None:
+                return
+            event = {"type": "run_end", "ts": round(time.time(), 6)}
+            if footer:
+                event.update(footer)
+            self._file.write(json.dumps(
+                event, sort_keys=True, separators=(",", ":")) + "\n")
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def iter_journal(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield a journal's events in order, skipping malformed lines.
+
+    Tolerating a torn final line means a journal from a crashed or
+    still-running pipeline remains replayable.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                yield event
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Replay a journal file into a list of event dicts."""
+    return list(iter_journal(path))

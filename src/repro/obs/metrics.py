@@ -1,0 +1,264 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Hot paths increment named series through a :class:`MetricsRegistry`;
+a snapshot of every series is JSON-serializable, so it can be streamed
+into the run journal, written to ``--metrics-json``, and merged across
+process workers (:meth:`MetricsRegistry.merge`).
+
+Series are identified by a name plus optional labels —
+``curation.records_curated{country=SY}`` — following the Prometheus
+convention so downstream tooling has nothing new to learn.  Histograms
+use fixed bucket upper bounds and report percentile *summaries* by
+linear interpolation inside the owning bucket: cheap to update, bounded
+memory, and mergeable by adding bucket counts.
+
+The :class:`NullMetrics` twin makes every operation a no-op so
+instrumentation costs nothing when no observability session is active.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetrics", "series_key"]
+
+#: Default histogram buckets: sub-millisecond to minutes (seconds scale).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+
+def series_key(name: str, labels: Mapping[str, Any]) -> str:
+    """The canonical series identifier: ``name{k=v,...}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentile summaries."""
+
+    __slots__ = ("_lock", "buckets", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self._lock = threading.Lock()
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        # counts[i] observes values <= buckets[i]; the last slot is the
+        # +Inf overflow bucket.
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = len(self.buckets)
+            for i, upper in enumerate(self.buckets):
+                if value <= upper:
+                    index = i
+                    break
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100), interpolated within buckets.
+
+        The overflow bucket has no upper bound, so percentiles landing
+        there report the observed maximum.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                if i >= len(self.buckets):
+                    return self.maximum
+                lower = (self.buckets[i - 1] if i > 0
+                         else min(self.minimum, self.buckets[i]))
+                upper = self.buckets[i]
+                fraction = (rank - seen) / n
+                return lower + (upper - lower) * fraction
+            seen += n
+        return self.maximum
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON form: shape stats, key percentiles, and raw buckets."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                    "buckets": list(self.buckets),
+                    "bucket_counts": list(self.counts)}
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.minimum, 6),
+            "max": round(self.maximum, 6),
+            "p50": round(self.percentile(50), 6),
+            "p90": round(self.percentile(90), 6),
+            "p99": round(self.percentile(99), 6),
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.counts),
+        }
+
+    def merge_summary(self, summary: Mapping[str, Any]) -> None:
+        """Fold a snapshot from another registry into this histogram."""
+        if tuple(summary.get("buckets", ())) != self.buckets:
+            raise ValueError("histogram bucket bounds do not match")
+        if not summary.get("count"):
+            return
+        with self._lock:
+            for i, n in enumerate(summary["bucket_counts"]):
+                self.counts[i] += int(n)
+            self.count += int(summary["count"])
+            self.total += float(summary["sum"])
+            self.minimum = min(self.minimum, float(summary["min"]))
+            self.maximum = max(self.maximum, float(summary["max"]))
+
+
+class MetricsRegistry:
+    """Creates and holds every metric series of one observability session."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- series accessors (create on first use) ----------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = series_key(name, labels)
+        with self._lock:
+            try:
+                return self._counters[key]
+            except KeyError:
+                metric = self._counters[key] = Counter()
+                return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = series_key(name, labels)
+        with self._lock:
+            try:
+                return self._gauges[key]
+            except KeyError:
+                metric = self._gauges[key] = Gauge()
+                return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels: Any) -> Histogram:
+        key = series_key(name, labels)
+        with self._lock:
+            try:
+                return self._histograms[key]
+            except KeyError:
+                metric = self._histograms[key] = Histogram(
+                    tuple(buckets) if buckets is not None
+                    else DEFAULT_BUCKETS)
+                return metric
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every series, JSON-serializable (journal / ``--metrics-json``)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value
+                             for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value
+                           for k, g in sorted(self._gauges.items())},
+                "histograms": {k: h.summary()
+                               for k, h in sorted(self._histograms.items())},
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a worker's snapshot in: counters add, gauges last-write,
+        histograms merge bucket counts."""
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).inc(int(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauge(key).set(float(value))
+        for key, summary in snapshot.get("histograms", {}).items():
+            self.histogram(key, buckets=summary.get("buckets")) \
+                .merge_summary(summary)
+
+
+class _NullMetric:
+    """Accepts every recording call and does nothing."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """The disabled registry twin handed out with the null tracer."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        return None

@@ -1,0 +1,131 @@
+"""The observability session and its ambient installation.
+
+An :class:`Observability` object bundles the three pieces of
+:mod:`repro.obs` — span tracer, metrics registry, and (optionally) a
+JSONL run journal — for one pipeline run.  Library code never receives
+it explicitly; it asks :func:`current` for whatever session is active
+and records into that.  By default the active session is
+:data:`NULL_OBS`, whose tracer and registry are no-ops, so instrumented
+hot paths cost one module-global read when observability is off.
+
+:func:`activate` installs a session for the duration of a ``with``
+block.  The active session is a process-wide global rather than a
+context variable on purpose: pool threads spawned by
+``concurrent.futures`` do not inherit context variables, and shard work
+running on those threads must see the run's session.  Process workers
+instead build their own session and ship records back (see
+:meth:`repro.obs.trace.Tracer.adopt`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.obs.journal import RunJournal
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
+
+__all__ = ["NULL_OBS", "Observability", "activate", "current"]
+
+
+class Observability:
+    """One run's tracer + metrics + (optional) journal."""
+
+    enabled = True
+
+    def __init__(self, *, journal: Optional[Union[RunJournal, str]] = None):
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        self.journal = journal
+        self.tracer = Tracer(on_close=self._on_span_close)
+        self.metrics = MetricsRegistry()
+        self._finished = False
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, *, parent: Optional[int] = None,
+             **attrs: Any) -> Span:
+        """Open a span on the session tracer (context manager)."""
+        return self.tracer.span(name, parent=parent, **attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the calling thread's innermost open span."""
+        span = self.tracer.current_span()
+        if span is not None:
+            span.set_attrs(**attrs)
+
+    def _on_span_close(self, record: SpanRecord) -> None:
+        if self.journal is not None:
+            self.journal.write(record.as_event())
+
+    # -- results -----------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The registry snapshot (``--metrics-json`` payload)."""
+        return self.metrics.snapshot()
+
+    def finish(self) -> None:
+        """Seal the session: final metrics snapshot + journal footer.
+
+        Idempotent; the tracer and registry remain readable afterwards.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self.journal is not None:
+            snapshot = self.metrics.snapshot()
+            snapshot["type"] = "metrics"
+            self.journal.write(snapshot)
+            self.journal.close({"n_spans": len(self.tracer.spans())})
+
+
+class _NullObservability:
+    """The always-off session; the module default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+        self.metrics = NullMetrics()
+        self.journal = None
+
+    def span(self, name: str, *, parent: Optional[int] = None,
+             **attrs: Any):
+        return self.tracer.span(name)
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.metrics.snapshot()
+
+    def finish(self) -> None:
+        return None
+
+
+#: The disabled session served by :func:`current` outside any run.
+NULL_OBS = _NullObservability()
+
+_active: Union[Observability, _NullObservability] = NULL_OBS
+
+
+def current() -> Union[Observability, _NullObservability]:
+    """The active observability session (the no-op one by default)."""
+    return _active
+
+
+@contextlib.contextmanager
+def activate(obs: Observability) -> Iterator[Observability]:
+    """Install ``obs`` as the active session for the ``with`` block.
+
+    Sessions are installed process-wide (see module docstring); nested
+    activations restore the previous session on exit.
+    """
+    global _active
+    previous = _active
+    _active = obs
+    try:
+        yield obs
+    finally:
+        _active = previous

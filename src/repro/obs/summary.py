@@ -1,0 +1,124 @@
+"""Run-journal summarization (``repro trace summarize``).
+
+Replays a JSONL run journal and answers the two questions an operator
+asks first: *where did the time go* (slowest individual spans plus
+per-name aggregates) and *what did the run actually do* (hottest
+counters, histogram tails).  The output is a plain result object with
+``rows()``, matching the analysis-layer idiom.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["JournalSummary", "summarize_events", "aggregate_spans"]
+
+
+@dataclass(frozen=True)
+class SpanAggregate:
+    """Per-span-name rollup."""
+
+    name: str
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+
+@dataclass(frozen=True)
+class JournalSummary:
+    """What a run journal says the run did."""
+
+    n_events: int
+    n_spans: int
+    run_seconds: float
+    slowest: Tuple[SpanRecord, ...]
+    aggregates: Tuple[SpanAggregate, ...]
+    counters: Mapping[str, int] = field(default_factory=dict)
+    histograms: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict)
+
+    def rows(self, top: int = 10) -> List[str]:
+        """Human-readable report lines."""
+        lines = [
+            f"journal         {self.n_events} events, {self.n_spans} "
+            f"spans, run {self.run_seconds:.2f}s",
+        ]
+        if self.slowest:
+            lines.append("slowest spans")
+            for span in self.slowest[:top]:
+                detail = " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                lines.append(
+                    f"  {span.name:<24} {span.duration:9.3f}s"
+                    + (f"  {detail}" if detail else ""))
+        if self.aggregates:
+            lines.append("span totals")
+            for agg in self.aggregates[:top]:
+                lines.append(
+                    f"  {agg.name:<24} {agg.total_seconds:9.3f}s"
+                    f"  x{agg.count}  max {agg.max_seconds:.3f}s")
+        if self.counters:
+            lines.append("hottest counters")
+            hottest = sorted(self.counters.items(),
+                             key=lambda kv: (-kv[1], kv[0]))
+            for key, value in hottest[:top]:
+                lines.append(f"  {key:<40} {value}")
+        if self.histograms:
+            lines.append("histograms")
+            for key, summary in sorted(self.histograms.items())[:top]:
+                lines.append(
+                    f"  {key:<40} n={summary.get('count', 0)}"
+                    f"  p50={summary.get('p50', 0.0):.4f}"
+                    f"  p99={summary.get('p99', 0.0):.4f}")
+        return lines
+
+
+def aggregate_spans(spans: Sequence[SpanRecord]) -> List[SpanAggregate]:
+    """Per-name rollups, heaviest total first."""
+    totals: Dict[str, List[float]] = defaultdict(list)
+    for span in spans:
+        totals[span.name].append(span.duration)
+    return sorted(
+        (SpanAggregate(name=name, count=len(durations),
+                       total_seconds=sum(durations),
+                       max_seconds=max(durations))
+         for name, durations in totals.items()),
+        key=lambda agg: -agg.total_seconds)
+
+
+def summarize_events(events: Sequence[Mapping[str, Any]]) -> JournalSummary:
+    """Summarize replayed journal events (see :func:`.journal.read_journal`)."""
+    spans = [SpanRecord.from_event(dict(e)) for e in events
+             if e.get("type") == "span"]
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Mapping[str, Any]] = {}
+    for event in events:
+        # Snapshots are cumulative; the last one observed wins.
+        if event.get("type") == "metrics":
+            counters = dict(event.get("counters", {}))
+            histograms = dict(event.get("histograms", {}))
+    started = min((e.get("ts", 0.0) for e in events
+                   if e.get("type") == "run_start"), default=None)
+    ended = max((e.get("ts", 0.0) for e in events
+                 if e.get("type") == "run_end"), default=None)
+    if started is not None and ended is not None:
+        run_seconds = max(0.0, float(ended) - float(started))
+    elif spans:
+        run_seconds = (max(s.start + s.duration for s in spans)
+                       - min(s.start for s in spans))
+    else:
+        run_seconds = 0.0
+    slowest = tuple(sorted(spans, key=lambda s: -s.duration))
+    return JournalSummary(
+        n_events=len(events),
+        n_spans=len(spans),
+        run_seconds=run_seconds,
+        slowest=slowest,
+        aggregates=tuple(aggregate_spans(spans)),
+        counters=counters,
+        histograms=histograms,
+    )

@@ -14,6 +14,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.obs.runtime import current
+
 __all__ = ["substream", "derive_seed"]
 
 _Label = Union[str, int]
@@ -42,4 +44,9 @@ def substream(seed: int, *labels: _Label) -> np.random.Generator:
     >>> float(g1.random()) == float(g2.random())
     True
     """
+    obs = current()
+    if obs.enabled:
+        obs.metrics.counter("rng.substreams",
+                            component=str(labels[0]) if labels
+                            else "root").inc()
     return np.random.Generator(np.random.PCG64(derive_seed(seed, *labels)))

@@ -42,6 +42,24 @@ class TestParser:
         assert main(["--shards", "0", "run"]) == 2
         assert "n_shards must be >= 1" in capsys.readouterr().err
 
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "t.json", "--journal", "r.jsonl",
+             "--metrics-json", "m.json"])
+        assert (str(args.trace), str(args.journal),
+                str(args.metrics_json)) == ("t.json", "r.jsonl", "m.json")
+
+    def test_trace_summarize_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "summarize", "RUN.jsonl", "--top", "3"])
+        assert args.command == "trace"
+        assert args.trace_command == "summarize"
+        assert (str(args.journal), args.top) == ("RUN.jsonl", 3)
+
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
 
 class TestCommands:
     def test_signals_command(self, capsys):
@@ -105,3 +123,79 @@ class TestCommands:
         assert status == 0
         output = capsys.readouterr().out
         assert "autocracy?" in output
+
+
+class TestObservability:
+    def test_run_writes_trace_journal_and_metrics(self, capsys, tmp_path,
+                                                  pipeline_result):
+        import json
+        trace = tmp_path / "trace.json"
+        journal = tmp_path / "run.jsonl"
+        metrics = tmp_path / "metrics.json"
+        status = main(["--cache-dir", str(CACHE_DIR), "run",
+                       "--trace", str(trace), "--journal", str(journal),
+                       "--metrics-json", str(metrics)])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert f"wrote {trace}" in output
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert any(e["name"] == "stage:curate"
+                   for e in document["traceEvents"])
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["counters"]
+        first = json.loads(
+            journal.read_text(encoding="utf-8").splitlines()[0])
+        assert first["type"] == "run_start"
+
+    def test_stats_json_stays_machine_readable_with_exports(
+            self, capsys, tmp_path, pipeline_result):
+        import json
+        metrics = tmp_path / "metrics.json"
+        status = main(["--cache-dir", str(CACHE_DIR), "run", "--stats",
+                       "--json", "--metrics-json", str(metrics)])
+        assert status == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)  # stdout is still pure JSON
+        assert set(report) >= {"stages", "cache", "shards"}
+        assert f"wrote {metrics}" in captured.err
+
+    def test_trace_summarize_replays_a_journal(self, capsys, tmp_path,
+                                               pipeline_result):
+        journal = tmp_path / "run.jsonl"
+        assert main(["--cache-dir", str(CACHE_DIR), "run",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        status = main(["trace", "summarize", str(journal), "--top", "5"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "slowest spans" in output
+        assert "stage:curate" in output
+
+    def test_trace_summarize_missing_journal_exits_2(self, capsys,
+                                                     tmp_path):
+        status = main(["trace", "summarize",
+                       str(tmp_path / "nope.jsonl")])
+        assert status == 2
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_trace_summarize_empty_journal_exits_2(self, capsys,
+                                                   tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "empty or unreadable" in capsys.readouterr().err
+
+
+class TestSignalErrorHandling:
+    def test_empty_merged_dataset_exits_2(self, capsys, monkeypatch,
+                                          pipeline_result):
+        from repro.errors import SignalError
+
+        def explode(merged):
+            raise SignalError("no events to summarize")
+
+        monkeypatch.setattr("repro.cli.observability_table", explode)
+        status = main(["--cache-dir", str(CACHE_DIR), "run"])
+        assert status == 2
+        captured = capsys.readouterr()
+        assert "repro: error: no events to summarize" in captured.err

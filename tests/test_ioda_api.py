@@ -1,5 +1,7 @@
 """Tests for the IODA-style query API and the user-impact analysis."""
 
+import warnings
+
 import pytest
 
 from repro.analysis.impact import user_impact
@@ -78,6 +80,23 @@ class TestEventFeed:
                 break
             offset = page.next_offset
         assert len(seen) == len(pipeline_result.curated_records)
+
+    def test_offset_warning_kind_and_guidance(self, client):
+        with pytest.warns(DeprecationWarning,
+                          match=r"EventPage\.cursor"):
+            client.get_events(offset=0, limit=10)
+
+    def test_offset_warning_points_at_the_caller(self, client):
+        with pytest.warns(DeprecationWarning) as captured:
+            client.get_events(offset=0, limit=10)
+        assert captured[0].filename == __file__
+
+    def test_cursor_pagination_emits_no_warning(self, client):
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            page = client.get_events(limit=10)
+            client.get_events(limit=10, cursor=page.cursor)
+        assert captured == []
 
     def test_cursor_and_offset_agree(self, client):
         with pytest.deprecated_call():

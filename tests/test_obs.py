@@ -1,0 +1,293 @@
+"""Unit tests for the repro.obs observability subsystem."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    RunJournal,
+    SpanRecord,
+    Tracer,
+    activate,
+    chrome_trace,
+    current,
+    read_journal,
+    series_key,
+    summarize_events,
+    write_chrome_trace,
+)
+from repro.obs.runtime import NULL_OBS
+
+
+# -- tracing --------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_through_the_thread_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_close_order_is_inner_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+
+    def test_explicit_parent_overrides_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        with tracer.span("detached", parent=root.span_id):
+            pass
+        detached = next(s for s in tracer.spans() if s.name == "detached")
+        assert detached.parent_id == root.span_id
+
+    def test_attrs_and_set_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", country="SY") as span:
+            span.set_attrs(n_records=3)
+        record = tracer.spans()[0]
+        assert record.attrs == {"country": "SY", "n_records": 3}
+
+    def test_exception_annotates_and_still_records(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        record = tracer.spans()[0]
+        assert record.attrs["error"] == "ValueError"
+
+    def test_durations_are_monotonic_and_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        record = tracer.spans()[0]
+        assert record.duration >= 0.0
+        assert record.start > 0.0
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        child = Tracer()
+        with child.span("shard"):
+            with child.span("country"):
+                pass
+        parent = Tracer()
+        with parent.span("stage") as stage:
+            pass
+        parent.adopt(child.spans(), stage.span_id)
+        by_name = {s.name: s for s in parent.spans()}
+        assert by_name["shard"].parent_id == by_name["stage"].span_id
+        assert by_name["country"].parent_id == by_name["shard"].span_id
+        ids = [s.span_id for s in parent.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_span_record_event_roundtrip(self):
+        record = SpanRecord(span_id=3, parent_id=1, name="x", start=10.5,
+                            duration=0.25, worker="1/main",
+                            attrs={"k": "v"})
+        assert SpanRecord.from_event(record.as_event()) == record
+
+
+# -- metrics --------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_series_key_sorts_labels(self):
+        assert series_key("c", {"b": 1, "a": 2}) == "c{a=2,b=1}"
+        assert series_key("c", {}) == "c"
+
+    def test_counter_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("records", country="SY").inc(2)
+        registry.counter("records", country="SY").inc()
+        registry.counter("records", country="IN").inc(5)
+        snap = registry.snapshot()
+        assert snap["counters"]["records{country=SY}"] == 3
+        assert snap["counters"]["records{country=IN}"] == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("workers").set(2)
+        registry.gauge("workers").set(8)
+        assert registry.snapshot()["gauges"]["workers"] == 8.0
+
+    def test_histogram_percentiles(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in [0.5] * 50 + [3.0] * 50:
+            histogram.observe(value)
+        assert histogram.count == 100
+        assert histogram.percentile(25) <= 1.0
+        assert 2.0 <= histogram.percentile(90) <= 4.0
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 0.5
+        assert summary["max"] == 3.0
+
+    def test_histogram_overflow_bucket_reports_maximum(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.percentile(99) == 50.0
+
+    def test_empty_histogram_summary(self):
+        assert Histogram().summary()["count"] == 0
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["histograms"]["lat"]["max"] == 1.5
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1.0,)).observe(0.5)
+        bad = {"histograms": {"lat": {"buckets": [2.0], "count": 1,
+                                      "sum": 0.5, "min": 0.5, "max": 0.5,
+                                      "bucket_counts": [1, 0]}}}
+        with pytest.raises(ValueError):
+            a.merge(bad)
+
+
+# -- the ambient session --------------------------------------------------------
+
+
+class TestRuntime:
+    def test_default_session_is_the_null_session(self):
+        assert current() is NULL_OBS
+        assert not current().enabled
+
+    def test_activate_installs_and_restores(self):
+        obs = Observability()
+        with activate(obs):
+            assert current() is obs
+            with obs.span("visible"):
+                pass
+        assert current() is NULL_OBS
+        assert [s.name for s in obs.tracer.spans()] == ["visible"]
+
+    def test_null_session_records_nothing(self):
+        with NULL_OBS.span("ignored", country="SY") as span:
+            span.set_attrs(more="attrs")
+        NULL_OBS.annotate(ignored=True)
+        NULL_OBS.metrics.counter("ignored").inc()
+        assert NULL_OBS.tracer.spans() == []
+        assert NULL_OBS.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_annotate_hits_innermost_open_span(self):
+        obs = Observability()
+        with activate(obs):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    obs.annotate(tag=1)
+        by_name = {s.name: s for s in obs.tracer.spans()}
+        assert by_name["inner"].attrs == {"tag": 1}
+        assert by_name["outer"].attrs == {}
+
+
+# -- journal --------------------------------------------------------------------
+
+
+class TestJournal:
+    def test_session_streams_spans_and_seals_with_metrics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=RunJournal(path))
+        with activate(obs):
+            with obs.span("stage:curate"):
+                obs.metrics.counter("records").inc(7)
+        obs.finish()
+        obs.finish()  # idempotent
+        events = read_journal(path)
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "span" in kinds and "metrics" in kinds
+        metrics = next(e for e in events if e["type"] == "metrics")
+        assert metrics["counters"]["records"] == 7
+
+    def test_journal_accepts_a_path_directly(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=path)
+        obs.finish()
+        assert read_journal(path)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=RunJournal(path))
+        with activate(obs):
+            with obs.span("work"):
+                pass
+        obs.finish()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "trunca')
+        events = read_journal(path)
+        assert [e["type"] for e in events].count("span") == 1
+
+    def test_summarize_replayed_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=RunJournal(path))
+        with activate(obs):
+            with obs.span("stage:curate"):
+                with obs.span("exec.shard", shard=0):
+                    pass
+            obs.metrics.counter("rng.substreams").inc(42)
+            obs.metrics.histogram("shard.seconds").observe(0.5)
+        obs.finish()
+        summary = summarize_events(read_journal(path))
+        assert summary.n_spans == 2
+        assert summary.counters["rng.substreams"] == 42
+        text = "\n".join(summary.rows())
+        assert "slowest spans" in text
+        assert "stage:curate" in text
+        assert "rng.substreams" in text
+        assert "histograms" in text
+
+
+# -- chrome export --------------------------------------------------------------
+
+
+class TestChromeExport:
+    def _spans(self):
+        tracer = Tracer()
+        with tracer.span("stage:curate"):
+            with tracer.span("exec.shard", shard=1):
+                pass
+        return tracer.spans()
+
+    def test_trace_event_structure(self):
+        document = chrome_trace(self._spans())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} \
+            == {"stage:curate", "exec.shard"}
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_span_tree_survives_in_args(self):
+        document = chrome_trace(self._spans())
+        by_name = {e["name"]: e for e in document["traceEvents"]
+                   if e["ph"] == "X"}
+        shard = by_name["exec.shard"]
+        assert shard["args"]["parent_id"] \
+            == by_name["stage:curate"]["args"]["span_id"]
+        assert shard["args"]["shard"] == 1
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(self._spans(), tmp_path / "trace.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["traceEvents"]

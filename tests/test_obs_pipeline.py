@@ -1,0 +1,158 @@
+"""Integration tests: repro.obs wired through the pipeline and executor.
+
+The acceptance bar for the observability subsystem:
+
+- a traced run produces a span tree in which the executor's shard spans
+  nest under the ``stage:curate`` span — across BOTH the thread and the
+  process backends (process workers trace in their own interpreter and
+  the parent grafts their spans back in);
+- the JSONL run journal replays through ``summarize_events`` and the
+  Chrome ``trace_event`` export is valid JSON;
+- instrumentation never perturbs results: curated records are
+  byte-identical with tracing on and off;
+- the ExecStats report derived from the span tree keeps the exact
+  ``as_dict()`` key set the ``--stats --json`` contract promised.
+"""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro import io
+from repro.exec.stats import SHARD_SPAN, STAGE_PREFIX
+from repro.obs import Observability, RunJournal, read_journal, \
+    summarize_events, write_chrome_trace
+from repro.timeutils.timestamps import TimeRange, utc
+from repro.world.scenario import ScenarioConfig
+
+SMALL_CONFIG = ScenarioConfig(seed=7, years=(2018,))
+SMALL_PERIOD = TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))
+
+STATS_KEYS = {"workers", "backend", "n_shards", "stages",
+              "total_seconds", "cache", "shards", "n_records"}
+
+
+def _record_bytes(records):
+    return json.dumps([io.record_to_dict(r) for r in records],
+                      sort_keys=True)
+
+
+def _traced_run(backend, *, journal=None, workers=2):
+    obs = Observability(journal=journal)
+    result, stats = api.run_with_stats(
+        scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+        workers=workers, backend=backend, observability=obs)
+    return result, stats, obs
+
+
+def _assert_shards_nest_under_curate(spans):
+    by_id = {s.span_id: s for s in spans}
+    curate = [s for s in spans if s.name == STAGE_PREFIX + "curate"]
+    assert len(curate) == 1
+    shards = [s for s in spans if s.name == SHARD_SPAN]
+    assert shards, "no shard spans recorded"
+    for shard in shards:
+        node = shard
+        while node.parent_id is not None:
+            node = by_id[node.parent_id]
+            if node.span_id == curate[0].span_id:
+                break
+        assert node.span_id == curate[0].span_id, (
+            f"shard span {shard.attrs} does not nest under stage:curate")
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_shard_spans_nest_under_curate(backend):
+    _, _, obs = _traced_run(backend)
+    spans = obs.tracer.spans()
+    _assert_shards_nest_under_curate(spans)
+    roots = [s for s in spans if s.parent_id is None]
+    assert [s.name for s in roots] == ["run"]
+    stage_names = {s.name for s in spans if s.name.startswith(STAGE_PREFIX)}
+    assert stage_names == {"stage:scenario", "stage:curate", "stage:kio",
+                           "stage:merge", "stage:datasets"}
+
+
+def test_process_shard_spans_carry_worker_pids():
+    _, _, obs = _traced_run("process")
+    spans = obs.tracer.spans()
+    run_span = next(s for s in spans if s.name == "run")
+    shard_workers = {s.worker for s in spans if s.name == SHARD_SPAN}
+    parent_pid = run_span.worker.split("/")[0]
+    assert any(w.split("/")[0] != parent_pid for w in shard_workers), (
+        "process-backend shard spans should report worker pids")
+
+
+def test_tracing_does_not_perturb_results():
+    baseline = api.run(scenario_config=SMALL_CONFIG,
+                       study_period=SMALL_PERIOD)
+    for backend in ("thread", "process"):
+        traced, _, _ = _traced_run(backend)
+        assert _record_bytes(traced.curated_records) \
+            == _record_bytes(baseline.curated_records)
+
+
+def test_stats_derived_from_spans_keeps_contract():
+    _, stats, obs = _traced_run("thread")
+    payload = stats.as_dict()
+    assert set(payload) == STATS_KEYS
+    assert set(payload["stages"]) == {"scenario", "curate", "kio",
+                                      "merge", "datasets"}
+    assert payload["backend"] == "thread"
+    assert payload["workers"] == 2
+    assert payload["n_records"] > 0
+    assert payload["n_shards"] == len(
+        {s.attrs["shard"] for s in obs.tracer.spans()
+         if s.name == SHARD_SPAN})
+
+
+def test_journal_and_trace_exports(tmp_path):
+    journal_path = tmp_path / "run.jsonl"
+    _, _, obs = _traced_run("thread", journal=RunJournal(journal_path))
+    events = read_journal(journal_path)
+    kinds = [e["type"] for e in events]
+    assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+    span_events = [e for e in events if e["type"] == "span"]
+    assert len(span_events) == len(obs.tracer.spans())
+
+    summary = summarize_events(events)
+    assert summary.n_spans == len(span_events)
+    text = "\n".join(summary.rows())
+    assert "stage:curate" in text
+
+    trace_path = write_chrome_trace(obs.tracer.spans(),
+                                    tmp_path / "trace.json")
+    document = json.loads(trace_path.read_text(encoding="utf-8"))
+    names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+    assert "stage:curate" in names and SHARD_SPAN in names
+
+
+def test_hot_path_metrics_are_recorded():
+    _, _, obs = _traced_run("thread")
+    counters = obs.metrics_snapshot()["counters"]
+    assert counters.get("curation.records_finalized", 0) > 0
+    assert counters.get("matching.window_comparisons", 0) > 0
+    assert counters.get("kio.events_compiled", 0) > 0
+    assert any(k.startswith("rng.substreams") for k in counters)
+    assert any(k.startswith("curation.records_curated{country=")
+               for k in counters)
+
+
+def test_cachestore_metrics_follow_cold_then_warm(tmp_path):
+    cold = Observability()
+    api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            cache_dir=tmp_path, observability=cold)
+    cold_counters = cold.metrics_snapshot()["counters"]
+    assert cold_counters.get("cachestore.misses{stage=curate}", 0) > 0
+    assert cold_counters.get("cachestore.bytes_written{stage=curate}",
+                             0) > 0
+
+    warm = Observability()
+    api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            cache_dir=tmp_path, observability=warm)
+    warm_counters = warm.metrics_snapshot()["counters"]
+    assert warm_counters.get("cachestore.hits{stage=curate}", 0) > 0
+    assert warm_counters.get("cachestore.bytes_read{stage=curate}",
+                             0) > 0
+    assert warm_counters.get("cachestore.misses{stage=curate}", 0) == 0
