@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analysis.observability import execution_report
 from repro.core.matching import MatchingConfig
 from repro.core.pipeline import PipelineResult, ReproPipeline
+from repro.datasets import DatasetSource, default_sources
 from repro.exec import ExecStats, ExecutorConfig
 from repro.io import dump_records, load_records
 from repro.ioda.api import IODAClient
@@ -32,16 +33,24 @@ from repro.ioda.records import OutageRecord
 from repro.kio.compiler import KIOCompilerConfig
 from repro.obs import Observability, RunJournal, read_journal, \
     summarize_events, write_chrome_trace
+from repro.resilience import BreakerPolicy, FaultPlan, ResilienceConfig, \
+    RetryPolicy
 from repro.timeutils.timestamps import TimeRange
 from repro.world.scenario import STUDY_PERIOD, ScenarioConfig
 
 __all__ = [
+    "BreakerPolicy",
+    "DatasetSource",
     "ExecStats",
+    "FaultPlan",
     "IODAClient",
     "Observability",
     "PipelineResult",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RunJournal",
     "client",
+    "default_sources",
     "dump_records",
     "execution_report",
     "load_records",
@@ -53,6 +62,25 @@ __all__ = [
 ]
 
 
+def _resilience(resilience: Optional[ResilienceConfig],
+                faults: Optional[FaultPlan | str],
+                retry_policy: Optional[RetryPolicy],
+                breaker_policy: Optional[BreakerPolicy],
+                fail_fast: bool) -> Optional[ResilienceConfig]:
+    """Fold the flat resilience knobs into one config (None = disabled)."""
+    if resilience is not None:
+        return resilience
+    if faults is None and retry_policy is None and breaker_policy is None \
+            and not fail_fast:
+        return None
+    return ResilienceConfig(
+        faults=faults,
+        retry=retry_policy if retry_policy is not None else RetryPolicy(),
+        breaker=(breaker_policy if breaker_policy is not None
+                 else BreakerPolicy()),
+        fail_fast=fail_fast)
+
+
 def _pipeline(*, seed: int, workers: int, backend: str,
               shards: Optional[int], cache_dir: Optional[Path | str],
               scenario_config: Optional[ScenarioConfig],
@@ -61,7 +89,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
               kio_config: Optional[KIOCompilerConfig],
               matching_config: Optional[MatchingConfig],
               study_period: TimeRange,
-              observability: Optional[Observability]) -> ReproPipeline:
+              observability: Optional[Observability],
+              resilience: Optional[ResilienceConfig]) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=scenario_config or ScenarioConfig(seed=seed),
         platform_config=platform_config,
@@ -72,7 +101,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         cache_dir=Path(cache_dir) if cache_dir is not None else None,
         executor=ExecutorConfig(
             workers=workers, backend=backend, n_shards=shards),
-        observability=observability)
+        observability=observability,
+        resilience=resilience)
 
 
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
@@ -84,7 +114,12 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         kio_config: Optional[KIOCompilerConfig] = None,
         matching_config: Optional[MatchingConfig] = None,
         study_period: TimeRange = STUDY_PERIOD,
-        observability: Optional[Observability] = None) -> PipelineResult:
+        observability: Optional[Observability] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan | str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        fail_fast: bool = False) -> PipelineResult:
     """Run the full reproduction pipeline and return its result.
 
     ``workers``/``backend`` schedule the observation+curation stage
@@ -99,13 +134,26 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     afterwards ``observability.tracer.spans()`` feeds
     :func:`write_chrome_trace` and ``observability.metrics_snapshot()``
     is the ``--metrics-json`` payload.  Tracing never perturbs results.
+
+    ``faults`` (a :class:`FaultPlan` or CLI-style spec string like
+    ``"fail_first=2;seed=5"``) injects deterministic source faults;
+    ``retry_policy``/``breaker_policy`` shape how they are absorbed, and
+    ``fail_fast`` turns quarantine-and-degrade into abort-on-first
+    exhaustion.  Any of these (or an explicit ``resilience`` bundle,
+    which wins) enables the resilience layer; a run that fully recovers
+    from its faults is byte-identical to a fault-free run.  Note that
+    an active fault plan bypasses the shard cache.  Check
+    ``run_with_stats(...)[1].degraded`` / ``.quarantined`` for what a
+    degraded run gave up on.
     """
     result, _ = run_with_stats(
         seed=seed, workers=workers, backend=backend, shards=shards,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period, observability=observability)
+        study_period=study_period, observability=observability,
+        resilience=resilience, faults=faults, retry_policy=retry_policy,
+        breaker_policy=breaker_policy, fail_fast=fail_fast)
     return result
 
 
@@ -119,20 +167,28 @@ def run_with_stats(
         kio_config: Optional[KIOCompilerConfig] = None,
         matching_config: Optional[MatchingConfig] = None,
         study_period: TimeRange = STUDY_PERIOD,
-        observability: Optional[Observability] = None
+        observability: Optional[Observability] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan | str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        fail_fast: bool = False
 ) -> Tuple[PipelineResult, ExecStats]:
     """Like :func:`run`, but also return the :class:`ExecStats` report.
 
     The report is the derived view over the run's span tree
     (:meth:`ExecStats.from_obs`); render it with
-    :func:`execution_report`.
+    :func:`execution_report`.  On a degraded run it carries
+    ``degraded=True`` and the ``quarantined`` country codes.
     """
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period, observability=observability)
+        study_period=study_period, observability=observability,
+        resilience=_resilience(resilience, faults, retry_policy,
+                               breaker_policy, fail_fast))
     result = pipeline.run()
     assert pipeline.stats is not None
     return result, pipeline.stats

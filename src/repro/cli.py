@@ -9,7 +9,11 @@
   exports: ``--journal RUN.jsonl`` streams the JSONL run journal,
   ``--trace TRACE.json`` writes a Chrome ``trace_event`` file (open in
   ``chrome://tracing`` or Perfetto), ``--metrics-json METRICS.json``
-  dumps the metrics registry snapshot.
+  dumps the metrics registry snapshot.  Resilience:
+  ``--inject-faults SPEC`` runs deterministic chaos against the data
+  sources, ``--max-retries N`` sets the retry budget, and
+  ``--fail-fast``/``--degrade`` choose between aborting on an exhausted
+  source and quarantining it (see :mod:`repro.resilience`).
 - ``report``   — regenerate EXPERIMENTS.md.
 - ``export``   — write the curated records and harmonized KIO events to
   JSON files (the paper's released dataset artifact).
@@ -39,8 +43,9 @@ from repro.analysis.observability import execution_report
 from repro.analysis.report import build_report, render_markdown
 from repro.core.heuristics import ShutdownTriage
 from repro.core.pipeline import ReproPipeline
-from repro.errors import ConfigurationError, SignalError
+from repro.errors import ConfigurationError, ResilienceError, SignalError
 from repro.exec import BACKENDS, ExecutorConfig
+from repro.resilience import ResilienceConfig, RetryPolicy
 from repro.io import dump_kio_events, dump_records, dump_records_csv
 from repro.obs import Observability, read_journal, summarize_events, \
     write_chrome_trace
@@ -91,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-json", type=Path, default=None,
                      metavar="PATH", dest="metrics_json",
                      help="write the metrics registry snapshot as JSON")
+    run.add_argument("--inject-faults", metavar="SPEC", default=None,
+                     dest="inject_faults",
+                     help="deterministically inject source faults; SPEC "
+                          "is ';'-joined key=value clauses, e.g. "
+                          "'fail_first=2;seed=5', 'rate=0.1', "
+                          "'permanent=SY+IR' (lists use '+'); implies "
+                          "an uncached curate stage")
+    run.add_argument("--max-retries", type=int, default=None,
+                     dest="max_retries", metavar="N",
+                     help="retry budget per source operation "
+                          "(default 3; enables the resilience layer)")
+    failure_mode = run.add_mutually_exclusive_group()
+    failure_mode.add_argument(
+        "--fail-fast", dest="fail_fast", action="store_true",
+        help="abort the run on the first source that exhausts its "
+             "retries")
+    failure_mode.add_argument(
+        "--degrade", dest="fail_fast", action="store_false",
+        help="quarantine exhausted countries and merge the survivors, "
+             "reporting degraded=True (the default)")
+    run.set_defaults(fail_fast=False)
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -129,15 +155,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _usable_cache_dir(cache_dir: Optional[Path]) -> Optional[Path]:
+    """Probe the cache directory; warn and disable caching if unusable.
+
+    An unwritable ``--cache-dir`` (bad permissions, a file in the way,
+    a read-only mount) should cost the run its cache, not crash it
+    mid-stage: the probe creates the directory and round-trips a
+    scratch file before the pipeline commits to caching.
+    """
+    if cache_dir is None:
+        return None
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        probe = cache_dir / ".write-probe"
+        probe.write_text("", encoding="utf-8")
+        probe.unlink()
+    except OSError as exc:
+        print(f"repro: warning: cache dir {cache_dir} is not writable "
+              f"({exc}); running uncached", file=sys.stderr)
+        return None
+    return cache_dir
+
+
+def _resilience(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    """The resilience config the run flags ask for (None = disabled)."""
+    spec = getattr(args, "inject_faults", None)
+    max_retries = getattr(args, "max_retries", None)
+    fail_fast = getattr(args, "fail_fast", False)
+    if spec is None and max_retries is None and not fail_fast:
+        return None
+    retry = (RetryPolicy(max_retries=max_retries)
+             if max_retries is not None else RetryPolicy())
+    return ResilienceConfig(faults=spec, retry=retry, fail_fast=fail_fast)
+
+
 def _pipeline(args: argparse.Namespace,
               observability: Observability | None = None) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=ScenarioConfig(seed=args.seed),
-        cache_dir=args.cache_dir,
+        cache_dir=_usable_cache_dir(args.cache_dir),
         executor=ExecutorConfig(workers=args.workers,
                                 backend=args.backend,
                                 n_shards=args.shards),
-        observability=observability)
+        observability=observability,
+        resilience=_resilience(args))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -293,6 +354,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SignalError as exc:
         # E.g. an empty merged dataset leaves Figure 16 with nothing to
         # summarize; exit cleanly instead of tracebacking.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except ResilienceError as exc:
+        # A --fail-fast run hit a source that exhausted its retries (or
+        # tripped its breaker); surface the failure, not a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -30,10 +30,12 @@ from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.datasets import (
     CoupDataset,
     DataReportalDataset,
+    DatasetSource,
     ElectionDataset,
     ProtestDataset,
     VDemDataset,
     WorldBankDataset,
+    default_sources,
 )
 from repro.ioda.curation import CurationConfig
 from repro.ioda.platform import PlatformConfig
@@ -42,12 +44,16 @@ from repro.kio.compiler import KIOCompiler, KIOCompilerConfig
 from repro.kio.harmonize import Harmonizer
 from repro.kio.schema import KIOEvent
 from repro.kio.snapshots import AnnualSnapshot
+from repro.resilience import (
+    BreakerBoard,
+    ResilienceConfig,
+    call_with_retry,
+    inject,
+    maybe_fault,
+)
+from repro.rng import substream
 from repro.timeutils.timestamps import TimeRange
-from repro.topology.eyeballs import EyeballEstimates
-from repro.topology.geolocation import GeoDatabase
-from repro.topology.metrics import StateShare, compute_state_shares
-from repro.topology.prefix2as import Prefix2ASSnapshot
-from repro.topology.state_owned import StateOwnedASList
+from repro.topology.metrics import StateShare
 from repro.world.scenario import (
     STUDY_PERIOD,
     ScenarioConfig,
@@ -86,7 +92,8 @@ class ReproPipeline:
                  study_period: TimeRange = STUDY_PERIOD,
                  cache_dir: Optional[Path] = None,
                  executor: ExecutorConfig | None = None,
-                 observability: Observability | None = None):
+                 observability: Observability | None = None,
+                 resilience: ResilienceConfig | None = None):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -94,12 +101,14 @@ class ReproPipeline:
         self._matching_config = matching_config
         self._study_period = study_period
         self._cache_dir = cache_dir
+        self._resilience = resilience
         self._executor = ShardedCurationExecutor(
             study_period=study_period,
             platform_config=platform_config,
             curation_config=curation_config,
             cache=CacheStore(Path(cache_dir)) if cache_dir else None,
-            config=executor)
+            config=executor,
+            resilience=resilience)
         self._observability = observability
         self._last_obs: Optional[Observability] = None
         self._stats: Optional[ExecStats] = None
@@ -161,7 +170,9 @@ class ReproPipeline:
         """
         obs = (self._observability if self._observability is not None
                else Observability())
-        with activate(obs):
+        plan = (self._resilience.fault_plan
+                if self._resilience is not None else None)
+        with activate(obs), inject(plan):
             with obs.span("run", seed=self._scenario_config.seed):
                 with obs.span("stage:scenario"):
                     scenario = self.build_scenario()
@@ -186,29 +197,45 @@ class ReproPipeline:
                   records: List[OutageRecord],
                   kio_events: List[KIOEvent],
                   merged: MergedDataset) -> PipelineResult:
-        """Emit the auxiliary datasets and bundle everything."""
-        seed = scenario.seed
-        prefix2as = Prefix2ASSnapshot.from_topology(scenario.topology, seed)
-        geo = GeoDatabase.from_topology(scenario.topology, seed)
-        eyeballs = EyeballEstimates.from_topology(scenario.topology, seed)
-        state_owned = StateOwnedASList.from_topology(scenario.topology, seed)
+        """Load the auxiliary sources and bundle everything.
+
+        Every auxiliary product flows through the uniform
+        :class:`~repro.datasets.DatasetSource` protocol
+        (:func:`~repro.datasets.default_sources`); each source's name
+        matches the :class:`PipelineResult` field it fills.  When the
+        run has a resilience config, each load is retried under its own
+        circuit breaker — a permanently failing source exhausts the
+        budget and aborts the run (a missing dataset cannot be merged
+        around, unlike a quarantined country).
+        """
+        board = (BreakerBoard(self._resilience.breaker)
+                 if self._resilience is not None else None)
+        products = {source.name: self._load_source(source, scenario, board)
+                    for source in default_sources()}
         return PipelineResult(
             scenario=scenario,
             curated_records=records,
             kio_events=kio_events,
             merged=merged,
-            vdem=VDemDataset.from_profiles(
-                seed, scenario.registry, scenario.profiles),
-            worldbank=WorldBankDataset.from_profiles(
-                seed, scenario.registry, scenario.profiles),
-            coups=CoupDataset.from_events(
-                seed, scenario.registry, scenario.events),
-            elections=ElectionDataset.from_events(
-                seed, scenario.registry, scenario.events),
-            protests=ProtestDataset.from_events(
-                seed, scenario.registry, scenario.events),
-            datareportal=DataReportalDataset.from_profiles(
-                seed, scenario.registry, scenario.profiles),
-            state_shares=compute_state_shares(
-                prefix2as, geo, state_owned, eyeballs),
+            **products,
         )
+
+    def _load_source(self, source: DatasetSource, scenario: WorldScenario,
+                     board: Optional[BreakerBoard]):
+        """Load one source, retried and fault-injectable when configured.
+
+        The source RNG substream is re-derived per attempt so a retried
+        load sees exactly the generator state a first-try load would —
+        retries can never shift the output bytes.
+        """
+        def load():
+            maybe_fault("datasets.load", key=source.name)
+            return source.load(
+                world=scenario,
+                rng=substream(scenario.seed, "dataset-source", source.name))
+
+        if self._resilience is None:
+            return load()
+        return call_with_retry(
+            load, policy=self._resilience.retry, key=source.name,
+            site="datasets.load", breaker=board.get(source.name))

@@ -13,8 +13,26 @@ granularity, limited temporal coverage:
   (coverage ends in 2019, §5.2 footnote 9).
 - :mod:`repro.datasets.datareportal` — DataReportal-style Internet user
   estimates.
+
+:mod:`repro.datasets.sources` wraps all of the above (plus the
+topology-derived state-ownership shares) behind the uniform
+:class:`~repro.datasets.sources.DatasetSource` protocol — ``name``,
+``load(*, world, rng)``, ``fingerprint()`` — so resilience wrapping
+(:mod:`repro.resilience`) and cache keying apply to every feed the same
+way.
 """
 
+from repro.datasets.sources import (
+    CoupSource,
+    DataReportalSource,
+    DatasetSource,
+    ElectionSource,
+    ProtestSource,
+    StateSharesSource,
+    VDemSource,
+    WorldBankSource,
+    default_sources,
+)
 from repro.datasets.vdem import VDemDataset, VDemRecord
 from repro.datasets.worldbank import WorldBankDataset, WorldBankRecord
 from repro.datasets.coups import CoupDataset, CoupRecord
@@ -32,4 +50,7 @@ __all__ = [
     "ElectionDataset", "ElectionRecord",
     "ProtestDataset", "ProtestRecord",
     "DataReportalDataset", "InternetUsersRecord",
+    "DatasetSource", "default_sources",
+    "VDemSource", "WorldBankSource", "CoupSource", "ElectionSource",
+    "ProtestSource", "DataReportalSource", "StateSharesSource",
 ]

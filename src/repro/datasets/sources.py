@@ -1,0 +1,197 @@
+"""The unified :class:`DatasetSource` protocol and the seven sources.
+
+Before this module, every auxiliary dataset arrived through a bespoke
+classmethod (``VDemDataset.from_profiles(seed, registry, profiles)``,
+``CoupDataset.from_events(seed, registry, events)``, ...), which meant
+resilience wrapping, observability, and cache keying each had to know
+seven shapes.  A :class:`DatasetSource` normalizes them to one surface:
+
+- ``name`` — the stable source identifier (``"vdem"``, ``"coups"``, …);
+  also the operation key fault plans and circuit breakers target.
+- ``load(*, world, rng)`` — produce the source's records from the world
+  scenario; ``rng`` is the source-level substream for any draws the
+  source makes beyond its internal per-record substreams.
+- ``fingerprint()`` — a canonical digest of the source identity and its
+  parameters, suitable as cache-key material
+  (:func:`repro.exec.cachestore.fingerprint` underneath).
+
+The seven adapters cover every auxiliary product of the pipeline's
+dataset stage: V-Dem, World Bank, coups, elections, protests,
+DataReportal, and the topology-derived state-ownership shares.  The
+pipeline loads them uniformly (see
+:meth:`repro.core.pipeline.ReproPipeline._assemble`), wrapping each load
+in the run's retry/breaker machinery when resilience is configured.
+Sources are frozen dataclasses: picklable, hashable, and canonical
+fingerprint material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.datasets.coups import CoupDataset
+from repro.datasets.datareportal import DataReportalDataset
+from repro.datasets.elections import ElectionDataset
+from repro.datasets.protests import ProtestDataset
+from repro.datasets.vdem import VDemDataset
+from repro.datasets.worldbank import WorldBankDataset
+from repro.exec.cachestore import fingerprint
+from repro.topology.eyeballs import EyeballEstimates
+from repro.topology.geolocation import GeoDatabase
+from repro.topology.metrics import compute_state_shares
+from repro.topology.prefix2as import Prefix2ASSnapshot
+from repro.topology.state_owned import StateOwnedASList
+from repro.world.scenario import WorldScenario
+
+__all__ = [
+    "DatasetSource",
+    "VDemSource",
+    "WorldBankSource",
+    "CoupSource",
+    "ElectionSource",
+    "ProtestSource",
+    "DataReportalSource",
+    "StateSharesSource",
+    "default_sources",
+]
+
+
+@runtime_checkable
+class DatasetSource(Protocol):
+    """One feed of the pipeline's dataset stage, behind a uniform API."""
+
+    name: str
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> Any:
+        """Produce the source's records from world ground truth."""
+        ...
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the source identity and parameters."""
+        ...
+
+
+class _SourceBase:
+    """Shared fingerprinting for the concrete (dataclass) sources."""
+
+    name: ClassVar[str]
+
+    def fingerprint(self) -> str:
+        return fingerprint(type(self).__name__, self.name, self)
+
+
+@dataclass(frozen=True)
+class VDemSource(_SourceBase):
+    """V-Dem-style political indices (:mod:`repro.datasets.vdem`)."""
+
+    name: ClassVar[str] = "vdem"
+    noise_sigma: float = 0.01
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> VDemDataset:
+        return VDemDataset.from_profiles(
+            world.seed, world.registry, world.profiles,
+            noise_sigma=self.noise_sigma)
+
+
+@dataclass(frozen=True)
+class WorldBankSource(_SourceBase):
+    """World-Bank-style macro indicators
+    (:mod:`repro.datasets.worldbank`)."""
+
+    name: ClassVar[str] = "worldbank"
+    missing_rate: float = 0.02
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> WorldBankDataset:
+        return WorldBankDataset.from_profiles(
+            world.seed, world.registry, world.profiles,
+            missing_rate=self.missing_rate)
+
+
+@dataclass(frozen=True)
+class CoupSource(_SourceBase):
+    """Powell/Thyne-style coup list (:mod:`repro.datasets.coups`)."""
+
+    name: ClassVar[str] = "coups"
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> CoupDataset:
+        return CoupDataset.from_events(
+            world.seed, world.registry, world.events)
+
+
+@dataclass(frozen=True)
+class ElectionSource(_SourceBase):
+    """ElectionGuide-style election dates
+    (:mod:`repro.datasets.elections`)."""
+
+    name: ClassVar[str] = "elections"
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> ElectionDataset:
+        return ElectionDataset.from_events(
+            world.seed, world.registry, world.events)
+
+
+@dataclass(frozen=True)
+class ProtestSource(_SourceBase):
+    """Mass-Mobilization-style protest days
+    (:mod:`repro.datasets.protests`)."""
+
+    name: ClassVar[str] = "protests"
+    coverage: float = 0.9
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> ProtestDataset:
+        return ProtestDataset.from_events(
+            world.seed, world.registry, world.events,
+            coverage=self.coverage)
+
+
+@dataclass(frozen=True)
+class DataReportalSource(_SourceBase):
+    """DataReportal-style Internet user estimates
+    (:mod:`repro.datasets.datareportal`)."""
+
+    name: ClassVar[str] = "datareportal"
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> DataReportalDataset:
+        return DataReportalDataset.from_profiles(
+            world.seed, world.registry, world.profiles)
+
+
+@dataclass(frozen=True)
+class StateSharesSource(_SourceBase):
+    """State-ownership address/eyeball shares derived from the
+    CAIDA/MaxMind/APNIC-style topology emitters
+    (:mod:`repro.topology.metrics`)."""
+
+    name: ClassVar[str] = "state_shares"
+
+    def load(self, *, world: WorldScenario,
+             rng: np.random.Generator) -> dict:
+        seed = world.seed
+        prefix2as = Prefix2ASSnapshot.from_topology(world.topology, seed)
+        geo = GeoDatabase.from_topology(world.topology, seed)
+        eyeballs = EyeballEstimates.from_topology(world.topology, seed)
+        state_owned = StateOwnedASList.from_topology(world.topology, seed)
+        return compute_state_shares(prefix2as, geo, state_owned, eyeballs)
+
+
+def default_sources() -> Tuple[DatasetSource, ...]:
+    """The seven sources of the dataset stage, in load order."""
+    return (
+        VDemSource(),
+        WorldBankSource(),
+        CoupSource(),
+        ElectionSource(),
+        ProtestSource(),
+        DataReportalSource(),
+        StateSharesSource(),
+    )

@@ -20,6 +20,13 @@ __all__ = [
     "MatchingError",
     "DatasetError",
     "PaginationError",
+    "CursorError",
+    "ResilienceError",
+    "TransientSourceError",
+    "SourceTimeoutError",
+    "CorruptPageError",
+    "CircuitOpenError",
+    "RetriesExhaustedError",
 ]
 
 
@@ -63,5 +70,38 @@ class PaginationError(ReproError, ValueError):
     """An event-feed pagination cursor is malformed or from another query."""
 
 
+class CursorError(PaginationError):
+    """An event-feed cursor failed validation: tampered, truncated, of an
+    unsupported version, or minted by a different query or feed revision."""
+
+
 class DatasetError(ReproError):
     """An auxiliary dataset emitter failed to produce or parse records."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-injection / retry / breaker machinery."""
+
+
+class TransientSourceError(ResilienceError):
+    """A data-source operation failed in a way that may succeed on retry.
+
+    This is the class the retry machinery treats as retriable; the fault
+    injector raises it (or a subclass) at the instrumented sites.
+    """
+
+
+class SourceTimeoutError(TransientSourceError):
+    """A (simulated) data-source query exceeded its deadline."""
+
+
+class CorruptPageError(TransientSourceError):
+    """A (simulated) data-source response failed payload validation."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the source is skipped without a call."""
+
+
+class RetriesExhaustedError(ResilienceError):
+    """An operation kept failing transiently past its retry budget."""

@@ -122,14 +122,26 @@ class CacheStore:
         return payload
 
     def put(self, stage: str, payload: Dict[str, Any],
-            *key_parts: Any) -> Path:
-        """Atomically persist a payload under its content key."""
+            *key_parts: Any) -> Optional[Path]:
+        """Atomically persist a payload under its content key.
+
+        Writes are best-effort: an unwritable root, a vanished
+        directory, or a full disk turns the write into a no-op (counted
+        as ``cachestore.write_errors`` and returning None) so a cache
+        that breaks mid-stage degrades the run to uncached execution
+        instead of failing it.
+        """
         path = self.path_for(stage, *key_parts)
-        self._root.mkdir(parents=True, exist_ok=True)
         text = json.dumps(payload)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(text, encoding="utf-8")
-        tmp.replace(path)
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            current().metrics.counter("cachestore.write_errors",
+                                      stage=stage).inc()
+            return None
         current().metrics.counter("cachestore.bytes_written",
                                   stage=stage).inc(len(text))
         return path

@@ -20,7 +20,7 @@ direct executor callers and for constructing reports by hand; the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.runtime import Observability
@@ -54,6 +54,11 @@ class ExecStats:
     cache_misses: int = 0
     shard_seconds: Dict[int, float] = field(default_factory=dict)
     n_records: int = 0
+    #: True when the merge proceeded without some countries because
+    #: their sources kept failing (see :mod:`repro.resilience`).
+    degraded: bool = False
+    #: The countries the run gave up on, sorted.
+    quarantined: Tuple[str, ...] = ()
 
     # -- recording --------------------------------------------------------------
 
@@ -89,6 +94,10 @@ class ExecStats:
                     span.attrs.get("n_shards", stats.n_shards))
                 stats.n_records = int(
                     span.attrs.get("n_records", stats.n_records))
+                stats.degraded = bool(
+                    span.attrs.get("degraded", stats.degraded))
+                stats.quarantined = tuple(
+                    span.attrs.get("quarantined", stats.quarantined))
         for span in spans:
             if span.name == SHARD_SPAN and "shard" in span.attrs:
                 stats.record_shard(int(span.attrs["shard"]), span.duration)
@@ -144,6 +153,8 @@ class ExecStats:
                 "skew": round(self.shard_skew, 4),
             },
             "n_records": self.n_records,
+            "degraded": self.degraded,
+            "quarantined": list(self.quarantined),
         }
 
     def rows(self) -> List[str]:
@@ -165,4 +176,8 @@ class ExecStats:
                 f"shards executed {len(self.shard_seconds)}  "
                 f"slowest {slowest:.2f}s  skew {self.shard_skew:.2f}x")
         lines.append(f"curated records {self.n_records}")
+        if self.degraded:
+            lines.append(
+                f"DEGRADED        quarantined: "
+                f"{', '.join(self.quarantined)}")
         return lines

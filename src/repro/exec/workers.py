@@ -25,6 +25,14 @@ collect into a local session whose spans and metrics the parent adopts
 on completion.  Cache hits/misses are counted into the session's
 metrics registry.  None of this touches the RNG substreams, so results
 remain byte-identical with tracing on or off.
+
+With a :class:`repro.resilience.ResilienceConfig`, each country becomes
+one retried, breaker-guarded unit of work: transient source failures
+back off and retry deterministically, and a country that exhausts its
+budget is quarantined — the merge proceeds with the survivors and the
+run reports ``degraded=True`` (or, under ``fail_fast``, the first
+exhausted country aborts the run).  Runs with an active fault plan
+bypass the shard cache entirely, in both directions.
 """
 
 from __future__ import annotations
@@ -36,7 +44,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import io
-from repro.errors import ConfigurationError, SchemaError
+from repro.errors import CircuitOpenError, ConfigurationError, \
+    RetriesExhaustedError, SchemaError
 from repro.exec.cachestore import CacheStore
 from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
 from repro.exec.stats import SHARD_SPAN, ExecStats
@@ -45,6 +54,8 @@ from repro.ioda.curation import CurationConfig, CurationPipeline, \
     finalize_records
 from repro.ioda.platform import IODAPlatform, PlatformConfig
 from repro.ioda.records import OutageRecord
+from repro.resilience import BreakerBoard, ResilienceConfig, \
+    call_with_retry, inject
 from repro.timeutils.timestamps import TimeRange
 from repro.world.scenario import ScenarioConfig, ScenarioGenerator, \
     WorldScenario
@@ -80,31 +91,71 @@ class ExecutorConfig:
 #: Per-country curated records, in the country order of the owning shard.
 _ShardRecords = List[Tuple[str, List[OutageRecord]]]
 
+#: Countries a shard gave up on (retries exhausted / breaker open).
+_Quarantined = Tuple[str, ...]
+
+#: What curating one shard produced: the surviving countries' records
+#: plus the countries quarantined along the way.
+_ShardResult = Tuple[_ShardRecords, _Quarantined]
+
 
 def _curate_shard(scenario: WorldScenario,
                   platform_config: PlatformConfig,
                   curation_config: CurationConfig,
                   period: TimeRange, countries: Tuple[str, ...],
-                  platform: Optional[IODAPlatform] = None) -> _ShardRecords:
+                  platform: Optional[IODAPlatform] = None,
+                  resilience: Optional[ResilienceConfig] = None
+                  ) -> _ShardResult:
     """Curate one shard's countries over a scenario.
 
     The per-country RNG substreams make this independent of every other
     shard; the only shared object is the (effectively read-only)
     platform, which in-process backends pass in to share its country
     caches.
+
+    With a :class:`~repro.resilience.ResilienceConfig`, each country is
+    one retried unit of work guarded by its own circuit breaker: the
+    investigation runs under a per-attempt fault scope (which is what
+    keys deterministic injection), transient failures back off and
+    retry, and a country that exhausts its budget is either quarantined
+    (returned in the second slot; the merge proceeds without it) or —
+    under ``fail_fast`` — aborts the whole run.  Because curation is a
+    pure function of the scenario, a retried attempt reproduces the
+    fault-free bytes exactly.
     """
     if platform is None:
         platform = IODAPlatform(scenario, platform_config)
     pipeline = CurationPipeline(platform, curation_config)
     windows = pipeline.country_windows(period)
-    return [(iso2, pipeline.investigate_country(iso2, windows[iso2], period))
-            for iso2 in countries]
+    if resilience is None:
+        return ([(iso2,
+                  pipeline.investigate_country(iso2, windows[iso2], period))
+                 for iso2 in countries], ())
+    board = BreakerBoard(resilience.breaker)
+    survivors: _ShardRecords = []
+    quarantined: List[str] = []
+    for iso2 in countries:
+        try:
+            records = call_with_retry(
+                lambda iso2=iso2: pipeline.investigate_country(
+                    iso2, windows[iso2], period),
+                policy=resilience.retry, key=iso2, site="curate.country",
+                breaker=board.get(iso2))
+        except (RetriesExhaustedError, CircuitOpenError):
+            if resilience.fail_fast:
+                raise
+            quarantined.append(iso2)
+            continue
+        survivors.append((iso2, records))
+    return survivors, tuple(quarantined)
 
 
-#: What one scheduled shard sends back: records, wall seconds, and —
-#: from process workers — the locally collected spans and metrics that
-#: the parent grafts into the run's observability session.
-_ShardOutcome = Tuple[_ShardRecords, float, list, Optional[dict]]
+#: What one scheduled shard sends back: records, quarantined countries,
+#: wall seconds, and — from process workers — the locally collected
+#: spans and metrics that the parent grafts into the run's
+#: observability session.
+_ShardOutcome = Tuple[_ShardRecords, _Quarantined, float, list,
+                      Optional[dict]]
 
 
 def _curate_shard_subprocess(
@@ -114,7 +165,8 @@ def _curate_shard_subprocess(
         period: TimeRange,
         countries: Tuple[str, ...],
         shard_index: int = -1,
-        collect_obs: bool = False) -> _ShardOutcome:
+        collect_obs: bool = False,
+        resilience: Optional[ResilienceConfig] = None) -> _ShardOutcome:
     """Process-pool entry point: rebuild the world, curate, time it.
 
     Module-level so it pickles by reference; scenario generation is
@@ -122,23 +174,30 @@ def _curate_shard_subprocess(
     When the parent run has observability enabled, the worker collects
     into its own session and returns the span records and metrics
     snapshot for the parent to adopt — ids are remapped on adoption, so
-    nothing here needs to coordinate with the parent tracer.
+    nothing here needs to coordinate with the parent tracer.  The fault
+    plan does not survive the process boundary as ambient state, so the
+    worker re-installs it from the (picklable) resilience config —
+    injection decisions are pure functions of the plan, so the worker
+    faults exactly where an in-process backend would.
     """
     started = time.perf_counter()
+    plan = resilience.fault_plan if resilience is not None else None
     if not collect_obs:
-        scenario = ScenarioGenerator(scenario_config).generate()
-        result = _curate_shard(
-            scenario, platform_config, curation_config, period, countries)
-        return result, time.perf_counter() - started, [], None
+        with inject(plan):
+            scenario = ScenarioGenerator(scenario_config).generate()
+            result, quarantined = _curate_shard(
+                scenario, platform_config, curation_config, period,
+                countries, resilience=resilience)
+        return result, quarantined, time.perf_counter() - started, [], None
     local = Observability()
-    with activate(local):
+    with activate(local), inject(plan):
         with local.span(SHARD_SPAN, shard=shard_index,
                         countries=len(countries), backend="process"):
             scenario = ScenarioGenerator(scenario_config).generate()
-            result = _curate_shard(
+            result, quarantined = _curate_shard(
                 scenario, platform_config, curation_config, period,
-                countries)
-    return (result, time.perf_counter() - started,
+                countries, resilience=resilience)
+    return (result, quarantined, time.perf_counter() - started,
             local.tracer.spans(), local.metrics.snapshot())
 
 
@@ -149,12 +208,14 @@ class ShardedCurationExecutor:
                  platform_config: PlatformConfig | None = None,
                  curation_config: CurationConfig | None = None,
                  cache: CacheStore | None = None,
-                 config: ExecutorConfig | None = None):
+                 config: ExecutorConfig | None = None,
+                 resilience: ResilienceConfig | None = None):
         self._period = study_period
         self._platform_config = platform_config or PlatformConfig()
         self._curation_config = curation_config or CurationConfig()
         self._cache = cache
         self._config = config or ExecutorConfig()
+        self._resilience = resilience
 
     @property
     def config(self) -> ExecutorConfig:
@@ -186,10 +247,17 @@ class ShardedCurationExecutor:
         stats.n_shards = len(plan)
         obs.annotate(n_shards=len(plan))
 
+        # Chaos runs never touch the shard cache: a planted payload could
+        # mask the very failures being exercised, and a degraded shard
+        # must never be served to a later clean run.
+        use_cache = (self._cache is not None
+                     and (self._resilience is None
+                          or self._resilience.fault_plan is None))
+
         by_shard: Dict[int, _ShardRecords] = {}
         cold: List[Shard] = []
         for shard in plan:
-            cached = self._cache_get(scenario, shard)
+            cached = self._cache_get(scenario, shard) if use_cache else None
             if cached is not None:
                 by_shard[shard.index] = cached
                 stats.cache_hits += 1
@@ -199,17 +267,31 @@ class ShardedCurationExecutor:
         obs.metrics.counter("exec.cache.hits").inc(stats.cache_hits)
         obs.metrics.counter("exec.cache.misses").inc(len(cold))
 
+        quarantined: List[str] = []
         if cold:
             executed = self._execute(scenario, platform, cold, stats)
-            for shard, shard_records in executed.items():
+            for shard, (shard_records, shard_quarantined) \
+                    in executed.items():
                 by_shard[shard.index] = shard_records
-                self._cache_put(scenario, shard, shard_records)
+                quarantined.extend(shard_quarantined)
+                if use_cache and not shard_quarantined:
+                    self._cache_put(scenario, shard, shard_records)
 
+        stats.degraded = bool(quarantined)
+        stats.quarantined = tuple(sorted(quarantined))
+        obs.annotate(degraded=stats.degraded,
+                     quarantined=list(stats.quarantined))
+        for iso2 in stats.quarantined:
+            obs.metrics.counter("resilience.quarantined",
+                                country=iso2).inc()
+
+        dropped = set(quarantined)
         by_country = {iso2: records
                       for shard_records in by_shard.values()
                       for iso2, records in shard_records}
         merged = finalize_records(
-            by_country[iso2] for iso2 in plan.countries)
+            by_country[iso2] for iso2 in plan.countries
+            if iso2 not in dropped)
         stats.n_records = len(merged)
         obs.annotate(n_records=len(merged))
         return merged
@@ -218,7 +300,7 @@ class ShardedCurationExecutor:
 
     def _execute(self, scenario: WorldScenario, platform: IODAPlatform,
                  cold: List[Shard],
-                 stats: ExecStats) -> Dict[Shard, _ShardRecords]:
+                 stats: ExecStats) -> Dict[Shard, _ShardResult]:
         obs = current()
         # Shard spans run on pool threads (empty span stacks) or in
         # other processes, so the scheduling thread's innermost span —
@@ -231,7 +313,7 @@ class ShardedCurationExecutor:
             backend = "serial"
 
         if backend == "serial":
-            results: Dict[Shard, _ShardRecords] = {}
+            results: Dict[Shard, _ShardResult] = {}
             for shard in cold:
                 started = time.perf_counter()
                 with obs.span(SHARD_SPAN, parent=parent_id,
@@ -241,7 +323,8 @@ class ShardedCurationExecutor:
                     results[shard] = _curate_shard(
                         scenario, self._platform_config,
                         self._curation_config, self._period,
-                        shard.countries, platform=platform)
+                        shard.countries, platform=platform,
+                        resilience=self._resilience)
                 stats.record_shard(
                     shard.index, time.perf_counter() - started)
             return results
@@ -253,11 +336,13 @@ class ShardedCurationExecutor:
                               shard=shard.index,
                               countries=len(shard.countries),
                               backend="thread"):
-                    result = _curate_shard(
+                    result, quarantined = _curate_shard(
                         scenario, self._platform_config,
                         self._curation_config, self._period,
-                        shard.countries, platform=platform)
-                return result, time.perf_counter() - started, [], None
+                        shard.countries, platform=platform,
+                        resilience=self._resilience)
+                return (result, quarantined,
+                        time.perf_counter() - started, [], None)
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(timed, shard): shard
@@ -270,21 +355,22 @@ class ShardedCurationExecutor:
                     _curate_shard_subprocess, scenario.config,
                     self._platform_config, self._curation_config,
                     self._period, shard.countries, shard.index,
-                    obs.enabled): shard
+                    obs.enabled, self._resilience): shard
                 for shard in cold}
             return self._collect(futures, stats, obs, parent_id)
 
     @staticmethod
     def _collect(futures, stats: ExecStats, obs,
-                 parent_id) -> Dict[Shard, _ShardRecords]:
-        results: Dict[Shard, _ShardRecords] = {}
+                 parent_id) -> Dict[Shard, _ShardResult]:
+        results: Dict[Shard, _ShardResult] = {}
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 shard = futures[future]
-                shard_records, seconds, spans, metrics = future.result()
-                results[shard] = shard_records
+                (shard_records, quarantined, seconds, spans,
+                 metrics) = future.result()
+                results[shard] = (shard_records, quarantined)
                 stats.record_shard(shard.index, seconds)
                 if spans:
                     obs.tracer.adopt(spans, parent_id)

@@ -17,8 +17,9 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import PaginationError, TimeRangeError
+from repro.errors import CursorError, PaginationError, TimeRangeError
 from repro.exec.cachestore import fingerprint
+from repro.resilience.faults import maybe_fault
 from repro.ioda.dashboard import Dashboard, DashboardEntry
 from repro.ioda.platform import IODAPlatform
 from repro.ioda.records import OutageRecord
@@ -105,15 +106,36 @@ class IODAClient:
 
     def get_events(self, country_iso2: Optional[str] = None,
                    from_ts: Optional[int] = None,
-                   until_ts: Optional[int] = None,
-                   offset: Optional[int] = None, limit: int = 50, *,
+                   until_ts: Optional[int] = None, *,
+                   offset: Optional[int] = None, limit: int = 50,
                    cursor: Optional[str] = None) -> EventPage:
         """Paginated curated-event feed with optional filters.
 
-        Page with the opaque ``cursor`` from the previous
-        :class:`EventPage`; a cursor is only valid for the filters it was
-        minted with.  Passing ``offset`` directly is deprecated.
+        Paging parameters (``offset``, ``limit``, ``cursor``) are
+        keyword-only.
+
+        **Cursor contract.**  ``EventPage.cursor`` is an opaque token:
+
+        - Mint one only by calling this method; pass it back verbatim
+          via ``cursor=`` to fetch the next page.
+        - A cursor binds to the exact filters it was minted with *and*
+          to the feed revision (the record set the client was built
+          over).  Reusing it with different filters, against a
+          different client, or after the feed changed raises
+          :class:`~repro.errors.CursorError`.
+        - So does any tampered, truncated, or unsupported-version
+          token.  ``CursorError`` subclasses
+          :class:`~repro.errors.PaginationError`, so existing handlers
+          keep working; recover by restarting pagination without a
+          cursor.
+        - Cursors never expire on their own and are safe to persist
+          across processes as long as the feed is unchanged.
+
+        Passing ``offset`` directly is deprecated; it cannot detect a
+        feed change under your pagination the way a cursor does.
         """
+        maybe_fault("ioda.api.get_events",
+                    key=country_iso2 or "events-feed")
         if limit <= 0:
             raise TimeRangeError(f"limit must be positive: {limit}")
         if offset is not None and cursor is not None:
@@ -163,14 +185,14 @@ class IODAClient:
             token = base64.urlsafe_b64decode(cursor.encode("ascii"))
             version, position, key = token.decode("ascii").split(":")
         except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
-            raise PaginationError(f"malformed cursor: {cursor!r}") from exc
+            raise CursorError(f"malformed cursor: {cursor!r}") from exc
         if version != "v1":
-            raise PaginationError(f"unsupported cursor version: {version!r}")
+            raise CursorError(f"unsupported cursor version: {version!r}")
         if key != query_key:
-            raise PaginationError(
+            raise CursorError(
                 "cursor was issued for a different query or feed; "
                 "restart pagination without a cursor")
         try:
             return int(position)
         except ValueError as exc:
-            raise PaginationError(f"malformed cursor: {cursor!r}") from exc
+            raise CursorError(f"malformed cursor: {cursor!r}") from exc

@@ -35,6 +35,7 @@ from repro.bgp.view import visible_slash24_series
 from repro.errors import ConfigurationError, SignalError
 from repro.probing.blocks import ProbedBlock, sample_blocks
 from repro.probing.scheduler import ActiveProbingRun
+from repro.resilience.faults import maybe_fault
 from repro.rng import substream
 from repro.signals.entities import Entity, EntityScope
 from repro.signals.kinds import SignalKind
@@ -110,7 +111,17 @@ class IODAPlatform:
 
     def signal(self, entity: Entity, kind: SignalKind,
                window: TimeRange) -> TimeSeries:
-        """One signal for one entity over a window."""
+        """One signal for one entity over a window.
+
+        This is the platform's fault-injection site: under an active
+        :class:`~repro.resilience.FaultPlan` *and* an open fault scope
+        (the retry machinery opens one per attempt of each unit of
+        work), a query may raise a typed
+        :class:`~repro.errors.TransientSourceError` before any
+        computation happens.  Outside a scope the hook is inert, so
+        scheduling-time queries never fault.
+        """
+        maybe_fault("platform.signal")
         iso2 = entity.country_iso2
         if iso2 is None:
             return self._as_signal(entity, kind, window)

@@ -21,12 +21,18 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "NullMetrics", "series_key"]
+__all__ = ["ATTEMPT_BUCKETS", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "NullMetrics", "series_key"]
 
 #: Default histogram buckets: sub-millisecond to minutes (seconds scale).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+#: Buckets for small discrete counts — retry attempts per operation
+#: (:mod:`repro.resilience`), items per page, and similar distributions
+#: where each integer up to a handful matters.
+ATTEMPT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0)
 
 
 def series_key(name: str, labels: Mapping[str, Any]) -> str:

@@ -1,0 +1,57 @@
+"""The one knob bundle the pipeline layers thread through.
+
+:class:`ResilienceConfig` carries everything the executor and the
+dataset stage need to absorb source faults: the (optional) fault plan,
+the retry policy, the breaker policy, and the failure mode.  It is a
+frozen dataclass of primitives so it pickles across process workers and
+fingerprints canonically — though note the executor deliberately
+*bypasses* the shard cache whenever faults are injected, so chaos runs
+can never plant (or be served) shard payloads that would mask the very
+failures being exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.resilience.breaker import BreakerPolicy
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class ResilienceConfig:
+    """How a run injects, absorbs, and reports data-source faults."""
+
+    #: Fault plan (or CLI spec string) to inject; None = no injection,
+    #: but retry/breaker still guard real (non-injected) transient
+    #: failures.
+    faults: Optional[Union[FaultPlan, str]] = None
+    retry: RetryPolicy = RetryPolicy()
+    breaker: BreakerPolicy = BreakerPolicy()
+    #: True: the first exhausted source aborts the run.  False (the
+    #: default): exhausted countries are quarantined, the merge proceeds
+    #: with the survivors, and the run reports ``degraded=True``.
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults",
+                               FaultPlan.parse(self.faults))
+        if self.faults is not None and not isinstance(self.faults,
+                                                      FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or spec string: "
+                f"{self.faults!r}")
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The parsed plan, or None when nothing would ever inject."""
+        plan = self.faults
+        if isinstance(plan, FaultPlan) and not plan.empty:
+            return plan
+        return None

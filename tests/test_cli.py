@@ -60,6 +60,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--inject-faults", "fail_first=2;seed=5",
+             "--max-retries", "5", "--fail-fast"])
+        assert args.inject_faults == "fail_first=2;seed=5"
+        assert args.max_retries == 5
+        assert args.fail_fast
+
+    def test_degrade_is_the_default_failure_mode(self):
+        args = build_parser().parse_args(["run", "--degrade"])
+        assert not args.fail_fast
+        assert not build_parser().parse_args(["run"]).fail_fast
+
+    def test_fail_fast_and_degrade_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fail-fast", "--degrade"])
+
+    def test_bad_fault_spec_exits_cleanly(self, capsys):
+        assert main(["run", "--inject-faults", "frequency=0.5"]) == 2
+        assert "fault clause" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_signals_command(self, capsys):
@@ -184,6 +205,87 @@ class TestObservability:
         empty.write_text("", encoding="utf-8")
         assert main(["trace", "summarize", str(empty)]) == 2
         assert "empty or unreadable" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    """CLI resilience plumbing on the small test scenario.
+
+    ``repro run`` always covers the full study period, which is too
+    slow for chaos runs that must bypass the cache — so these tests
+    shrink the run by patching the CLI's pipeline construction, and
+    exercise the real flag parsing, resilience wiring, and exit-status
+    handling around it.
+    """
+
+    @pytest.fixture()
+    def small_cli(self, monkeypatch):
+        import functools
+
+        from repro.core.pipeline import ReproPipeline
+        from repro.timeutils.timestamps import TimeRange, utc
+        from repro.world.scenario import ScenarioConfig
+
+        monkeypatch.setattr(
+            "repro.cli.ScenarioConfig",
+            lambda seed: ScenarioConfig(seed=seed, years=(2018,)))
+        monkeypatch.setattr(
+            "repro.cli.ReproPipeline",
+            functools.partial(
+                ReproPipeline,
+                study_period=TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))))
+
+    def test_chaos_run_recovers_and_reports_clean(self, capsys, tmp_path,
+                                                  small_cli):
+        import json
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                       "--stats", "--json",
+                       "--inject-faults", "fail_first=1;seed=3"])
+        assert status == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["degraded"] is False
+        assert report["quarantined"] == []
+        # The fault plan bypasses the cache in both directions.
+        assert report["cache"]["hits"] == 0
+        assert not list(tmp_path.glob("curate-*.json"))
+
+    def test_permanent_fault_degrades_run(self, capsys, tmp_path,
+                                          small_cli):
+        import json
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                       "--stats", "--json",
+                       "--inject-faults", "permanent=SY", "--degrade"])
+        assert status == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["degraded"] is True
+        assert report["quarantined"] == ["SY"]
+
+    def test_fail_fast_exits_2(self, capsys, tmp_path, small_cli):
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                       "--inject-faults", "permanent=SY", "--fail-fast"])
+        assert status == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
+class TestCacheDirFallback:
+    def test_unwritable_cache_dir_warns_and_runs_uncached(self, capsys,
+                                                          tmp_path):
+        # A regular file where the cache dir should go breaks mkdir even
+        # for root; `signals` is the cheapest command that probes it.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        status = main(["--cache-dir", str(blocker / "cache"), "signals",
+                       "SY", "2018-06-13 12:00", "2018-06-13 13:00"])
+        assert status == 0
+        captured = capsys.readouterr()
+        assert "not writable" in captured.err
+        assert "running uncached" in captured.err
+        assert "Syria" in captured.out
+
+    def test_writable_cache_dir_does_not_warn(self, capsys, tmp_path):
+        status = main(["--cache-dir", str(tmp_path / "cache"), "signals",
+                       "SY", "2018-06-13 12:00", "2018-06-13 13:00"])
+        assert status == 0
+        assert "not writable" not in capsys.readouterr().err
 
 
 class TestSignalErrorHandling:

@@ -146,6 +146,15 @@ class TestCacheStore:
         path.write_text("{truncated", encoding="utf-8")
         assert store.get("curate", "key") is None
 
+    def test_put_is_best_effort_when_root_unwritable(self, tmp_path):
+        # A regular file where the cache root should be makes mkdir fail
+        # even for root; the write must degrade to a no-op, not raise.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        store = CacheStore(blocker / "cache")
+        assert store.put("curate", {"ok": True}, "key") is None
+        assert store.get("curate", "key") is None
+
     def test_distinct_configs_get_distinct_files(self, tmp_path):
         # Regression: the old seed-keyed cache reused records across
         # config changes because the config never entered the file name.
@@ -196,10 +205,19 @@ class TestExecStats:
         report = stats.as_dict()
         assert set(report) == {"workers", "backend", "n_shards", "stages",
                                "total_seconds", "cache", "shards",
-                               "n_records"}
+                               "n_records", "degraded", "quarantined"}
         assert report["stages"] == {"curate": 1.25}
         assert report["cache"] == {"hits": 0, "misses": 0,
                                    "curate_skipped": True}
+        assert report["degraded"] is False
+        assert report["quarantined"] == []
+
+    def test_degraded_run_reported(self):
+        stats = ExecStats(degraded=True, quarantined=("IR", "SY"))
+        report = stats.as_dict()
+        assert report["degraded"] is True
+        assert report["quarantined"] == ["IR", "SY"]
+        assert any("quarantined: IR, SY" in row for row in stats.rows())
 
 
 # -- serial/parallel equivalence ------------------------------------------------

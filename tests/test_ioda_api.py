@@ -1,11 +1,12 @@
 """Tests for the IODA-style query API and the user-impact analysis."""
 
+import base64
 import warnings
 
 import pytest
 
 from repro.analysis.impact import user_impact
-from repro.errors import PaginationError, TimeRangeError
+from repro.errors import CursorError, PaginationError, TimeRangeError
 from repro.ioda.api import IODAClient
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -108,13 +109,50 @@ class TestEventFeed:
     def test_cursor_bound_to_filters(self, client):
         page = client.get_events(limit=10)
         assert page.cursor is not None
-        with pytest.raises(PaginationError):
+        with pytest.raises(CursorError):
             client.get_events(country_iso2="SY", limit=10,
                               cursor=page.cursor)
 
     def test_malformed_cursor_rejected(self, client):
+        with pytest.raises(CursorError):
+            client.get_events(cursor="not-a-cursor")
+
+    def test_tampered_cursor_rejected(self, client):
+        # Flip the position inside an otherwise well-formed token: the
+        # query-key check must catch edits, not just un-decodable junk.
+        page = client.get_events(limit=10)
+        token = base64.urlsafe_b64decode(page.cursor.encode("ascii"))
+        version, position, key = token.decode("ascii").split(":")
+        forged = base64.urlsafe_b64encode(
+            f"{version}:{position}:{'0' * len(key)}".encode("ascii")
+        ).decode("ascii")
+        with pytest.raises(CursorError):
+            client.get_events(limit=10, cursor=forged)
+
+    def test_unsupported_cursor_version_rejected(self, client):
+        forged = base64.urlsafe_b64encode(b"v9:0:abc").decode("ascii")
+        with pytest.raises(CursorError, match="version"):
+            client.get_events(limit=10, cursor=forged)
+
+    def test_cursor_error_is_a_pagination_error(self, client):
+        # Typed for new callers, but old `except PaginationError`
+        # handlers must keep catching cursor trouble.
+        assert issubclass(CursorError, PaginationError)
         with pytest.raises(PaginationError):
             client.get_events(cursor="not-a-cursor")
+
+    def test_cursor_invalid_after_feed_change(self, platform,
+                                              pipeline_result):
+        records = pipeline_result.curated_records
+        before = IODAClient(platform, records)
+        page = before.get_events(limit=10)
+        after = IODAClient(platform, records[:-1])  # feed revision moved
+        with pytest.raises(CursorError):
+            after.get_events(limit=10, cursor=page.cursor)
+
+    def test_paging_params_are_keyword_only(self, client):
+        with pytest.raises(TypeError):
+            client.get_events("SY", None, None, 0)  # offset positionally
 
     def test_cursor_offset_conflict_rejected(self, client):
         page = client.get_events(limit=10)

@@ -1,0 +1,186 @@
+"""Integration tests for resilience in the executor and pipeline.
+
+The two headline invariants of :mod:`repro.resilience`:
+
+- **Recovery is invisible.**  A fault-injected run whose every fault is
+  retriable within the policy budget produces byte-identical curated
+  records to a fault-free run — on the serial, thread, and process
+  backends alike.
+- **Exhaustion is contained.**  A country whose source never recovers
+  is quarantined: the merge proceeds with the survivors, the run
+  reports ``degraded=True`` plus the quarantined codes, and the
+  surviving records match a clean run's minus the quarantined country
+  (modulo the sequential record ids).  Under ``fail_fast`` the same
+  situation aborts the run instead.
+
+Runs use the same deliberately small scenario as tests/test_exec.py so
+each cold curation costs seconds.
+"""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.core.pipeline import ReproPipeline
+from repro.errors import ResilienceError
+from repro.exec import ExecutorConfig
+from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy
+from repro.timeutils.timestamps import TimeRange, utc
+from repro.world.scenario import ScenarioConfig
+
+SMALL_CONFIG = ScenarioConfig(seed=7, years=(2018,))
+SMALL_PERIOD = TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))
+
+#: Backoff with no real sleeping, so chaos tests stay fast.
+NO_WAIT = RetryPolicy(base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+#: Every fault recoverable within NO_WAIT's budget of 3 retries.
+RECOVERABLE = ResilienceConfig(faults=FaultPlan(fail_first=2, seed=5),
+                               retry=NO_WAIT)
+
+
+def _run(resilience=None, *, backend="serial", workers=1, cache_dir=None):
+    pipeline = ReproPipeline(
+        scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+        cache_dir=cache_dir,
+        executor=ExecutorConfig(workers=workers, backend=backend),
+        resilience=resilience)
+    result = pipeline.run()
+    return pipeline, result
+
+
+def _record_bytes(records, *, drop_ids=False):
+    dicts = [io.record_to_dict(r) for r in records]
+    if drop_ids:
+        for d in dicts:
+            d.pop("record_id", None)
+    return json.dumps(dicts, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """The fault-free baseline run."""
+    pipeline, result = _run()
+    assert not pipeline.stats.degraded
+    return pipeline, result
+
+
+class TestByteIdentityUnderRecoverableFaults:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("thread", 4), ("process", 2)])
+    def test_recovered_run_is_byte_identical(self, clean, backend,
+                                             workers):
+        _, baseline = clean
+        pipeline, result = _run(RECOVERABLE, backend=backend,
+                                workers=workers)
+        assert _record_bytes(result.curated_records) \
+            == _record_bytes(baseline.curated_records)
+        assert not pipeline.stats.degraded
+        assert pipeline.stats.quarantined == ()
+
+    def test_dataset_stage_recovers_identically(self, clean):
+        # fail_first faults hit the dataset loaders too; a recovered
+        # load must reproduce the exact products (retries re-derive the
+        # source RNG substream instead of consuming it).
+        _, baseline = clean
+        _, result = _run(RECOVERABLE)
+        assert result.vdem._records == baseline.vdem._records
+        assert result.state_shares == baseline.state_shares
+        assert result.merged.labeled == baseline.merged.labeled
+
+    def test_faults_were_actually_injected(self):
+        pipeline, _ = _run(RECOVERABLE)
+        counters = pipeline.observability.metrics.snapshot()["counters"]
+        injected = sum(v for k, v in counters.items()
+                       if k.startswith("resilience.faults"))
+        retried = sum(v for k, v in counters.items()
+                      if k.startswith("resilience.retry.failures"))
+        assert injected > 0
+        assert retried > 0
+
+    def test_chaos_run_bypasses_the_shard_cache(self, tmp_path, clean):
+        _, baseline = clean
+        # Chaos run first: must not plant shard payloads...
+        _run(RECOVERABLE, cache_dir=tmp_path)
+        assert not list(tmp_path.glob("curate-*.json"))
+        # ...and a warm cache must not serve a chaos run.
+        pipeline, _ = _run(cache_dir=tmp_path)
+        assert pipeline.stats.cache_misses == pipeline.stats.n_shards
+        chaos, result = _run(RECOVERABLE, cache_dir=tmp_path)
+        assert chaos.stats.cache_hits == 0
+        assert _record_bytes(result.curated_records) \
+            == _record_bytes(baseline.curated_records)
+
+
+class TestQuarantine:
+    @pytest.fixture(scope="class")
+    def degraded(self):
+        config = ResilienceConfig(faults=FaultPlan(permanent=("SY",)),
+                                  retry=NO_WAIT)
+        return _run(config)
+
+    def test_degraded_flag_and_quarantine_list(self, degraded):
+        pipeline, _ = degraded
+        assert pipeline.stats.degraded
+        assert pipeline.stats.quarantined == ("SY",)
+        report = pipeline.stats.as_dict()
+        assert report["degraded"] is True
+        assert report["quarantined"] == ["SY"]
+
+    def test_merge_proceeds_with_survivors(self, degraded, clean):
+        _, baseline = clean
+        _, result = degraded
+        assert result.curated_records
+        assert all(r.country_iso2 != "SY"
+                   for r in result.curated_records)
+        # Survivors match the clean run minus SY, field for field; only
+        # the sequential record ids shift.
+        expected = [r for r in baseline.curated_records
+                    if r.country_iso2 != "SY"]
+        assert _record_bytes(result.curated_records, drop_ids=True) \
+            == _record_bytes(expected, drop_ids=True)
+        assert sorted(r.record_id for r in result.curated_records) \
+            == list(range(1, len(expected) + 1))
+
+    def test_quarantine_reaches_the_obs_journal(self, degraded):
+        pipeline, _ = degraded
+        counters = pipeline.observability.metrics.snapshot()["counters"]
+        assert counters.get("resilience.quarantined{country=SY}") == 1
+        assert any(k.startswith("resilience.breaker.opened")
+                   for k in counters)
+        curate = next(s for s in pipeline.observability.tracer.spans()
+                      if s.name == "stage:curate")
+        assert curate.attrs["degraded"] is True
+        assert curate.attrs["quarantined"] == ["SY"]
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 4), ("process", 2)])
+    def test_quarantine_is_backend_independent(self, degraded, backend,
+                                               workers):
+        serial_pipeline, serial_result = degraded
+        config = ResilienceConfig(faults=FaultPlan(permanent=("SY",)),
+                                  retry=NO_WAIT)
+        pipeline, result = _run(config, backend=backend, workers=workers)
+        assert pipeline.stats.quarantined \
+            == serial_pipeline.stats.quarantined
+        assert _record_bytes(result.curated_records) \
+            == _record_bytes(serial_result.curated_records)
+
+    def test_fail_fast_aborts_instead(self):
+        config = ResilienceConfig(faults=FaultPlan(permanent=("SY",)),
+                                  retry=NO_WAIT, fail_fast=True)
+        with pytest.raises(ResilienceError):
+            _run(config)
+
+    def test_degraded_shards_are_never_cached(self, tmp_path):
+        # permanent= is an injected plan, so the cache is bypassed; the
+        # guarantee under test is the stronger one — no degraded shard
+        # payload ever lands on disk to poison a later clean run.
+        config = ResilienceConfig(faults=FaultPlan(permanent=("SY",)),
+                                  retry=NO_WAIT)
+        _run(config, cache_dir=tmp_path)
+        assert not list(tmp_path.glob("curate-*.json"))
+        pipeline, result = _run(cache_dir=tmp_path)
+        assert not pipeline.stats.degraded
+        assert any(r.country_iso2 == "SY" for r in result.curated_records)
