@@ -7,13 +7,17 @@ IODAClient` the way such a tool would:
 
 1. pull a week of three-signal data for a watched country,
 2. list the alert episodes the platform raised in that window,
-3. walk the paginated curated-event feed for the same country, and
+3. walk the paginated curated-event feed for the same country,
 4. cross-check one event against the Google-Transparency-style traffic
-   signal (the post-study extension, §3.1 footnote 2).
+   signal (the post-study extension, §3.1 footnote 2), and
+5. gate the whole thing on the run's health scorecard — a monitoring
+   tool should refuse to alert off a dataset that no longer reproduces
+   the paper's shape.
 
 Run:  python examples/api_monitoring.py
 """
 
+import sys
 from pathlib import Path
 
 import repro.api as api
@@ -25,7 +29,20 @@ CACHE = Path(__file__).resolve().parent.parent / ".cache"
 
 
 def main() -> None:
-    result = api.run(cache_dir=CACHE)
+    result, stats, health = api.run_with_health(cache_dir=CACHE)
+
+    # 0. Refuse to monitor off a dataset that failed its scorecard.
+    print(f"run health: {health.grade} "
+          f"({len(health.failed)} failed, {len(health.warned)} warned "
+          f"of {len(health.results)} checks)")
+    for check in health.failed:
+        print(f"  FAIL {check.check.name}: {check.value:g} vs "
+              f"target {check.check.target:g}")
+    if health.grade == "fail":
+        print("dataset no longer reproduces the paper; not monitoring")
+        sys.exit(1)
+    print()
+
     client = api.client(result)
 
     # Watch the country with the most curated events.

@@ -33,8 +33,10 @@ from repro.analysis.mobilization import MobilizationTable, mobilization_table
 from repro.analysis.temporal import TemporalAnalysis, analyze_temporal
 from repro.analysis.observability import (
     ExecStats,
+    HealthReport,
     ObservabilityTable,
     execution_report,
+    health_report,
     observability_table,
 )
 from repro.analysis.kio_trends import KIOTrends, kio_trends
@@ -57,6 +59,7 @@ __all__ = [
     "MobilizationTable", "mobilization_table",
     "TemporalAnalysis", "analyze_temporal",
     "ExecStats", "execution_report",
+    "HealthReport", "health_report",
     "ObservabilityTable", "observability_table",
     "KIOTrends", "kio_trends",
     "MatchTimeline", "match_timeline",

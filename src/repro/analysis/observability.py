@@ -13,9 +13,14 @@ Two reports live here:
   run's span tree (:meth:`ExecStats.from_obs`); the full tree plus
   metrics live in the run journal and the ``--trace`` Chrome export,
   summarized by ``repro trace summarize`` (:mod:`repro.obs.summary`).
+- Run health: the rendered :class:`repro.obs.HealthReport` fidelity
+  scorecard for a run — event populations, match fractions, and
+  operational budgets graded against the paper's targets — as surfaced
+  by ``repro run --health`` and ``repro health RUN.jsonl``.
 
-:class:`ExecStats` and :func:`execution_report` are re-exported from
-:mod:`repro.analysis` and :mod:`repro.api` as the stable import path.
+:class:`ExecStats`, :func:`execution_report`, and
+:func:`health_report` are re-exported from :mod:`repro.analysis` and
+:mod:`repro.api` as the stable import path.
 """
 
 from __future__ import annotations
@@ -27,15 +32,21 @@ from repro.core.labeling import LabeledEvent
 from repro.core.merge import MergedDataset
 from repro.errors import SignalError
 from repro.exec.stats import ExecStats
+from repro.obs.health import HealthReport
 from repro.signals.kinds import SignalKind
 
-__all__ = ["ExecStats", "ObservabilityTable", "execution_report",
-           "observability_table"]
+__all__ = ["ExecStats", "HealthReport", "ObservabilityTable",
+           "execution_report", "health_report", "observability_table"]
 
 
 def execution_report(stats: ExecStats) -> List[str]:
     """Human-readable lines describing one pipeline execution."""
     return stats.rows()
+
+
+def health_report(report: HealthReport) -> List[str]:
+    """Human-readable lines of one run's fidelity scorecard."""
+    return report.rows()
 
 
 @dataclass(frozen=True)

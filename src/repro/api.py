@@ -20,7 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.observability import execution_report
+from repro.analysis.observability import execution_report, health_report
 from repro.core.matching import MatchingConfig
 from repro.core.pipeline import PipelineResult, ReproPipeline
 from repro.datasets import DatasetSource, default_sources
@@ -31,7 +31,10 @@ from repro.ioda.curation import CurationConfig
 from repro.ioda.platform import IODAPlatform, PlatformConfig
 from repro.ioda.records import OutageRecord
 from repro.kio.compiler import KIOCompilerConfig
-from repro.obs import Observability, RunJournal, read_journal, \
+from repro.obs import HealthCheck, HealthPolicy, HealthReport, \
+    Observability, PerfBaseline, ProfileConfig, RunJournal, \
+    compare_baselines, default_policy, evaluate_run, list_baselines, \
+    load_baseline, read_journal, run_statistics, save_baseline, \
     summarize_events, write_chrome_trace
 from repro.resilience import BreakerPolicy, FaultPlan, ResilienceConfig, \
     RetryPolicy
@@ -43,20 +46,34 @@ __all__ = [
     "DatasetSource",
     "ExecStats",
     "FaultPlan",
+    "HealthCheck",
+    "HealthPolicy",
+    "HealthReport",
     "IODAClient",
     "Observability",
+    "PerfBaseline",
     "PipelineResult",
+    "ProfileConfig",
     "ResilienceConfig",
     "RetryPolicy",
     "RunJournal",
     "client",
+    "compare_baselines",
+    "default_policy",
     "default_sources",
     "dump_records",
+    "evaluate_run",
     "execution_report",
+    "health_report",
+    "list_baselines",
+    "load_baseline",
     "load_records",
     "read_journal",
     "run",
+    "run_statistics",
+    "run_with_health",
     "run_with_stats",
+    "save_baseline",
     "summarize_events",
     "write_chrome_trace",
 ]
@@ -90,7 +107,9 @@ def _pipeline(*, seed: int, workers: int, backend: str,
               matching_config: Optional[MatchingConfig],
               study_period: TimeRange,
               observability: Optional[Observability],
-              resilience: Optional[ResilienceConfig]) -> ReproPipeline:
+              resilience: Optional[ResilienceConfig],
+              profile: Optional[ProfileConfig | bool],
+              health_policy: Optional[HealthPolicy]) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=scenario_config or ScenarioConfig(seed=seed),
         platform_config=platform_config,
@@ -102,7 +121,9 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         executor=ExecutorConfig(
             workers=workers, backend=backend, n_shards=shards),
         observability=observability,
-        resilience=resilience)
+        resilience=resilience,
+        profile=profile,
+        health_policy=health_policy)
 
 
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
@@ -119,7 +140,9 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         faults: Optional[FaultPlan | str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
-        fail_fast: bool = False) -> PipelineResult:
+        fail_fast: bool = False,
+        profile: Optional[ProfileConfig | bool] = None,
+        health_policy: Optional[HealthPolicy] = None) -> PipelineResult:
     """Run the full reproduction pipeline and return its result.
 
     ``workers``/``backend`` schedule the observation+curation stage
@@ -145,6 +168,14 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     an active fault plan bypasses the shard cache.  Check
     ``run_with_stats(...)[1].degraded`` / ``.quarantined`` for what a
     degraded run gave up on.
+
+    ``profile=True`` (or a :class:`ProfileConfig`) turns on per-span
+    resource profiling — CPU vs wall seconds, peak-RSS growth, and
+    optionally tracemalloc allocation deltas attached to every span;
+    the readings never touch the RNG substreams, so a profiled run is
+    byte-identical to an unprofiled one.  Every run is also graded
+    against a fidelity scorecard (``health_policy``; default: the
+    paper-target policy) — see :func:`run_with_health`.
     """
     result, _ = run_with_stats(
         seed=seed, workers=workers, backend=backend, shards=shards,
@@ -153,7 +184,8 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         kio_config=kio_config, matching_config=matching_config,
         study_period=study_period, observability=observability,
         resilience=resilience, faults=faults, retry_policy=retry_policy,
-        breaker_policy=breaker_policy, fail_fast=fail_fast)
+        breaker_policy=breaker_policy, fail_fast=fail_fast,
+        profile=profile, health_policy=health_policy)
     return result
 
 
@@ -172,7 +204,9 @@ def run_with_stats(
         faults: Optional[FaultPlan | str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
-        fail_fast: bool = False
+        fail_fast: bool = False,
+        profile: Optional[ProfileConfig | bool] = None,
+        health_policy: Optional[HealthPolicy] = None
 ) -> Tuple[PipelineResult, ExecStats]:
     """Like :func:`run`, but also return the :class:`ExecStats` report.
 
@@ -181,6 +215,49 @@ def run_with_stats(
     :func:`execution_report`.  On a degraded run it carries
     ``degraded=True`` and the ``quarantined`` country codes.
     """
+    result, stats, _ = run_with_health(
+        seed=seed, workers=workers, backend=backend, shards=shards,
+        cache_dir=cache_dir, scenario_config=scenario_config,
+        platform_config=platform_config, curation_config=curation_config,
+        kio_config=kio_config, matching_config=matching_config,
+        study_period=study_period, observability=observability,
+        resilience=resilience, faults=faults, retry_policy=retry_policy,
+        breaker_policy=breaker_policy, fail_fast=fail_fast,
+        profile=profile, health_policy=health_policy)
+    return result, stats
+
+
+def run_with_health(
+        *, seed: int = 2023, workers: int = 1, backend: str = "thread",
+        shards: Optional[int] = None,
+        cache_dir: Optional[Path | str] = None,
+        scenario_config: Optional[ScenarioConfig] = None,
+        platform_config: Optional[PlatformConfig] = None,
+        curation_config: Optional[CurationConfig] = None,
+        kio_config: Optional[KIOCompilerConfig] = None,
+        matching_config: Optional[MatchingConfig] = None,
+        study_period: TimeRange = STUDY_PERIOD,
+        observability: Optional[Observability] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultPlan | str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        fail_fast: bool = False,
+        profile: Optional[ProfileConfig | bool] = None,
+        health_policy: Optional[HealthPolicy] = None
+) -> Tuple[PipelineResult, ExecStats, HealthReport]:
+    """Like :func:`run_with_stats`, plus the run's health scorecard.
+
+    The :class:`HealthReport` grades the run's statistics — headline
+    event populations, match fractions, quarantine count, cache hit
+    rate, stage wall time — against the declared targets of
+    ``health_policy`` (default: the paper-fidelity policy of
+    :func:`repro.obs.health.default_policy`).  ``report.grade`` is
+    ``"pass"``, ``"warn"``, or ``"fail"`` (the worst check wins);
+    ``report.rows()`` renders the scorecard.  The same report is
+    streamed into the run journal as a ``health`` event, replayable
+    with ``repro health RUN.jsonl``.
+    """
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
         cache_dir=cache_dir, scenario_config=scenario_config,
@@ -188,10 +265,11 @@ def run_with_stats(
         kio_config=kio_config, matching_config=matching_config,
         study_period=study_period, observability=observability,
         resilience=_resilience(resilience, faults, retry_policy,
-                               breaker_policy, fail_fast))
+                               breaker_policy, fail_fast),
+        profile=profile, health_policy=health_policy)
     result = pipeline.run()
-    assert pipeline.stats is not None
-    return result, pipeline.stats
+    assert pipeline.stats is not None and pipeline.health is not None
+    return result, pipeline.stats, pipeline.health
 
 
 def client(result: PipelineResult,

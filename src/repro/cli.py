@@ -23,6 +23,17 @@
   events.
 - ``trace``    — ``trace summarize RUN.jsonl`` replays a run journal and
   prints the slowest spans and hottest counters.
+- ``health``   — replay the fidelity scorecard journaled by a run
+  (``repro health RUN.jsonl``); exits non-zero on a ``fail`` grade.
+- ``perf``     — perf-baseline trajectory: ``perf record NAME`` stores a
+  perf+fidelity baseline under ``benchmarks/baselines/``, ``perf
+  compare BASELINE`` re-runs and diffs with tolerance bands (non-zero
+  exit on regression), ``perf report`` renders the trajectory table.
+
+``run`` also accepts ``--profile`` (per-span CPU/RSS readings into the
+span attributes and journal) and ``--profile-alloc DEPTH`` (add
+tracemalloc allocation deltas captured at the given stack depth), plus
+``--health`` to print the run's fidelity scorecard.
 """
 
 from __future__ import annotations
@@ -47,8 +58,10 @@ from repro.errors import ConfigurationError, ResilienceError, SignalError
 from repro.exec import BACKENDS, ExecutorConfig
 from repro.resilience import ResilienceConfig, RetryPolicy
 from repro.io import dump_kio_events, dump_records, dump_records_csv
-from repro.obs import Observability, read_journal, summarize_events, \
-    write_chrome_trace
+from repro.obs import BASELINE_DIR, HealthReport, Observability, \
+    PerfBaseline, ProfileConfig, compare_baselines, list_baselines, \
+    load_baseline, read_journal, run_statistics, save_baseline, \
+    summarize_events, trajectory_rows, write_chrome_trace
 from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -117,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine exhausted countries and merge the survivors, "
              "reporting degraded=True (the default)")
     run.set_defaults(fail_fast=False)
+    run.add_argument("--profile", action="store_true",
+                     help="sample per-span CPU time and peak-RSS growth "
+                          "into span attributes (and the journal as "
+                          "'profile' events); never perturbs results")
+    run.add_argument("--profile-alloc", type=int, default=None,
+                     metavar="DEPTH", dest="profile_alloc",
+                     help="also trace Python allocations per span via "
+                          "tracemalloc, capturing DEPTH stack frames "
+                          "per site (implies --profile; slower)")
+    run.add_argument("--health", action="store_true",
+                     help="print the run's fidelity scorecard (with "
+                          "--stats --json, embed it under a 'health' "
+                          "key)")
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -152,6 +178,49 @@ def build_parser() -> argparse.ArgumentParser:
                            help="path to a RUN.jsonl journal")
     summarize.add_argument("--top", type=int, default=10,
                            help="rows per section (default 10)")
+
+    health = commands.add_parser(
+        "health", help="replay the fidelity scorecard a run journaled")
+    health.add_argument("journal", type=Path,
+                        help="path to a RUN.jsonl journal")
+    health.add_argument("--json", action="store_true",
+                        help="emit the scorecard as JSON")
+    health.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warn as well as fail")
+
+    perf = commands.add_parser(
+        "perf", help="record / compare / report perf+fidelity baselines")
+    perf_commands = perf.add_subparsers(dest="perf_command", required=True)
+    record = perf_commands.add_parser(
+        "record", help="run the pipeline and store a named baseline")
+    record.add_argument("name", help="baseline name (file stem)")
+    record.add_argument("--dir", type=Path, default=BASELINE_DIR,
+                        dest="baseline_dir",
+                        help=f"baseline directory (default {BASELINE_DIR})")
+    compare = perf_commands.add_parser(
+        "compare", help="run the pipeline and diff against a baseline; "
+                        "exits non-zero on regression")
+    compare.add_argument("baseline",
+                         help="baseline name (under --dir) or a path to "
+                              "a baseline JSON")
+    compare.add_argument("--dir", type=Path, default=BASELINE_DIR,
+                         dest="baseline_dir",
+                         help=f"baseline directory (default "
+                              f"{BASELINE_DIR})")
+    compare.add_argument("--tolerance", type=float, default=1.0,
+                         help="scale on every perf tolerance band "
+                              "(default 1.0; CI uses a generous value, "
+                              "0 disables relative slack)")
+    compare.add_argument("--min-seconds", type=float, default=1.0,
+                         dest="min_seconds",
+                         help="absolute slack in seconds added to every "
+                              "perf band (default 1.0)")
+    perf_report = perf_commands.add_parser(
+        "report", help="render the trajectory across stored baselines")
+    perf_report.add_argument("--dir", type=Path, default=BASELINE_DIR,
+                             dest="baseline_dir",
+                             help=f"baseline directory (default "
+                                  f"{BASELINE_DIR})")
     return parser
 
 
@@ -189,6 +258,16 @@ def _resilience(args: argparse.Namespace) -> Optional[ResilienceConfig]:
     return ResilienceConfig(faults=spec, retry=retry, fail_fast=fail_fast)
 
 
+def _profile_config(args: argparse.Namespace) -> Optional[ProfileConfig]:
+    """The profiling config the run flags ask for (None = disabled)."""
+    alloc_depth = getattr(args, "profile_alloc", None)
+    if alloc_depth is not None:
+        return ProfileConfig(tracemalloc=True, tracemalloc_depth=alloc_depth)
+    if getattr(args, "profile", False):
+        return ProfileConfig()
+    return None
+
+
 def _pipeline(args: argparse.Namespace,
               observability: Observability | None = None) -> ReproPipeline:
     return ReproPipeline(
@@ -198,14 +277,17 @@ def _pipeline(args: argparse.Namespace,
                                 backend=args.backend,
                                 n_shards=args.shards),
         observability=observability,
-        resilience=_resilience(args))
+        resilience=_resilience(args),
+        profile=_profile_config(args))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
+    profile = _profile_config(args)
     obs = (Observability(journal=args.journal)
-           if (args.trace or args.journal or args.metrics_json) else None)
+           if (args.trace or args.journal or args.metrics_json
+               or profile is not None) else None)
     pipeline = _pipeline(args, observability=obs)
     result = pipeline.run()
     exported = []
@@ -222,7 +304,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 encoding="utf-8")
             exported.append(args.metrics_json)
     if args.stats and args.json:
-        print(json.dumps(pipeline.stats.as_dict(), indent=2))
+        payload = pipeline.stats.as_dict()
+        if args.health:
+            payload["health"] = pipeline.health.as_dict()
+        print(json.dumps(payload, indent=2))
         for path in exported:
             print(f"wrote {path}", file=sys.stderr)
         return 0
@@ -237,6 +322,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.stats:
         print("\n== Execution ==")
         print("\n".join(execution_report(pipeline.stats)))
+    if args.health:
+        print("\n== Health ==")
+        print("\n".join(pipeline.health.rows()))
     for path in exported:
         print(f"wrote {path}")
     return 0
@@ -332,6 +420,86 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    if not args.journal.exists():
+        print(f"repro: error: no such journal: {args.journal}",
+              file=sys.stderr)
+        return 2
+    events = read_journal(args.journal)
+    records = [e for e in events if e.get("type") == "health"]
+    if not records:
+        print(f"repro: error: no health record in {args.journal} "
+              f"(was the run journaled with this version?)",
+              file=sys.stderr)
+        return 2
+    report = HealthReport.from_dict(records[-1])
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print("\n".join(report.rows()))
+    if report.grade == "fail":
+        return 1
+    if report.grade == "warn" and args.strict:
+        return 1
+    return 0
+
+
+def _run_for_baseline(args: argparse.Namespace):
+    """Run the pipeline and capture the baseline-shaped snapshot."""
+    pipeline = _pipeline(args)
+    result = pipeline.run()
+    statistics = run_statistics(result, pipeline.stats)
+    config = {
+        "seed": args.seed,
+        "workers": args.workers,
+        "backend": args.backend,
+        "shards": args.shards,
+    }
+    return statistics, config, pipeline.health
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "record":
+        statistics, config, health = _run_for_baseline(args)
+        baseline = PerfBaseline.capture(
+            name=args.name, config=config, statistics=statistics,
+            health_grade=health.grade)
+        path = save_baseline(baseline,
+                             args.baseline_dir / f"{args.name}.json")
+        print(f"wrote {path} (health {health.grade}, "
+              f"{statistics['perf.total_seconds']:.2f}s total)")
+        return 0
+    if args.perf_command == "compare":
+        as_path = Path(args.baseline)
+        path = (as_path if as_path.suffix == ".json" or as_path.exists()
+                else args.baseline_dir / f"{args.baseline}.json")
+        if not path.exists():
+            print(f"repro: error: no such baseline: {path}",
+                  file=sys.stderr)
+            return 2
+        baseline = load_baseline(path)
+        statistics, config, health = _run_for_baseline(args)
+        current = PerfBaseline.capture(
+            name="current", config=config, statistics=statistics,
+            health_grade=health.grade)
+        comparison = compare_baselines(
+            current, baseline, tolerance=args.tolerance,
+            min_seconds=args.min_seconds)
+        print("\n".join(comparison.rows()))
+        return 0 if comparison.ok else 1
+    if args.perf_command == "report":
+        baselines = list_baselines(args.baseline_dir)
+        if not baselines:
+            print(f"repro: error: no baselines under "
+                  f"{args.baseline_dir}", file=sys.stderr)
+            return 2
+        print("\n".join(trajectory_rows(baselines)))
+        return 0
+    return 2
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "report": _cmd_report,
@@ -340,6 +508,8 @@ _COMMANDS = {
     "signals": _cmd_signals,
     "triage": _cmd_triage,
     "trace": _cmd_trace,
+    "health": _cmd_health,
+    "perf": _cmd_perf,
 }
 
 

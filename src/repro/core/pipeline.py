@@ -25,6 +25,8 @@ from repro.core.matching import MatchingConfig
 from repro.exec.cachestore import CACHE_VERSION, CacheStore
 from repro.exec.stats import ExecStats
 from repro.exec.workers import ExecutorConfig, ShardedCurationExecutor
+from repro.obs.health import HealthPolicy, HealthReport, evaluate_run
+from repro.obs.profile import ProfileConfig
 from repro.obs.runtime import Observability, activate
 from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.datasets import (
@@ -93,7 +95,9 @@ class ReproPipeline:
                  cache_dir: Optional[Path] = None,
                  executor: ExecutorConfig | None = None,
                  observability: Observability | None = None,
-                 resilience: ResilienceConfig | None = None):
+                 resilience: ResilienceConfig | None = None,
+                 profile: ProfileConfig | bool | None = None,
+                 health_policy: HealthPolicy | None = None):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -110,13 +114,27 @@ class ReproPipeline:
             config=executor,
             resilience=resilience)
         self._observability = observability
+        self._profile = (ProfileConfig() if profile is True
+                         else profile or None)
+        self._health_policy = health_policy
         self._last_obs: Optional[Observability] = None
         self._stats: Optional[ExecStats] = None
+        self._health: Optional[HealthReport] = None
 
     @property
     def stats(self) -> Optional[ExecStats]:
         """Execution report of the most recent :meth:`run` (or None)."""
         return self._stats
+
+    @property
+    def health(self) -> Optional[HealthReport]:
+        """Fidelity scorecard of the most recent :meth:`run` (or None).
+
+        Graded by the run's health policy (default: the paper-fidelity
+        policy of :func:`repro.obs.health.default_policy`); the same
+        report is streamed into the run journal as a ``health`` event.
+        """
+        return self._health
 
     @property
     def observability(self) -> Optional[Observability]:
@@ -167,9 +185,19 @@ class ReproPipeline:
         pipeline filled it in by hand.  Callers wanting the journal /
         Chrome-trace exports pass their own session via the
         ``observability`` constructor argument (see :mod:`repro.api`).
+
+        Afterwards the run is graded against its health policy
+        (:attr:`health`; default: paper-fidelity targets), and the
+        scorecard is journaled as a ``health`` event.  With a
+        ``profile`` config, every span additionally carries CPU / RSS /
+        allocation readings — profiling samples OS counters only, so a
+        profiled run stays byte-identical to an unprofiled one.
         """
         obs = (self._observability if self._observability is not None
                else Observability())
+        if self._profile is not None and obs.enabled \
+                and obs.profile is None:
+            obs.enable_profiling(self._profile)
         plan = (self._resilience.fault_plan
                 if self._resilience is not None else None)
         with activate(obs), inject(plan):
@@ -189,6 +217,10 @@ class ReproPipeline:
                     result = self._assemble(
                         scenario, records, kio_events, merged)
         self._stats = ExecStats.from_obs(obs)
+        self._health = evaluate_run(result, self._stats,
+                                    self._health_policy)
+        if obs.journal is not None:
+            obs.journal.write(self._health.as_event())
         self._last_obs = obs
         obs.finish()
         return result

@@ -132,6 +132,27 @@ class ExecStats:
             return 0.0
         return max(times) / mean
 
+    def perf_statistics(self) -> Dict[str, float]:
+        """Flat perf metrics, keyed the way health checks and stored
+        perf baselines expect (``perf.*`` / ``cache.*``).
+
+        This is the bridge between the execution report and
+        :mod:`repro.obs.health` / :mod:`repro.obs.baseline`: the same
+        numbers that render in ``--stats`` feed the scorecard's budget
+        checks and ``repro perf record``.
+        """
+        out: Dict[str, float] = {
+            "perf.total_seconds": float(self.total_seconds),
+        }
+        for stage in self.stages:
+            out[f"perf.stage_seconds.{stage.name}"] = float(stage.seconds)
+        lookups = self.cache_hits + self.cache_misses
+        out["cache.hit_rate"] = (self.cache_hits / lookups
+                                 if lookups else 0.0)
+        out["cache.hits"] = float(self.cache_hits)
+        out["cache.misses"] = float(self.cache_misses)
+        return out
+
     # -- rendering --------------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:

@@ -49,6 +49,7 @@ from repro.errors import CircuitOpenError, ConfigurationError, \
 from repro.exec.cachestore import CacheStore
 from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
 from repro.exec.stats import SHARD_SPAN, ExecStats
+from repro.obs.profile import ProfileConfig
 from repro.obs.runtime import Observability, activate, current
 from repro.ioda.curation import CurationConfig, CurationPipeline, \
     finalize_records
@@ -166,7 +167,8 @@ def _curate_shard_subprocess(
         countries: Tuple[str, ...],
         shard_index: int = -1,
         collect_obs: bool = False,
-        resilience: Optional[ResilienceConfig] = None) -> _ShardOutcome:
+        resilience: Optional[ResilienceConfig] = None,
+        profile: Optional[ProfileConfig] = None) -> _ShardOutcome:
     """Process-pool entry point: rebuild the world, curate, time it.
 
     Module-level so it pickles by reference; scenario generation is
@@ -174,7 +176,10 @@ def _curate_shard_subprocess(
     When the parent run has observability enabled, the worker collects
     into its own session and returns the span records and metrics
     snapshot for the parent to adopt — ids are remapped on adoption, so
-    nothing here needs to coordinate with the parent tracer.  The fault
+    nothing here needs to coordinate with the parent tracer.  The
+    parent's (picklable) profile config travels the same way: the
+    worker profiles into its local session and the readings ride home
+    in the adopted spans' attributes.  The fault
     plan does not survive the process boundary as ambient state, so the
     worker re-installs it from the (picklable) resilience config —
     injection decisions are pure functions of the plan, so the worker
@@ -189,7 +194,7 @@ def _curate_shard_subprocess(
                 scenario, platform_config, curation_config, period,
                 countries, resilience=resilience)
         return result, quarantined, time.perf_counter() - started, [], None
-    local = Observability()
+    local = Observability(profile=profile)
     with activate(local), inject(plan):
         with local.span(SHARD_SPAN, shard=shard_index,
                         countries=len(countries), backend="process"):
@@ -355,7 +360,8 @@ class ShardedCurationExecutor:
                     _curate_shard_subprocess, scenario.config,
                     self._platform_config, self._curation_config,
                     self._period, shard.countries, shard.index,
-                    obs.enabled, self._resilience): shard
+                    obs.enabled, self._resilience,
+                    getattr(obs, "profile", None)): shard
                 for shard in cold}
             return self._collect(futures, stats, obs, parent_id)
 

@@ -16,6 +16,21 @@ A dependency-free observability subsystem with three coordinated parts:
   ``trace_event`` JSON (:mod:`repro.obs.export`) for
   ``chrome://tracing`` / Perfetto.
 
+On top of the session, three health/performance layers
+(:mod:`repro.obs.profile`, :mod:`repro.obs.health`,
+:mod:`repro.obs.baseline`):
+
+- **Span profiling**: an opt-in per-span resource profiler (wall vs
+  CPU seconds, peak-RSS growth, optional tracemalloc allocation
+  deltas) whose readings ride in span attributes and stream into the
+  journal as ``profile`` events.
+- **Health scorecard**: every run is graded ``pass``/``warn``/``fail``
+  against paper-fidelity and budget targets; the report lands in the
+  journal as a ``health`` event and replays via ``repro health``.
+- **Perf baselines**: ``repro perf record/compare/report`` stores
+  named perf+fidelity snapshots under ``benchmarks/baselines/`` and
+  fails CI on tolerance-band regressions.
+
 Instrumentation is **zero-cost when disabled**: library code records
 into :func:`current`, which returns a no-op session unless a run has
 :func:`activate`\\ d a real :class:`Observability`.  Recording never
@@ -23,38 +38,61 @@ touches the RNG substreams, so enabling observability cannot perturb
 results — serial/parallel byte-identity holds with tracing on.
 """
 
+from repro.obs.baseline import BASELINE_DIR, BaselineComparison, \
+    PerfBaseline, compare_baselines, list_baselines, load_baseline, \
+    save_baseline, trajectory_rows
 from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.health import CheckResult, HealthCheck, HealthPolicy, \
+    HealthReport, default_policy, evaluate_run, run_statistics
 from repro.obs.journal import JOURNAL_VERSION, RunJournal, iter_journal, \
     read_journal
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
     NullMetrics, series_key
+from repro.obs.profile import ProfileConfig, SpanProfiler
 from repro.obs.runtime import NULL_OBS, Observability, activate, current
 from repro.obs.summary import JournalSummary, aggregate_spans, \
     summarize_events
 from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
 
 __all__ = [
-    "JOURNAL_VERSION",
-    "JournalSummary",
+    "BASELINE_DIR",
+    "BaselineComparison",
+    "CheckResult",
     "Counter",
     "Gauge",
+    "HealthCheck",
+    "HealthPolicy",
+    "HealthReport",
     "Histogram",
+    "JOURNAL_VERSION",
+    "JournalSummary",
     "MetricsRegistry",
     "NULL_OBS",
     "NullMetrics",
     "NullTracer",
     "Observability",
+    "PerfBaseline",
+    "ProfileConfig",
     "RunJournal",
     "Span",
+    "SpanProfiler",
     "SpanRecord",
     "Tracer",
     "activate",
     "aggregate_spans",
     "chrome_trace",
+    "compare_baselines",
     "current",
+    "default_policy",
+    "evaluate_run",
     "iter_journal",
+    "list_baselines",
+    "load_baseline",
     "read_journal",
+    "run_statistics",
+    "save_baseline",
     "series_key",
     "summarize_events",
+    "trajectory_rows",
     "write_chrome_trace",
 ]

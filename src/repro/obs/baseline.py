@@ -1,0 +1,294 @@
+"""Stored perf+fidelity baselines and regression comparison.
+
+The ROADMAP's north star — "as fast as the hardware allows" — is only
+checkable against a memory: what did this configuration cost *last*
+time, and did the outputs still reproduce the paper?  A
+:class:`PerfBaseline` is that memory: one JSON file (under
+``benchmarks/baselines/`` by convention) capturing a named run's
+
+- **config** — seed, backend, workers, shards: what was run;
+- **fidelity** — the health statistics (event populations, match
+  fractions, curated record count): what came out;
+- **perf** — per-stage and total wall seconds, cache hit/miss counts:
+  what it cost; and
+- **health** — the scorecard grade at record time.
+
+``repro perf record`` writes one, ``repro perf compare`` re-runs the
+pipeline and diffs it against one with per-metric tolerance bands
+(exit status is the CI contract: non-zero on regression), and ``repro
+perf report`` renders the trajectory across every stored baseline.
+
+Comparison semantics: fidelity must match **exactly** — the pipeline
+is deterministic, so any drift on an unchanged config is a behaviour
+change, not noise.  Perf metrics regress only when the current value
+overshoots ``baseline * (1 + band * tolerance) + min_seconds``: the
+relative band absorbs machine-to-machine speed differences and the
+absolute slack keeps sub-second stages from flapping on scheduler
+noise.  Running *faster* is never a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = ["BASELINE_DIR", "BASELINE_VERSION", "BaselineComparison",
+           "ComparisonEntry", "PerfBaseline", "compare_baselines",
+           "list_baselines", "load_baseline", "save_baseline",
+           "trajectory_rows"]
+
+#: Baseline schema version, stamped into every file.
+BASELINE_VERSION = 1
+
+#: Conventional home of committed baselines (the BENCH trajectory).
+BASELINE_DIR = Path("benchmarks/baselines")
+
+#: Relative tolerance band per perf metric (fractions of the baseline
+#: value); the ``total`` entry covers ``perf.total_seconds`` and the
+#: ``stage`` entry every ``perf.stage_seconds.*`` metric.
+DEFAULT_BANDS: Mapping[str, float] = {"total": 0.50, "stage": 1.00}
+
+#: Absolute slack (seconds) added on top of every perf band, so
+#: near-zero baseline stages cannot flap on scheduler noise.
+DEFAULT_MIN_SECONDS = 1.0
+
+_FIDELITY_EPS = 1e-9
+
+
+@dataclass(frozen=True, kw_only=True)
+class PerfBaseline:
+    """One named, stored perf+fidelity snapshot."""
+
+    name: str
+    created: str
+    config: Mapping[str, Any] = field(default_factory=dict)
+    fidelity: Mapping[str, float] = field(default_factory=dict)
+    perf: Mapping[str, float] = field(default_factory=dict)
+    health_grade: str = "pass"
+    version: int = BASELINE_VERSION
+
+    @classmethod
+    def capture(cls, *, name: str, config: Mapping[str, Any],
+                statistics: Mapping[str, float],
+                health_grade: str = "pass") -> "PerfBaseline":
+        """Split a run-statistics mapping into a storable baseline.
+
+        ``statistics`` is the :func:`repro.obs.health.run_statistics`
+        mapping: ``perf.*`` and ``cache.*`` keys become the perf half,
+        everything else the fidelity half.
+        """
+        fidelity = {k: float(v) for k, v in statistics.items()
+                    if not k.startswith(("perf.", "cache."))}
+        perf = {k: float(v) for k, v in statistics.items()
+                if k.startswith(("perf.", "cache."))}
+        created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        return cls(name=name, created=created, config=dict(config),
+                   fidelity=fidelity, perf=perf,
+                   health_grade=health_grade)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "name": self.name,
+            "created": self.created,
+            "config": dict(self.config),
+            "fidelity": {k: self.fidelity[k]
+                         for k in sorted(self.fidelity)},
+            "perf": {k: self.perf[k] for k in sorted(self.perf)},
+            "health_grade": self.health_grade,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PerfBaseline":
+        return cls(
+            name=str(data.get("name", "?")),
+            created=str(data.get("created", "?")),
+            config=dict(data.get("config", {})),
+            fidelity={str(k): float(v)
+                      for k, v in data.get("fidelity", {}).items()},
+            perf={str(k): float(v)
+                  for k, v in data.get("perf", {}).items()},
+            health_grade=str(data.get("health_grade", "pass")),
+            version=int(data.get("version", BASELINE_VERSION)))
+
+
+def save_baseline(baseline: PerfBaseline,
+                  path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline.as_dict(), indent=2,
+                               sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> PerfBaseline:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"not a baseline file: {path}")
+    return PerfBaseline.from_dict(data)
+
+
+def list_baselines(directory: Union[str, Path] = BASELINE_DIR
+                   ) -> List[PerfBaseline]:
+    """Every readable baseline in ``directory``, oldest first."""
+    directory = Path(directory)
+    baselines = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            baselines.append(load_baseline(path))
+        except (ValueError, OSError):
+            continue
+    return sorted(baselines, key=lambda b: (b.created, b.name))
+
+
+# -- comparison ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    kind: str  # "config" | "fidelity" | "perf"
+    baseline: Optional[float]
+    current: Optional[float]
+    #: The value the current reading must stay at or under (perf only).
+    limit: Optional[float]
+    status: str  # "ok" | "improved" | "regression" | "missing"
+
+    def row(self) -> str:
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:g}"
+
+        limit = f"  limit {fmt(self.limit)}" if self.limit is not None \
+            else ""
+        return (f"  [{self.status:<10}] {self.name:<32} "
+                f"{fmt(self.baseline):>12} -> {fmt(self.current):>12}"
+                f"{limit}")
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """The full diff of a current run against a stored baseline."""
+
+    baseline_name: str
+    entries: Tuple[ComparisonEntry, ...]
+
+    @property
+    def regressions(self) -> Tuple[ComparisonEntry, ...]:
+        return tuple(e for e in self.entries
+                     if e.status in ("regression", "missing"))
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def rows(self) -> List[str]:
+        lines = [f"baseline        {self.baseline_name}  "
+                 f"({'OK' if self.ok else 'REGRESSION'}: "
+                 f"{len(self.regressions)} regressed of "
+                 f"{len(self.entries)} metrics)"]
+        lines.extend(entry.row() for entry in self.entries)
+        return lines
+
+
+def _perf_band(name: str, bands: Mapping[str, float]) -> float:
+    if name.startswith("perf.stage_seconds."):
+        return bands.get("stage", DEFAULT_BANDS["stage"])
+    return bands.get("total", DEFAULT_BANDS["total"])
+
+
+def compare_baselines(current: PerfBaseline, baseline: PerfBaseline, *,
+                      tolerance: float = 1.0,
+                      min_seconds: float = DEFAULT_MIN_SECONDS,
+                      bands: Mapping[str, float] = DEFAULT_BANDS
+                      ) -> BaselineComparison:
+    """Diff ``current`` against ``baseline`` (see module docstring).
+
+    ``tolerance`` scales every perf band (0 = no relative slack; CI
+    passes a generous value to absorb runner speed differences);
+    ``min_seconds`` is the absolute slack added on top.  Fidelity and
+    config must match exactly regardless of tolerance.
+    """
+    entries: List[ComparisonEntry] = []
+
+    for key in sorted(set(baseline.config) | set(current.config)):
+        base, cur = baseline.config.get(key), current.config.get(key)
+        if base != cur:
+            entries.append(ComparisonEntry(
+                name=f"config.{key}", kind="config",
+                baseline=None, current=None, limit=None,
+                status="regression"))
+
+    for name in sorted(set(baseline.fidelity) | set(current.fidelity)):
+        base = baseline.fidelity.get(name)
+        cur = current.fidelity.get(name)
+        if base is None or cur is None:
+            status = "missing"
+        elif abs(base - cur) <= _FIDELITY_EPS:
+            status = "ok"
+        else:
+            status = "regression"
+        entries.append(ComparisonEntry(
+            name=name, kind="fidelity", baseline=base, current=cur,
+            limit=base, status=status))
+
+    for name in sorted(baseline.perf):
+        base = baseline.perf[name]
+        cur = current.perf.get(name)
+        if not name.startswith("perf."):
+            # cache.* counters are trend data, not budgets.
+            entries.append(ComparisonEntry(
+                name=name, kind="perf", baseline=base, current=cur,
+                limit=None, status="ok"))
+            continue
+        if cur is None:
+            entries.append(ComparisonEntry(
+                name=name, kind="perf", baseline=base, current=None,
+                limit=None, status="missing"))
+            continue
+        band = _perf_band(name, bands)
+        limit = base * (1.0 + band * tolerance) + min_seconds
+        if cur > limit:
+            status = "regression"
+        elif cur < base:
+            status = "improved"
+        else:
+            status = "ok"
+        entries.append(ComparisonEntry(
+            name=name, kind="perf", baseline=base, current=cur,
+            limit=round(limit, 6), status=status))
+
+    return BaselineComparison(baseline_name=baseline.name,
+                              entries=tuple(entries))
+
+
+# -- trajectory ------------------------------------------------------------------
+
+
+def trajectory_rows(baselines: List[PerfBaseline]) -> List[str]:
+    """The perf trajectory table across stored baselines, oldest first."""
+    if not baselines:
+        return ["no baselines recorded"]
+    header = (f"{'name':<24} {'created':<20} {'total_s':>9} "
+              f"{'curate_s':>9} {'records':>8} {'hit_rate':>8} "
+              f"{'health':>6}")
+    lines = [header, "-" * len(header)]
+    for b in baselines:
+        total = b.perf.get("perf.total_seconds")
+        curate = b.perf.get("perf.stage_seconds.curate")
+        records = b.fidelity.get("records.curated")
+        hit_rate = b.perf.get("cache.hit_rate")
+
+        def fmt(value: Optional[float], spec: str) -> str:
+            return "-" if value is None else format(value, spec)
+
+        lines.append(
+            f"{b.name:<24} {b.created:<20} {fmt(total, '9.2f'):>9} "
+            f"{fmt(curate, '9.2f'):>9} {fmt(records, '8.0f'):>8} "
+            f"{fmt(hit_rate, '8.2f'):>8} {b.health_grade:>6}")
+    return lines

@@ -75,9 +75,14 @@ def iter_journal(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
     """Yield a journal's events in order, skipping malformed lines.
 
     Tolerating a torn final line means a journal from a crashed or
-    still-running pipeline remains replayable.
+    still-running pipeline remains replayable.  A crash can tear the
+    line anywhere — including inside a multi-byte UTF-8 sequence — so
+    decoding replaces invalid bytes instead of raising; the mangled
+    line then fails JSON parsing and is skipped like any other torn
+    tail, leaving the readable prefix intact.
     """
-    with Path(path).open("r", encoding="utf-8") as handle:
+    with Path(path).open("r", encoding="utf-8",
+                         errors="replace") as handle:
         for line in handle:
             line = line.strip()
             if not line:

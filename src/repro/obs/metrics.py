@@ -100,14 +100,17 @@ class Histogram:
             self.minimum = min(self.minimum, value)
             self.maximum = max(self.maximum, value)
 
-    def percentile(self, q: float) -> float:
+    def percentile(self, q: float) -> Optional[float]:
         """The ``q``-th percentile (0-100), interpolated within buckets.
 
         The overflow bucket has no upper bound, so percentiles landing
-        there report the observed maximum.
+        there report the observed maximum.  Interpolated values are
+        clamped to the observed ``[min, max]`` range so a sparse bucket
+        can never report a percentile outside the data.  An empty
+        histogram has no percentiles and returns ``None``.
         """
         if self.count == 0:
-            return 0.0
+            return None
         rank = (q / 100.0) * self.count
         seen = 0
         for i, n in enumerate(self.counts):
@@ -120,15 +123,21 @@ class Histogram:
                          else min(self.minimum, self.buckets[i]))
                 upper = self.buckets[i]
                 fraction = (rank - seen) / n
-                return lower + (upper - lower) * fraction
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.minimum), self.maximum)
             seen += n
         return self.maximum
 
     def summary(self) -> Dict[str, Any]:
-        """JSON form: shape stats, key percentiles, and raw buckets."""
+        """JSON form: shape stats, key percentiles, and raw buckets.
+
+        An empty histogram carries no observed shape: ``min``/``max``
+        and the percentiles are ``None`` (JSON ``null``) rather than a
+        fabricated 0.0 or NaN leaking into ``--metrics-json``.
+        """
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p90": 0.0, "p99": 0.0,
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "p50": None, "p90": None, "p99": None,
                     "buckets": list(self.buckets),
                     "bucket_counts": list(self.counts)}
         return {

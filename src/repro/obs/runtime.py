@@ -24,23 +24,42 @@ from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.obs.journal import RunJournal
 from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.profile import ProfileConfig, SpanProfiler
 from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
 
 __all__ = ["NULL_OBS", "Observability", "activate", "current"]
 
 
 class Observability:
-    """One run's tracer + metrics + (optional) journal."""
+    """One run's tracer + metrics + (optional) journal + profiler."""
 
     enabled = True
 
-    def __init__(self, *, journal: Optional[Union[RunJournal, str]] = None):
+    def __init__(self, *, journal: Optional[Union[RunJournal, str]] = None,
+                 profile: Optional[Union[ProfileConfig, bool]] = None):
         if journal is not None and not isinstance(journal, RunJournal):
             journal = RunJournal(journal)
         self.journal = journal
         self.tracer = Tracer(on_close=self._on_span_close)
         self.metrics = MetricsRegistry()
+        self.profile: Optional[ProfileConfig] = None
+        if profile:
+            self.enable_profiling(
+                profile if isinstance(profile, ProfileConfig) else None)
         self._finished = False
+
+    def enable_profiling(self, config: Optional[ProfileConfig] = None
+                         ) -> "Observability":
+        """Attach a per-span resource profiler to the session tracer.
+
+        Idempotent; subsequent calls replace the profiler config.  Must
+        be called before the run opens its spans to profile all of them.
+        """
+        self.profile = config if config is not None else ProfileConfig()
+        if self.tracer.profiler is not None:
+            self.tracer.profiler.uninstall()
+        self.tracer.profiler = SpanProfiler(self.profile).install()
+        return self
 
     # -- recording ---------------------------------------------------------------
 
@@ -56,8 +75,23 @@ class Observability:
             span.set_attrs(**attrs)
 
     def _on_span_close(self, record: SpanRecord) -> None:
-        if self.journal is not None:
-            self.journal.write(record.as_event())
+        if self.journal is None:
+            return
+        self.journal.write(record.as_event())
+        # Profiled spans additionally stream a dedicated ``profile``
+        # event, so resource trails can be filtered without replaying
+        # every span.  Spans adopted from process workers pass through
+        # here too, profile attributes and all.
+        readings = record.attrs.get("profile")
+        if readings:
+            self.journal.write({
+                "type": "profile",
+                "span_id": record.span_id,
+                "name": record.name,
+                "duration": round(record.duration, 6),
+                "worker": record.worker,
+                "profile": readings,
+            })
 
     # -- results -----------------------------------------------------------------
 
@@ -73,6 +107,8 @@ class Observability:
         if self._finished:
             return
         self._finished = True
+        if self.tracer.profiler is not None:
+            self.tracer.profiler.uninstall()
         if self.journal is not None:
             snapshot = self.metrics.snapshot()
             snapshot["type"] = "metrics"
@@ -89,6 +125,7 @@ class _NullObservability:
         self.tracer = NullTracer()
         self.metrics = NullMetrics()
         self.journal = None
+        self.profile = None
 
     def span(self, name: str, *, parent: Optional[int] = None,
              **attrs: Any):

@@ -70,10 +70,14 @@ class JournalSummary:
         if self.histograms:
             lines.append("histograms")
             for key, summary in sorted(self.histograms.items())[:top]:
+                # Empty histograms report null percentiles (see
+                # Histogram.summary); render the count alone.
+                p50, p99 = summary.get("p50"), summary.get("p99")
+                quantiles = ("  (no samples)" if p50 is None
+                             else f"  p50={p50:.4f}  p99={p99:.4f}")
                 lines.append(
                     f"  {key:<40} n={summary.get('count', 0)}"
-                    f"  p50={summary.get('p50', 0.0):.4f}"
-                    f"  p99={summary.get('p99', 0.0):.4f}")
+                    + quantiles)
         return lines
 
 

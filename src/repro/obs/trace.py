@@ -82,7 +82,7 @@ class Span:
     """An open span; closes (and is recorded) when the ``with`` exits."""
 
     __slots__ = ("_tracer", "span_id", "parent_id", "name", "attrs",
-                 "_start_perf", "_start_wall", "duration")
+                 "_start_perf", "_start_wall", "_profile", "duration")
 
     def __init__(self, tracer: "Tracer", span_id: int,
                  parent_id: Optional[int], name: str,
@@ -94,6 +94,7 @@ class Span:
         self.attrs = attrs
         self._start_perf = 0.0
         self._start_wall = 0.0
+        self._profile = None
         self.duration = 0.0
 
     def set_attrs(self, **attrs: Any) -> "Span":
@@ -103,12 +104,20 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
+        profiler = self._tracer.profiler
+        if profiler is not None:
+            self._profile = profiler.begin()
         self._start_perf = time.perf_counter()
         self._start_wall = self._tracer.wall(self._start_perf)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.duration = time.perf_counter() - self._start_perf
+        profiler = self._tracer.profiler
+        if profiler is not None and self._profile is not None:
+            readings = profiler.end(self._profile)
+            if readings:
+                self.attrs["profile"] = readings
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._pop(self)
@@ -141,6 +150,9 @@ class Tracer:
     def __init__(self, on_close: Optional[Callable[[SpanRecord], None]]
                  = None):
         self._on_close = on_close
+        #: Optional :class:`repro.obs.profile.SpanProfiler`; when set,
+        #: every span samples resource counters on enter/exit.
+        self.profiler = None
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._records: List[SpanRecord] = []

@@ -60,6 +60,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_profile_and_health_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--profile", "--health"])
+        assert args.profile and args.health
+        assert args.profile_alloc is None
+        args = build_parser().parse_args(
+            ["run", "--profile-alloc", "5"])
+        assert args.profile_alloc == 5
+
+    def test_health_command_arguments(self):
+        args = build_parser().parse_args(
+            ["health", "RUN.jsonl", "--json", "--strict"])
+        assert args.command == "health"
+        assert str(args.journal) == "RUN.jsonl"
+        assert args.json and args.strict
+
+    def test_perf_subcommands(self):
+        args = build_parser().parse_args(["perf", "record", "main"])
+        assert (args.perf_command, args.name) == ("record", "main")
+        args = build_parser().parse_args(
+            ["perf", "compare", "main", "--tolerance", "2.5",
+             "--min-seconds", "0.5"])
+        assert args.perf_command == "compare"
+        assert (args.tolerance, args.min_seconds) == (2.5, 0.5)
+        args = build_parser().parse_args(
+            ["perf", "report", "--dir", "b"])
+        assert args.perf_command == "report"
+        assert str(args.baseline_dir) == "b"
+
+    def test_perf_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
     def test_resilience_flags(self):
         args = build_parser().parse_args(
             ["run", "--inject-faults", "fail_first=2;seed=5",
@@ -264,6 +297,141 @@ class TestResilienceFlags:
                        "--inject-faults", "permanent=SY", "--fail-fast"])
         assert status == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestHealthAndPerf:
+    """The health/perf commands on the small test scenario.
+
+    Like :class:`TestResilienceFlags`, these shrink the run by patching
+    the CLI's pipeline construction and exercise the real wiring and
+    exit-status contracts around it.
+    """
+
+    @pytest.fixture()
+    def small_cli(self, monkeypatch):
+        import functools
+
+        from repro.core.pipeline import ReproPipeline
+        from repro.timeutils.timestamps import TimeRange, utc
+        from repro.world.scenario import ScenarioConfig
+
+        monkeypatch.setattr(
+            "repro.cli.ScenarioConfig",
+            lambda seed: ScenarioConfig(seed=seed, years=(2018,)))
+        monkeypatch.setattr(
+            "repro.cli.ReproPipeline",
+            functools.partial(
+                ReproPipeline,
+                study_period=TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))))
+
+    def test_run_health_renders_the_scorecard(self, capsys, tmp_path,
+                                              small_cli):
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                       "--health"])
+        assert status == 0
+        output = capsys.readouterr().out
+        assert "== Health ==" in output
+        assert "events.union_shutdowns" in output
+
+    def test_stats_json_embeds_health_only_on_request(self, capsys,
+                                                      tmp_path, small_cli):
+        import json
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                     "--stats", "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert "health" not in plain
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                     "--stats", "--json", "--health"]) == 0
+        enriched = json.loads(capsys.readouterr().out)
+        assert enriched["health"]["grade"] in ("pass", "warn", "fail")
+        assert set(enriched) == set(plain) | {"health"}
+
+    def test_health_command_replays_the_journal(self, capsys, tmp_path,
+                                                small_cli):
+        import json
+        journal = tmp_path / "run.jsonl"
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path), "run",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        status = main(["health", str(journal), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grade"] in ("pass", "warn", "fail")
+        # Exit status mirrors the grade: 0 unless the run failed.
+        assert status == (1 if payload["grade"] == "fail" else 0)
+
+    def test_health_command_missing_journal_exits_2(self, capsys,
+                                                    tmp_path):
+        assert main(["health", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_health_command_without_health_record_exits_2(self, capsys,
+                                                          tmp_path):
+        journal = tmp_path / "bare.jsonl"
+        journal.write_text('{"type": "run_start"}\n', encoding="utf-8")
+        assert main(["health", str(journal)]) == 2
+        assert "no health record" in capsys.readouterr().err
+
+    def test_perf_record_then_compare_is_clean(self, capsys, tmp_path,
+                                               small_cli):
+        baselines = tmp_path / "baselines"
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path / "c"),
+                     "perf", "record", "main",
+                     "--dir", str(baselines)]) == 0
+        assert (baselines / "main.json").exists()
+        capsys.readouterr()
+        # Unchanged config and a warm cache: same fidelity, ample perf
+        # headroom — the CI contract is exit 0.
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path / "c"),
+                       "perf", "compare", "main",
+                       "--dir", str(baselines)])
+        assert status == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_perf_compare_flags_deliberate_violation(self, capsys,
+                                                     tmp_path, small_cli):
+        import json
+        baselines = tmp_path / "baselines"
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path / "c"),
+                     "perf", "record", "main",
+                     "--dir", str(baselines)]) == 0
+        # Tamper the stored baseline: an impossibly fast total plus a
+        # fidelity drift must both be flagged.
+        path = baselines / "main.json"
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["perf"]["perf.total_seconds"] = 0.0
+        data["fidelity"]["records.curated"] += 1
+        path.write_text(json.dumps(data), encoding="utf-8")
+        capsys.readouterr()
+        status = main(["--seed", "7", "--cache-dir", str(tmp_path / "c"),
+                       "perf", "compare", "main", "--dir", str(baselines),
+                       "--tolerance", "0", "--min-seconds", "0"])
+        assert status == 1
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+        assert "records.curated" in output
+
+    def test_perf_compare_missing_baseline_exits_2(self, capsys,
+                                                   tmp_path, small_cli):
+        status = main(["perf", "compare", "ghost",
+                       "--dir", str(tmp_path)])
+        assert status == 2
+        assert "no such baseline" in capsys.readouterr().err
+
+    def test_perf_report_renders_the_trajectory(self, capsys, tmp_path,
+                                                small_cli):
+        baselines = tmp_path / "baselines"
+        assert main(["--seed", "7", "--cache-dir", str(tmp_path / "c"),
+                     "perf", "record", "main",
+                     "--dir", str(baselines)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "report", "--dir", str(baselines)]) == 0
+        output = capsys.readouterr().out
+        assert "main" in output and "total_s" in output
+
+    def test_perf_report_without_baselines_exits_2(self, capsys,
+                                                   tmp_path):
+        assert main(["perf", "report", "--dir", str(tmp_path)]) == 2
+        assert "no baselines" in capsys.readouterr().err
 
 
 class TestCacheDirFallback:

@@ -139,6 +139,31 @@ class TestMetrics:
     def test_empty_histogram_summary(self):
         assert Histogram().summary()["count"] == 0
 
+    def test_empty_histogram_has_no_percentiles(self):
+        histogram = Histogram()
+        assert histogram.percentile(50) is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["p50"] is None and summary["p90"] is None \
+            and summary["p99"] is None
+
+    def test_single_sample_percentiles_clamp_to_the_sample(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        for q in (1, 50, 99):
+            assert histogram.percentile(q) == 1.5
+        summary = histogram.summary()
+        assert summary["min"] == summary["max"] == 1.5
+        assert summary["p50"] == 1.5
+
+    def test_percentiles_never_escape_the_observed_range(self):
+        histogram = Histogram(buckets=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        assert 2.0 <= histogram.percentile(99) <= 3.0
+
     def test_merge_adds_counters_and_buckets(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.counter("n").inc(2)
@@ -236,6 +261,22 @@ class TestJournal:
         events = read_journal(path)
         assert [e["type"] for e in events].count("span") == 1
 
+    def test_line_torn_inside_a_multibyte_char_is_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=RunJournal(path))
+        with activate(obs):
+            with obs.span("work"):
+                pass
+        obs.finish()
+        torn = '{"type": "span", "name": "Côte d\'Ivoire"'.encode("utf-8")
+        # Cut one byte into the two-byte "ô" sequence: the tail is not
+        # merely invalid JSON but invalid UTF-8.
+        with path.open("ab") as handle:
+            handle.write(torn[:torn.index(b"\xc3") + 1])
+        events = read_journal(path)
+        assert [e["type"] for e in events].count("span") == 1
+        assert events[-1]["type"] == "run_end"
+
     def test_summarize_replayed_journal(self, tmp_path):
         path = tmp_path / "run.jsonl"
         obs = Observability(journal=RunJournal(path))
@@ -291,3 +332,37 @@ class TestChromeExport:
         path = write_chrome_trace(self._spans(), tmp_path / "trace.json")
         document = json.loads(path.read_text(encoding="utf-8"))
         assert document["traceEvents"]
+
+    def test_zero_spans_export_an_empty_valid_document(self, tmp_path):
+        document = chrome_trace([])
+        assert document == {"traceEvents": [], "displayTimeUnit": "ms"}
+        path = write_chrome_trace([], tmp_path / "trace.json")
+        assert json.loads(path.read_text(encoding="utf-8")) == document
+
+    def test_adopted_process_worker_spans_keep_pid_tree_and_profile(self):
+        parent = Tracer()
+        with parent.span("stage:curate") as stage:
+            pass
+        worker_spans = [
+            SpanRecord(span_id=1, parent_id=None, name="exec.shard",
+                       start=10.0, duration=0.5,
+                       worker="4242/MainThread",
+                       attrs={"shard": 0, "profile": {"cpu_s": 0.1}}),
+            SpanRecord(span_id=2, parent_id=1, name="country",
+                       start=10.1, duration=0.2,
+                       worker="4242/MainThread", attrs={}),
+        ]
+        parent.adopt(worker_spans, stage.span_id)
+        document = chrome_trace(parent.spans())
+        by_name = {e["name"]: e for e in document["traceEvents"]
+                   if e["ph"] == "X"}
+        # The worker's spans land on their own pid lane...
+        assert by_name["exec.shard"]["pid"] != by_name["stage:curate"]["pid"]
+        assert by_name["country"]["pid"] == by_name["exec.shard"]["pid"]
+        # ...with the grafted tree intact after the id remap...
+        assert by_name["exec.shard"]["args"]["parent_id"] \
+            == by_name["stage:curate"]["args"]["span_id"]
+        assert by_name["country"]["args"]["parent_id"] \
+            == by_name["exec.shard"]["args"]["span_id"]
+        # ...and profile readings riding through adoption in the attrs.
+        assert by_name["exec.shard"]["args"]["profile"] == {"cpu_s": 0.1}

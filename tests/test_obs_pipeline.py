@@ -140,6 +140,96 @@ def test_hot_path_metrics_are_recorded():
                for k in counters)
 
 
+class TestProfiledRuns:
+    def test_profiling_does_not_perturb_results(self):
+        baseline = api.run(scenario_config=SMALL_CONFIG,
+                           study_period=SMALL_PERIOD)
+        for backend in ("serial", "thread", "process"):
+            profiled = api.run(
+                scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                workers=1 if backend == "serial" else 2, backend=backend,
+                profile=True)
+            assert _record_bytes(profiled.curated_records) \
+                == _record_bytes(baseline.curated_records), backend
+
+    def test_profiled_stats_payload_is_unchanged(self):
+        plain = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)[1]
+        profiled = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            profile=True)[1]
+        # Same keys, same deterministic values — profile readings must
+        # not leak into the --stats --json contract.
+        assert set(profiled.as_dict()) == set(plain.as_dict())
+        assert profiled.as_dict()["n_records"] \
+            == plain.as_dict()["n_records"]
+
+    def test_stage_spans_carry_profile_readings(self):
+        obs = Observability(profile=True)
+        api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                observability=obs)
+        stages = [s for s in obs.tracer.spans()
+                  if s.name.startswith(STAGE_PREFIX)]
+        assert stages
+        for span in stages:
+            assert "cpu_s" in span.attrs["profile"], span.name
+            assert "rss_peak_kb" in span.attrs["profile"], span.name
+
+    def test_process_worker_spans_profile_and_graft_back(self):
+        obs = Observability(profile=True)
+        api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                workers=2, backend="process", observability=obs)
+        shards = [s for s in obs.tracer.spans() if s.name == SHARD_SPAN]
+        assert shards
+        for span in shards:
+            assert span.attrs["profile"]["cpu_s"] >= 0.0
+
+    def test_journal_streams_profile_and_health_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability(journal=RunJournal(path), profile=True)
+        api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                observability=obs)
+        events = read_journal(path)
+        kinds = [e["type"] for e in events]
+        assert "profile" in kinds
+        health = [e for e in events if e["type"] == "health"]
+        assert len(health) == 1
+        assert health[0]["grade"] in ("pass", "warn", "fail")
+        assert health[0]["stats"]["records.curated"] > 0
+
+
+class TestRunHealth:
+    def test_every_run_is_graded(self):
+        _, stats, health = api.run_with_health(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)
+        assert health.grade in ("pass", "warn", "fail")
+        assert health.stats["perf.total_seconds"] \
+            == pytest.approx(stats.total_seconds)
+        assert health.stats["records.curated"] == stats.n_records
+
+    def test_custom_policy_replaces_the_default(self):
+        from repro.obs import HealthCheck, HealthPolicy
+        policy = HealthPolicy(checks=(
+            HealthCheck(name="records.curated", target=1,
+                        warn=1e9, fail=1e9),))
+        _, _, health = api.run_with_health(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            health_policy=policy)
+        assert health.grade == "pass"
+        assert len(health.results) == 1
+
+    def test_canonical_run_statistics_shape(self):
+        from repro.obs import run_statistics
+        result, stats = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)
+        statistics = run_statistics(result, stats)
+        assert {"events.union_shutdowns", "events.spontaneous_outages",
+                "countries.shutdown", "match.kio_matched_fraction",
+                "records.curated", "resilience.quarantined",
+                "perf.total_seconds", "cache.hit_rate"} <= set(statistics)
+        assert all(isinstance(v, float) for v in statistics.values())
+
+
 def test_cachestore_metrics_follow_cold_then_warm(tmp_path):
     cold = Observability()
     api.run(scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
