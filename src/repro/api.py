@@ -99,7 +99,8 @@ def _resilience(resilience: Optional[ResilienceConfig],
 
 
 def _pipeline(*, seed: int, workers: int, backend: str,
-              shards: Optional[int], cache_dir: Optional[Path | str],
+              shards: Optional[int], signal_cache_size: Optional[int],
+              cache_dir: Optional[Path | str],
               scenario_config: Optional[ScenarioConfig],
               platform_config: Optional[PlatformConfig],
               curation_config: Optional[CurationConfig],
@@ -119,7 +120,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         study_period=study_period,
         cache_dir=Path(cache_dir) if cache_dir is not None else None,
         executor=ExecutorConfig(
-            workers=workers, backend=backend, n_shards=shards),
+            workers=workers, backend=backend, n_shards=shards,
+            signal_cache_size=signal_cache_size),
         observability=observability,
         resilience=resilience,
         profile=profile,
@@ -128,6 +130,7 @@ def _pipeline(*, seed: int, workers: int, backend: str,
 
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         shards: Optional[int] = None,
+        signal_cache_size: Optional[int] = None,
         cache_dir: Optional[Path | str] = None,
         scenario_config: Optional[ScenarioConfig] = None,
         platform_config: Optional[PlatformConfig] = None,
@@ -151,6 +154,11 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     cache so warm re-runs skip straight to the merge.  ``seed`` is
     shorthand for ``scenario_config=ScenarioConfig(seed=...)`` and is
     ignored when an explicit ``scenario_config`` is given.
+    ``signal_cache_size`` bounds the platform's memoized-signal LRU
+    (None = default, 0 = off for A/B runs); cached and uncached runs
+    are byte-identical, and the process backend additionally keeps the
+    generated world resident per worker so each process builds it once
+    per run.
 
     Pass an :class:`Observability` session (optionally constructed with
     a JSONL journal path) to capture the run's span tree and metrics —
@@ -179,6 +187,7 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     """
     result, _ = run_with_stats(
         seed=seed, workers=workers, backend=backend, shards=shards,
+        signal_cache_size=signal_cache_size,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
@@ -192,6 +201,7 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
 def run_with_stats(
         *, seed: int = 2023, workers: int = 1, backend: str = "thread",
         shards: Optional[int] = None,
+        signal_cache_size: Optional[int] = None,
         cache_dir: Optional[Path | str] = None,
         scenario_config: Optional[ScenarioConfig] = None,
         platform_config: Optional[PlatformConfig] = None,
@@ -217,6 +227,7 @@ def run_with_stats(
     """
     result, stats, _ = run_with_health(
         seed=seed, workers=workers, backend=backend, shards=shards,
+        signal_cache_size=signal_cache_size,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,
@@ -230,6 +241,7 @@ def run_with_stats(
 def run_with_health(
         *, seed: int = 2023, workers: int = 1, backend: str = "thread",
         shards: Optional[int] = None,
+        signal_cache_size: Optional[int] = None,
         cache_dir: Optional[Path | str] = None,
         scenario_config: Optional[ScenarioConfig] = None,
         platform_config: Optional[PlatformConfig] = None,
@@ -260,6 +272,7 @@ def run_with_health(
     """
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
+        signal_cache_size=signal_cache_size,
         cache_dir=cache_dir, scenario_config=scenario_config,
         platform_config=platform_config, curation_config=curation_config,
         kio_config=kio_config, matching_config=matching_config,

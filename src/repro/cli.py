@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=None,
                         help="shard count override (default: engine "
                              "default, independent of --workers)")
+    parser.add_argument("--signal-cache-size", type=int, default=None,
+                        dest="signal_cache_size", metavar="N",
+                        help="bound on the platform's memoized-signal "
+                             "LRU (default: platform default; 0 "
+                             "disables memoization for A/B runs — "
+                             "results are byte-identical either way)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run",
@@ -273,9 +279,10 @@ def _pipeline(args: argparse.Namespace,
     return ReproPipeline(
         scenario_config=ScenarioConfig(seed=args.seed),
         cache_dir=_usable_cache_dir(args.cache_dir),
-        executor=ExecutorConfig(workers=args.workers,
-                                backend=args.backend,
-                                n_shards=args.shards),
+        executor=ExecutorConfig(
+            workers=args.workers, backend=args.backend,
+            n_shards=args.shards,
+            signal_cache_size=getattr(args, "signal_cache_size", None)),
         observability=observability,
         resilience=_resilience(args),
         profile=_profile_config(args))

@@ -13,9 +13,18 @@ Backends:
 - ``thread``  — :class:`~concurrent.futures.ThreadPoolExecutor` over the
   shared platform.  Curation is numpy-heavy enough to overlap some work,
   and nothing is pickled.
-- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; each
-  worker regenerates the (deterministic) scenario from its config, so
-  only small config dataclasses cross the process boundary.
+- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; the
+  world is **worker-resident**: a pool initializer (plus a module-level
+  memo keyed by the config fingerprint) makes each worker process
+  regenerate the deterministic scenario and build its platform exactly
+  once per run, reusing them across every shard it executes.  Only
+  small config dataclasses and the shard's investigation windows cross
+  the process boundary.
+
+The full-world investigation-window map is computed once, in
+:meth:`ShardedCurationExecutor.curate` — it feeds both the LPT shard
+weights and, restricted to each shard's countries, the shard's own
+work list, so no shard recomputes it.
 
 When an observability session is active (:mod:`repro.obs`), every
 executed shard is traced as an ``exec.shard`` span parented under the
@@ -37,16 +46,17 @@ bypass the shard cache entirely, in both directions.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import io
 from repro.errors import CircuitOpenError, ConfigurationError, \
     RetriesExhaustedError, SchemaError
-from repro.exec.cachestore import CacheStore
+from repro.exec.cachestore import CacheStore, fingerprint
 from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
 from repro.exec.stats import SHARD_SPAN, ExecStats
 from repro.obs.profile import ProfileConfig
@@ -76,6 +86,11 @@ class ExecutorConfig:
     workers: int = 1
     backend: str = "thread"
     n_shards: Optional[int] = None
+    #: Bound on the platform's memoized-signal LRU (None = platform
+    #: default, 0 = disabled).  Not part of the shard cache key: cached
+    #: and uncached queries are byte-identical, so warm shard entries
+    #: stay valid across cache on/off A/B runs.
+    signal_cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -87,6 +102,11 @@ class ExecutorConfig:
         if self.n_shards is not None and self.n_shards < 1:
             raise ConfigurationError(
                 f"n_shards must be >= 1: {self.n_shards}")
+        if self.signal_cache_size is not None \
+                and self.signal_cache_size < 0:
+            raise ConfigurationError(
+                f"signal_cache_size must be >= 0: "
+                f"{self.signal_cache_size}")
 
 
 #: Per-country curated records, in the country order of the owning shard.
@@ -104,15 +124,24 @@ def _curate_shard(scenario: WorldScenario,
                   platform_config: PlatformConfig,
                   curation_config: CurationConfig,
                   period: TimeRange, countries: Tuple[str, ...],
+                  windows: Optional[
+                      Mapping[str, Sequence[TimeRange]]] = None,
                   platform: Optional[IODAPlatform] = None,
-                  resilience: Optional[ResilienceConfig] = None
+                  resilience: Optional[ResilienceConfig] = None,
+                  signal_cache_size: Optional[int] = None
                   ) -> _ShardResult:
     """Curate one shard's countries over a scenario.
 
     The per-country RNG substreams make this independent of every other
     shard; the only shared object is the (effectively read-only)
     platform, which in-process backends pass in to share its country
-    caches.
+    caches and memoized signals.
+
+    ``windows`` is the shard's own countries' investigation windows,
+    already computed by the executor (which needs the full-world map
+    for shard weighting anyway) — the shard never recomputes the
+    world-wide map.  Direct callers may omit it and pay for the
+    computation here.
 
     With a :class:`~repro.resilience.ResilienceConfig`, each country is
     one retried unit of work guarded by its own circuit breaker: the
@@ -125,9 +154,11 @@ def _curate_shard(scenario: WorldScenario,
     fault-free bytes exactly.
     """
     if platform is None:
-        platform = IODAPlatform(scenario, platform_config)
+        platform = IODAPlatform(scenario, platform_config,
+                                signal_cache_size=signal_cache_size)
     pipeline = CurationPipeline(platform, curation_config)
-    windows = pipeline.country_windows(period)
+    if windows is None:
+        windows = pipeline.country_windows(period)
     if resilience is None:
         return ([(iso2,
                   pipeline.investigate_country(iso2, windows[iso2], period))
@@ -158,6 +189,58 @@ def _curate_shard(scenario: WorldScenario,
 _ShardOutcome = Tuple[_ShardRecords, _Quarantined, float, list,
                       Optional[dict]]
 
+#: The worker-resident world: one (scenario, platform) pair per process,
+#: keyed by the fingerprint of everything that shaped it.  A pool worker
+#: executing several shards of one run reuses the entry; a key change
+#: (different run config in a hypothetically reused process) rebuilds
+#: and replaces it.  Lives at module level so it survives across
+#: :func:`_curate_shard_subprocess` calls within one worker process —
+#: worker processes are forked per run, so entries never leak between
+#: runs.
+_WORKER_WORLD: Dict[str, Tuple[WorldScenario, IODAPlatform]] = {}
+
+#: How many times this process built the world (the acceptance check
+#: that the process backend generates the scenario once per worker per
+#: run reads this through a per-pid gauge).
+_WORLD_BUILDS = 0
+
+
+def _resident_world(scenario_config: ScenarioConfig,
+                    platform_config: PlatformConfig,
+                    signal_cache_size: Optional[int]
+                    ) -> Tuple[WorldScenario, IODAPlatform]:
+    """This process's scenario+platform, built at most once per config.
+
+    Scenario generation is deterministic, so the resident world matches
+    the parent's exactly; the platform's country caches and memoized
+    signals accumulate across all shards the worker executes.
+    """
+    global _WORLD_BUILDS
+    key = fingerprint(scenario_config, platform_config,
+                      signal_cache_size)
+    entry = _WORKER_WORLD.get(key)
+    if entry is None:
+        scenario = ScenarioGenerator(scenario_config).generate()
+        platform = IODAPlatform(scenario, platform_config,
+                                signal_cache_size=signal_cache_size)
+        _WORKER_WORLD.clear()
+        entry = _WORKER_WORLD[key] = (scenario, platform)
+        _WORLD_BUILDS += 1
+    return entry
+
+
+def _worker_init(scenario_config: ScenarioConfig,
+                 platform_config: PlatformConfig,
+                 signal_cache_size: Optional[int]) -> None:
+    """Pool initializer: pre-build the resident world once per process.
+
+    Runs before the worker's first shard, outside any fault scope or
+    observability session (fault hooks are inert outside a scope, so
+    generation here matches generation inside a chaos run byte for
+    byte).  The build is memoized, so the first shard call finds it.
+    """
+    _resident_world(scenario_config, platform_config, signal_cache_size)
+
 
 def _curate_shard_subprocess(
         scenario_config: ScenarioConfig,
@@ -168,11 +251,16 @@ def _curate_shard_subprocess(
         shard_index: int = -1,
         collect_obs: bool = False,
         resilience: Optional[ResilienceConfig] = None,
-        profile: Optional[ProfileConfig] = None) -> _ShardOutcome:
-    """Process-pool entry point: rebuild the world, curate, time it.
+        profile: Optional[ProfileConfig] = None,
+        windows: Optional[Mapping[str, Sequence[TimeRange]]] = None,
+        signal_cache_size: Optional[int] = None) -> _ShardOutcome:
+    """Process-pool entry point: curate over the worker-resident world.
 
-    Module-level so it pickles by reference; scenario generation is
-    deterministic, so the rebuilt world matches the parent's exactly.
+    Module-level so it pickles by reference.  The scenario and platform
+    come from the per-process memo (:func:`_resident_world`) — built by
+    the pool initializer, reused by every shard this worker executes —
+    so a shard call ships only configs and its own countries' windows
+    across the process boundary.
     When the parent run has observability enabled, the worker collects
     into its own session and returns the span records and metrics
     snapshot for the parent to adopt — ids are remapped on adoption, so
@@ -189,19 +277,29 @@ def _curate_shard_subprocess(
     plan = resilience.fault_plan if resilience is not None else None
     if not collect_obs:
         with inject(plan):
-            scenario = ScenarioGenerator(scenario_config).generate()
+            scenario, platform = _resident_world(
+                scenario_config, platform_config, signal_cache_size)
             result, quarantined = _curate_shard(
                 scenario, platform_config, curation_config, period,
-                countries, resilience=resilience)
+                countries, windows=windows, platform=platform,
+                resilience=resilience)
         return result, quarantined, time.perf_counter() - started, [], None
     local = Observability(profile=profile)
     with activate(local), inject(plan):
         with local.span(SHARD_SPAN, shard=shard_index,
                         countries=len(countries), backend="process"):
-            scenario = ScenarioGenerator(scenario_config).generate()
+            scenario, platform = _resident_world(
+                scenario_config, platform_config, signal_cache_size)
             result, quarantined = _curate_shard(
                 scenario, platform_config, curation_config, period,
-                countries, resilience=resilience)
+                countries, windows=windows, platform=platform,
+                resilience=resilience)
+        # Gauges merge last-write-wins per series, so each worker
+        # process reports its cumulative build count under its own pid
+        # — the parent-side sum counts world builds per process (the
+        # "generated at most once per worker per run" assertion).
+        local.metrics.gauge("exec.worker.world_builds",
+                            pid=os.getpid()).set(float(_WORLD_BUILDS))
     return (result, quarantined, time.perf_counter() - started,
             local.tracer.spans(), local.metrics.snapshot())
 
@@ -238,8 +336,13 @@ class ShardedCurationExecutor:
         obs.annotate(workers=self._config.workers,
                      backend=self._config.backend)
 
-        platform = IODAPlatform(scenario, self._platform_config)
+        platform = IODAPlatform(
+            scenario, self._platform_config,
+            signal_cache_size=self._config.signal_cache_size)
         pipeline = CurationPipeline(platform, self._curation_config)
+        # Computed once, here: the full-world window map feeds the LPT
+        # weights below, and each shard receives just its own
+        # countries' slice — no shard recomputes the world-wide map.
         windows = pipeline.country_windows(self._period)
         # Weight = total window seconds: curation cost is dominated by
         # how much signal the dashboards must replay per country.
@@ -274,7 +377,8 @@ class ShardedCurationExecutor:
 
         quarantined: List[str] = []
         if cold:
-            executed = self._execute(scenario, platform, cold, stats)
+            executed = self._execute(scenario, platform, windows, cold,
+                                     stats)
             for shard, (shard_records, shard_quarantined) \
                     in executed.items():
                 by_shard[shard.index] = shard_records
@@ -304,9 +408,13 @@ class ShardedCurationExecutor:
     # -- scheduling -------------------------------------------------------------
 
     def _execute(self, scenario: WorldScenario, platform: IODAPlatform,
+                 windows: Mapping[str, List[TimeRange]],
                  cold: List[Shard],
                  stats: ExecStats) -> Dict[Shard, _ShardResult]:
         obs = current()
+
+        def shard_windows(shard: Shard) -> Dict[str, List[TimeRange]]:
+            return {iso2: windows[iso2] for iso2 in shard.countries}
         # Shard spans run on pool threads (empty span stacks) or in
         # other processes, so the scheduling thread's innermost span —
         # the curate stage — is captured here and threaded through as
@@ -328,8 +436,8 @@ class ShardedCurationExecutor:
                     results[shard] = _curate_shard(
                         scenario, self._platform_config,
                         self._curation_config, self._period,
-                        shard.countries, platform=platform,
-                        resilience=self._resilience)
+                        shard.countries, windows=shard_windows(shard),
+                        platform=platform, resilience=self._resilience)
                 stats.record_shard(
                     shard.index, time.perf_counter() - started)
             return results
@@ -344,8 +452,8 @@ class ShardedCurationExecutor:
                     result, quarantined = _curate_shard(
                         scenario, self._platform_config,
                         self._curation_config, self._period,
-                        shard.countries, platform=platform,
-                        resilience=self._resilience)
+                        shard.countries, windows=shard_windows(shard),
+                        platform=platform, resilience=self._resilience)
                 return (result, quarantined,
                         time.perf_counter() - started, [], None)
 
@@ -354,14 +462,20 @@ class ShardedCurationExecutor:
                            for shard in cold}
                 return self._collect(futures, stats, obs, parent_id)
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(scenario.config, self._platform_config,
+                          self._config.signal_cache_size)) as pool:
             futures = {
                 pool.submit(
                     _curate_shard_subprocess, scenario.config,
                     self._platform_config, self._curation_config,
                     self._period, shard.countries, shard.index,
                     obs.enabled, self._resilience,
-                    getattr(obs, "profile", None)): shard
+                    getattr(obs, "profile", None),
+                    windows=shard_windows(shard),
+                    signal_cache_size=self._config.signal_cache_size,
+                ): shard
                 for shard in cold}
             return self._collect(futures, stats, obs, parent_id)
 

@@ -246,9 +246,12 @@ class CurationPipeline:
             self, period: TimeRange) -> Dict[str, List[TimeRange]]:
         """Merged investigation windows per country.
 
-        This is the unit of work the sharded executor distributes: the
-        windows depend only on the scenario and config, so every shard
-        computes the same map cheaply.
+        This is the unit of work the sharded executor distributes.  The
+        windows depend only on the scenario and config, so any caller
+        computes the same map — but the executor computes it exactly
+        once per run (it needs the full map for shard weighting) and
+        hands each shard just its own countries' slice; shards never
+        recompute the world-wide map.
         """
         return {iso2: list(windows)
                 for iso2, windows in self._grouped_windows(period).items()}

@@ -21,11 +21,18 @@ signal).  Measurement artifacts multiply the affected signal globally.
 
 Signals are deterministic per (seed, entity, window start) so repeated
 queries — e.g. the curation pipeline's control-group checks — observe
-consistent data.
+consistent data.  That determinism is what makes them *memoizable*: the
+platform keeps a bounded :class:`~repro.ioda.signalcache.SignalCache` of
+fully generated series, so a repeated query is served a defensive copy
+instead of being regenerated (``signal_cache_size=0`` disables it; runs
+with an active fault plan bypass it automatically, mirroring the
+shard-cache chaos rule).  Cached and uncached queries return
+byte-identical values.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -33,9 +40,10 @@ import numpy as np
 
 from repro.bgp.view import visible_slash24_series
 from repro.errors import ConfigurationError, SignalError
+from repro.ioda.signalcache import DEFAULT_SIGNAL_CACHE_SIZE, SignalCache
 from repro.probing.blocks import ProbedBlock, sample_blocks
 from repro.probing.scheduler import ActiveProbingRun
-from repro.resilience.faults import maybe_fault
+from repro.resilience.faults import active_plan, maybe_fault
 from repro.rng import substream
 from repro.signals.entities import Entity, EntityScope
 from repro.signals.kinds import SignalKind
@@ -89,10 +97,21 @@ class IODAPlatform:
     """The simulated IODA measurement platform."""
 
     def __init__(self, scenario: WorldScenario,
-                 config: PlatformConfig | None = None):
+                 config: PlatformConfig | None = None, *,
+                 signal_cache_size: Optional[int] = None):
+        """``signal_cache_size`` bounds the memoized-signal LRU
+        (default :data:`~repro.ioda.signalcache.DEFAULT_SIGNAL_CACHE_SIZE`;
+        ``0`` disables memoization entirely, for A/B comparison)."""
         self._scenario = scenario
         self._config = config or PlatformConfig()
         self._cache: Dict[str, _CountryCache] = {}
+        self._country_lock = threading.Lock()
+        size = (DEFAULT_SIGNAL_CACHE_SIZE if signal_cache_size is None
+                else signal_cache_size)
+        if size < 0:
+            raise ConfigurationError(
+                f"signal_cache_size must be >= 0: {size}")
+        self._signal_cache = SignalCache(size) if size else None
         self._disruptions_by_country: Dict[
             str, List[GroundTruthDisruption]] = {}
         for disruption in scenario.all_disruptions():
@@ -106,6 +125,11 @@ class IODAPlatform:
     @property
     def config(self) -> PlatformConfig:
         return self._config
+
+    @property
+    def signal_cache(self) -> Optional[SignalCache]:
+        """The memoized-signal LRU, or None when disabled."""
+        return self._signal_cache
 
     # -- public query interface ------------------------------------------------
 
@@ -125,10 +149,9 @@ class IODAPlatform:
         iso2 = entity.country_iso2
         if iso2 is None:
             return self._as_signal(entity, kind, window)
-        cache = self._country(iso2)
         region = (entity.identifier.split("-", 1)[1]
                   if entity.scope is EntityScope.REGION else None)
-        return self._entity_signal(cache, kind, window, region_name=region)
+        return self._country_series(iso2, kind, window, region)
 
     def signals(self, entity: Entity,
                 window: TimeRange) -> Dict[SignalKind, TimeSeries]:
@@ -143,32 +166,66 @@ class IODAPlatform:
 
     # -- internals: caches ------------------------------------------------------
 
+    def _country_series(self, iso2: str, kind: SignalKind,
+                        window: TimeRange,
+                        region_name: Optional[str]) -> TimeSeries:
+        """A country/region entity's signal, memoized when possible.
+
+        The cache key is the full query coordinate — entity (country +
+        optional region), kind, and the raw window bounds.  The window
+        start keys the RNG substream, so two windows that merely share
+        bins are distinct entries by construction.  Chaos runs bypass
+        the cache entirely: a fault must be able to fire on every
+        query, and a series generated inside one run's fault scope must
+        never be replayed outside it (the same rule the shard cache
+        follows).
+        """
+        cache = self._country(iso2)
+        if self._signal_cache is None or active_plan() is not None:
+            return self._entity_signal(cache, kind, window, region_name)
+        key = (cache.network.country.iso2, region_name, kind,
+               window.start, window.end)
+        return self._signal_cache.get_or_create(
+            key,
+            lambda: self._entity_signal(cache, kind, window, region_name))
+
     def _country(self, iso2: str) -> _CountryCache:
         iso2 = iso2.upper()
         cached = self._cache.get(iso2)
         if cached is not None:
             return cached
-        network = self._scenario.topology.get(iso2)
-        prefix_sizes = tuple(
-            prefix.num_slash24s
-            for network_as in network.ases
-            for prefix in network_as.prefixes)
-        total24 = max(1, network.total_slash24s)
-        mobile24 = sum(a.num_slash24s for a in network.ases if a.mobile)
-        block_rng = substream(self._scenario.seed, "probing-blocks", iso2)
-        blocks = sample_blocks(
-            network, block_rng, max_blocks=self._config.max_probed_blocks)
-        cache = _CountryCache(
-            network=network,
-            prefix_sizes=prefix_sizes,
-            blocks=blocks,
-            mobile_addr_share=mobile24 / total24,
-            region_shares={r.name: r.share for r in network.regions},
-            as_addr_shares={
-                int(a.asn): a.num_slash24s / total24 for a in network.ases},
-        )
-        self._cache[iso2] = cache
-        return cache
+        # Double-checked: thread-backend shards share this platform, and
+        # building a country cache samples probing blocks — expensive
+        # enough that two threads must not both pay for it (the dict
+        # read/write above/below is atomic under the GIL either way).
+        with self._country_lock:
+            cached = self._cache.get(iso2)
+            if cached is not None:
+                return cached
+            network = self._scenario.topology.get(iso2)
+            prefix_sizes = tuple(
+                prefix.num_slash24s
+                for network_as in network.ases
+                for prefix in network_as.prefixes)
+            total24 = max(1, network.total_slash24s)
+            mobile24 = sum(a.num_slash24s for a in network.ases if a.mobile)
+            block_rng = substream(self._scenario.seed, "probing-blocks",
+                                  iso2)
+            blocks = sample_blocks(
+                network, block_rng,
+                max_blocks=self._config.max_probed_blocks)
+            cache = _CountryCache(
+                network=network,
+                prefix_sizes=prefix_sizes,
+                blocks=blocks,
+                mobile_addr_share=mobile24 / total24,
+                region_shares={r.name: r.share for r in network.regions},
+                as_addr_shares={
+                    int(a.asn): a.num_slash24s / total24
+                    for a in network.ases},
+            )
+            self._cache[iso2] = cache
+            return cache
 
     # -- internals: up-fraction construction -------------------------------------
 
@@ -287,15 +344,21 @@ class IODAPlatform:
 
     def _as_signal(self, entity: Entity, kind: SignalKind,
                    window: TimeRange) -> TimeSeries:
-        """AS-level signals: derived from the owning country's view."""
+        """AS-level signals: derived from the owning country's view.
+
+        The underlying country series goes through the memoized path —
+        an AS query shares its cache entry with the country-level query
+        for the same kind and window (``scale`` copies, so the in-place
+        rounding below cannot reach the cached array).
+        """
         asn = int(entity.identifier)
         network_as = self._scenario.topology.find_as(asn)
         if network_as is None:
             raise SignalError(f"unknown ASN {asn}")
         cache = self._country(network_as.record.country_iso2)
         share = cache.as_addr_shares.get(asn, 0.0)
-        country_series = self._entity_signal(
-            cache, kind, window, region_name=None)
+        country_series = self._country_series(
+            cache.network.country.iso2, kind, window, region_name=None)
         scaled = country_series.scale(max(share, 0.01))
         scaled.values[:] = np.round(scaled.values)
         return scaled

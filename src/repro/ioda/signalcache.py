@@ -1,0 +1,170 @@
+"""Memoized signal storage for the IODA platform.
+
+:class:`IODAPlatform.signal` is deterministic per
+``(entity, kind, window)`` — the docstring has always promised that
+repeated queries observe consistent data — yet every query regenerated
+the series from scratch.  The curation control-group check in
+particular re-pulls the same control countries' signals for
+overlapping candidates, and dashboard-style consumers replay identical
+windows constantly.  :class:`SignalCache` pays that generation cost
+once: a bounded LRU over fully generated :class:`TimeSeries` keyed by
+the query coordinates.
+
+Two properties matter more than raw speed:
+
+- **Mutation safety.**  ``TimeSeries.values`` is a mutable ndarray
+  view, and the platform's artifact step writes through it in place
+  (``series.values[:] = np.round(...)``).  The cache therefore never
+  shares an array with a caller: entries are stored as private copies
+  and every lookup returns a fresh copy, so no caller can corrupt a
+  later query's bytes.
+- **Single-flight generation.**  Under the thread backend the platform
+  (and this cache) are shared across shards.  Concurrent queries for
+  the *same* key collapse into one generation — the first caller
+  computes outside the lock while the rest wait on an event — and
+  queries for *different* keys generate in parallel.  If the owning
+  caller fails, a waiter takes over rather than caching the failure.
+
+Hits, misses, and evictions are counted both locally (cheap
+introspection without an observability session) and into the active
+:mod:`repro.obs` metrics registry as ``platform.signal.cache.*``,
+which is how they surface in ``ExecStats`` / ``--stats --json``.
+
+The cache is *bypassed* while a fault plan is active — that check
+lives in the platform, mirroring the shard-cache rule: a chaos run
+must never be served a payload generated outside its fault scope, nor
+plant one for a later clean run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.runtime import current
+from repro.signals.series import TimeSeries
+
+__all__ = ["DEFAULT_SIGNAL_CACHE_SIZE", "SignalCache"]
+
+#: Default LRU bound.  Sized from the canonical-seed access trace: the
+#: exact-repeat queries of a full curation run recur either within a
+#: few hundred distinct keys (the control-group pattern) or several
+#: thousand keys apart (cross-candidate coincidences no reasonable
+#: bound retains), so growing past this buys nothing until absurd
+#: sizes while each entry can hold a multi-day window (~10 KB).
+DEFAULT_SIGNAL_CACHE_SIZE = 512
+
+#: Query coordinates: (iso2, region_name | None, kind, start, end).
+CacheKey = Tuple[Hashable, ...]
+
+
+class _InFlight:
+    """One in-progress generation other threads can wait on."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class SignalCache:
+    """A bounded, thread-safe LRU of generated :class:`TimeSeries`."""
+
+    def __init__(self, maxsize: int = DEFAULT_SIGNAL_CACHE_SIZE):
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"signal cache size must be >= 1: {maxsize} "
+                "(disable the cache instead of bounding it at zero)")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[CacheKey, TimeSeries]" = OrderedDict()
+        self._pending: Dict[CacheKey, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # -- the one operation ------------------------------------------------------
+
+    def get_or_create(self, key: CacheKey,
+                      factory: Callable[[], TimeSeries]) -> TimeSeries:
+        """The series for ``key``, generating via ``factory`` on a miss.
+
+        Always returns a series whose value array is private to the
+        caller.  Concurrent callers with the same key share one
+        ``factory`` invocation; a failed invocation propagates to its
+        owner while waiters retry (taking ownership themselves), so an
+        exception is never cached.
+        """
+        while True:
+            with self._lock:
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._store.move_to_end(key)
+                    self._hits += 1
+                    current().metrics.counter(
+                        "platform.signal.cache.hits").inc()
+                    return _copy(cached)
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = self._pending[key] = _InFlight()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                # Another thread is generating this key; when it
+                # finishes we loop back and (normally) hit.  If it
+                # failed, the retry finds no pending entry and this
+                # thread becomes the owner.
+                pending.event.wait()
+                continue
+            try:
+                series = factory()
+            except BaseException:
+                with self._lock:
+                    self._pending.pop(key, None)
+                pending.event.set()
+                raise
+            with self._lock:
+                self._store[key] = _copy(series)
+                self._store.move_to_end(key)
+                self._misses += 1
+                metrics = current().metrics
+                metrics.counter("platform.signal.cache.misses").inc()
+                while len(self._store) > self._maxsize:
+                    self._store.popitem(last=False)
+                    self._evictions += 1
+                    metrics.counter(
+                        "platform.signal.cache.evictions").inc()
+                self._pending.pop(key, None)
+            pending.event.set()
+            # The freshly generated series is already private to this
+            # caller — the cache stored its own copy above.
+            return series
+
+
+def _copy(series: TimeSeries) -> TimeSeries:
+    return TimeSeries(series.start, series.width, series.values.copy())

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import SignalError
 from repro.signals.series import TimeSeries
-from repro.telescope.packets import TelescopePacket, diurnal_factor
+from repro.telescope.packets import TelescopePacket, diurnal_factors
 from repro.timeutils.timestamps import FIVE_MINUTES, TimeRange, bin_floor
 
 __all__ = ["unique_sources_from_packets", "unique_source_series"]
@@ -69,8 +69,7 @@ def unique_source_series(
             f"intensity must be positive: {intensity_per_bin}")
 
     bin_starts = start + bin_width * np.arange(n_bins)
-    diurnal = np.array([
-        diurnal_factor(int(ts), utc_offset_seconds) for ts in bin_starts])
+    diurnal = diurnal_factors(bin_starts, utc_offset_seconds)
     lam = intensity_per_bin * diurnal * np.clip(up, 0.0, 1.0)
     lam = lam + residual_noise
     gamma = rng.gamma(shape=overdispersion, scale=1.0 / overdispersion,

@@ -20,7 +20,7 @@ from repro.net.ipv4 import IPv4Address, Prefix
 from repro.timeutils.timestamps import DAY, HOUR, TimeRange
 
 __all__ = ["PacketKind", "TelescopePacket", "IBRGenerator",
-           "diurnal_factor"]
+           "diurnal_factor", "diurnal_factors"]
 
 
 class PacketKind(enum.Enum):
@@ -58,6 +58,21 @@ def diurnal_factor(ts: int, utc_offset_seconds: int,
     return 1.0 + amplitude * float(np.cos(phase))
 
 
+def diurnal_factors(bin_starts: np.ndarray, utc_offset_seconds: int,
+                    amplitude: float = 0.35) -> np.ndarray:
+    """:func:`diurnal_factor` over an array of timestamps, vectorized.
+
+    Bit-identical to the scalar path element by element: the integer
+    modulo is exact, the float expression applies the same operations
+    in the same order, and numpy's cos ufunc produces the same values
+    through its array and scalar loops (tests assert exact equality).
+    """
+    local_seconds = (np.asarray(bin_starts, dtype=np.int64)
+                     + utc_offset_seconds) % DAY
+    phase = 2.0 * np.pi * (local_seconds - 15 * HOUR) / DAY
+    return 1.0 + amplitude * np.cos(phase)
+
+
 class IBRGenerator:
     """Generates packet-level IBR from a set of source prefixes."""
 
@@ -82,10 +97,12 @@ class IBRGenerator:
         """
         n_bins = -(-(window.end - window.start) // bin_width)
         up = np.asarray(up_fraction, dtype=np.float64)
+        factors = diurnal_factors(
+            window.start + bin_width * np.arange(n_bins), self._offset)
         for index in range(n_bins):
             bin_start = window.start + index * bin_width
-            factor = diurnal_factor(bin_start, self._offset)
-            lam = self._intensity * factor * max(0.0, min(1.0, up[index]))
+            lam = self._intensity * factors[index] \
+                * max(0.0, min(1.0, up[index]))
             n_genuine = int(self._rng.poisson(lam))
             n_spoofed = int(self._rng.poisson(
                 self._intensity * self._spoofed_fraction))

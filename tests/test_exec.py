@@ -204,8 +204,11 @@ class TestExecStats:
         stats.add_stage("curate", 1.25)
         report = stats.as_dict()
         assert set(report) == {"workers", "backend", "n_shards", "stages",
-                               "total_seconds", "cache", "shards",
-                               "n_records", "degraded", "quarantined"}
+                               "total_seconds", "cache", "signal_cache",
+                               "shards", "n_records", "degraded",
+                               "quarantined"}
+        assert report["signal_cache"] == {"hits": 0, "misses": 0,
+                                          "evictions": 0}
         assert report["stages"] == {"curate": 1.25}
         assert report["cache"] == {"hits": 0, "misses": 0,
                                    "curate_skipped": True}

@@ -1,0 +1,297 @@
+"""Tests for the memoized signal cache and worker-resident worlds.
+
+The guarantees under test, in rough order of importance:
+
+- **Byte-identity.**  A cached run produces byte-identical records to a
+  cold (cache-off) run on every backend — the cache is a pure
+  memoization, never a semantic change.
+- **Mutation safety.**  Returned ``TimeSeries`` objects are private to
+  the caller; the platform's in-place artifact rounding (or a hostile
+  caller) can never corrupt a cached entry.
+- **Bounded LRU.**  The store never exceeds its bound, evicts in
+  recency order, and counts hits/misses/evictions both locally and
+  into the active observability session.
+- **Worker residency.**  The process backend builds the scenario and
+  platform at most once per worker process per run (asserted through
+  the per-pid ``exec.worker.world_builds`` gauges).
+- **Chaos hygiene.**  An active fault plan bypasses the cache in both
+  directions, mirroring the shard-cache rule.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro import io
+from repro.errors import ConfigurationError
+from repro.exec import ExecutorConfig
+from repro.exec.workers import _curate_shard
+from repro.ioda.curation import CurationConfig, CurationPipeline
+from repro.ioda.platform import IODAPlatform, PlatformConfig
+from repro.ioda.signalcache import DEFAULT_SIGNAL_CACHE_SIZE, SignalCache
+from repro.obs import Observability
+from repro.obs.runtime import activate
+from repro.resilience import FaultPlan, inject
+from repro.signals.entities import Entity
+from repro.signals.kinds import SignalKind
+from repro.signals.series import TimeSeries
+from repro.timeutils.timestamps import DAY, HOUR, TimeRange, utc
+from repro.world.scenario import ScenarioConfig, ScenarioGenerator
+
+SMALL_CONFIG = ScenarioConfig(seed=7, years=(2018,))
+SMALL_PERIOD = TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))
+
+WINDOW = TimeRange(utc(2018, 3, 1), utc(2018, 3, 3))
+
+
+def _record_bytes(records):
+    return json.dumps([io.record_to_dict(r) for r in records],
+                      sort_keys=True)
+
+
+def _series(fill=1.0, n=8):
+    return TimeSeries(0, 300, np.full(n, fill))
+
+
+# -- the cache itself -----------------------------------------------------------
+
+
+class TestSignalCacheUnit:
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            SignalCache(0)
+        with pytest.raises(ConfigurationError):
+            SignalCache(-3)
+        assert SignalCache().maxsize == DEFAULT_SIGNAL_CACHE_SIZE
+
+    def test_miss_then_hit_shares_one_factory_call(self):
+        cache = SignalCache(4)
+        calls = []
+        factory = lambda: calls.append(1) or _series(2.5)
+        first = cache.get_or_create(("k",), factory)
+        second = cache.get_or_create(("k",), factory)
+        assert len(calls) == 1
+        assert np.array_equal(first.values, second.values)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_returned_series_is_private(self):
+        """Mutating any returned series never changes later bytes."""
+        cache = SignalCache(4)
+        first = cache.get_or_create(("k",), _series)
+        first.values[:] = -99.0  # the platform's artifact step does this
+        second = cache.get_or_create(("k",), lambda: _series(0.0))
+        assert np.array_equal(second.values, np.full(8, 1.0))
+        second.values[:] = 7.0
+        third = cache.get_or_create(("k",), lambda: _series(0.0))
+        assert np.array_equal(third.values, np.full(8, 1.0))
+        assert second.values is not third.values
+
+    def test_lru_evicts_oldest_at_the_bound(self):
+        cache = SignalCache(2)
+        for key in ("a", "b", "c"):
+            cache.get_or_create((key,), _series)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        calls = []
+        cache.get_or_create(("a",), lambda: calls.append(1) or _series())
+        assert calls, "oldest entry should have been evicted"
+
+    def test_lru_recency_order(self):
+        cache = SignalCache(2)
+        cache.get_or_create(("a",), _series)
+        cache.get_or_create(("b",), _series)
+        cache.get_or_create(("a",), _series)   # refresh a
+        cache.get_or_create(("c",), _series)   # evicts b, not a
+        hits_before = cache.hits
+        cache.get_or_create(("a",), _series)
+        assert cache.hits == hits_before + 1
+        calls = []
+        cache.get_or_create(("b",), lambda: calls.append(1) or _series())
+        assert calls, "b was the least recently used entry"
+
+    def test_counters_flow_into_obs_metrics(self):
+        obs = Observability()
+        with activate(obs):
+            cache = SignalCache(1)
+            cache.get_or_create(("a",), _series)      # miss
+            cache.get_or_create(("a",), _series)      # hit
+            cache.get_or_create(("b",), _series)      # miss + eviction
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["platform.signal.cache.hits"] == 1
+        assert counters["platform.signal.cache.misses"] == 2
+        assert counters["platform.signal.cache.evictions"] == 1
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 2, 1)
+
+    def test_single_flight_same_key(self):
+        cache = SignalCache(4)
+        calls = []
+        started = threading.Barrier(6)
+
+        def factory():
+            calls.append(1)
+            return _series()
+
+        def query():
+            started.wait()
+            cache.get_or_create(("k",), factory)
+
+        threads = [threading.Thread(target=query) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert cache.misses == 1
+        assert cache.hits == 5
+
+    def test_failures_are_never_cached(self):
+        cache = SignalCache(4)
+
+        def boom():
+            raise RuntimeError("generation failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create(("k",), boom)
+        assert len(cache) == 0
+        # A later caller becomes the owner and succeeds.
+        series = cache.get_or_create(("k",), _series)
+        assert np.array_equal(series.values, np.full(8, 1.0))
+
+
+# -- the platform integration ---------------------------------------------------
+
+
+class TestPlatformSignalCache:
+    def test_repeat_query_hits_and_matches(self, scenario):
+        platform = IODAPlatform(scenario)
+        entity = Entity.country("SY")
+        first = platform.signal(entity, SignalKind.TELESCOPE, WINDOW)
+        second = platform.signal(entity, SignalKind.TELESCOPE, WINDOW)
+        assert np.array_equal(first.values, second.values)
+        assert first.values is not second.values
+        assert platform.signal_cache.hits == 1
+
+    def test_cached_equals_uncached_bytes(self, scenario):
+        cached = IODAPlatform(scenario)
+        uncached = IODAPlatform(scenario, signal_cache_size=0)
+        assert uncached.signal_cache is None
+        for kind in SignalKind:
+            entity = Entity.country("IR")
+            a = cached.signal(entity, kind, WINDOW)
+            b = cached.signal(entity, kind, WINDOW)   # served from cache
+            c = uncached.signal(entity, kind, WINDOW)
+            assert a.values.tobytes() == c.values.tobytes(), kind
+            assert b.values.tobytes() == c.values.tobytes(), kind
+
+    def test_caller_mutation_cannot_corrupt_later_queries(self, scenario):
+        platform = IODAPlatform(scenario)
+        entity = Entity.country("IN")
+        pristine = IODAPlatform(scenario, signal_cache_size=0).signal(
+            entity, SignalKind.BGP, WINDOW)
+        victim = platform.signal(entity, SignalKind.BGP, WINDOW)
+        victim.values[:] = -1.0
+        again = platform.signal(entity, SignalKind.BGP, WINDOW)
+        assert again.values.tobytes() == pristine.values.tobytes()
+
+    def test_as_query_shares_the_country_entry(self, scenario):
+        platform = IODAPlatform(scenario)
+        network = scenario.topology.get("SY")
+        asn = int(network.ases[0].asn)
+        platform.signal(Entity.country("SY"), SignalKind.BGP, WINDOW)
+        hits_before = platform.signal_cache.hits
+        platform.signal(Entity.asn(asn), SignalKind.BGP, WINDOW)
+        assert platform.signal_cache.hits == hits_before + 1
+
+    def test_negative_size_rejected(self, scenario):
+        with pytest.raises(ConfigurationError):
+            IODAPlatform(scenario, signal_cache_size=-1)
+        with pytest.raises(ConfigurationError):
+            ExecutorConfig(signal_cache_size=-1)
+
+    def test_chaos_runs_bypass_the_cache(self, scenario):
+        """An active fault plan must neither read nor seed the cache."""
+        platform = IODAPlatform(scenario)
+        entity = Entity.country("SY")
+        # Seed an entry from a clean query first.
+        clean = platform.signal(entity, SignalKind.TELESCOPE, WINDOW)
+        plan = FaultPlan.parse("fail_first=1;sites=no.such.site")
+        with inject(plan):
+            chaotic = platform.signal(entity, SignalKind.TELESCOPE, WINDOW)
+            assert platform.signal_cache.hits == 0
+        # Fault hooks are inert outside their scope, so the bypassed
+        # generation still reproduces the clean bytes.
+        assert chaotic.values.tobytes() == clean.values.tobytes()
+
+
+# -- the executor integration ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cold_run():
+    """Serial, signal cache disabled: the byte-identity baseline."""
+    return api.run_with_stats(
+        scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+        workers=1, backend="serial", signal_cache_size=0)
+
+
+@pytest.fixture(scope="module")
+def cold_bytes(cold_run):
+    result, stats = cold_run
+    assert stats.signal_cache_hits == 0
+    assert stats.signal_cache_misses == 0
+    return _record_bytes(result.curated_records)
+
+
+class TestExecutorSignalCache:
+    def test_serial_cached_run_is_byte_identical(self, cold_bytes):
+        result, stats = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            workers=1, backend="serial")
+        assert _record_bytes(result.curated_records) == cold_bytes
+        assert stats.signal_cache_hits > 0
+        report = stats.as_dict()["signal_cache"]
+        assert report["hits"] == stats.signal_cache_hits
+        assert report["misses"] == stats.signal_cache_misses
+
+    def test_thread_cached_run_is_byte_identical(self, cold_bytes):
+        result, stats = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            workers=4, backend="thread")
+        assert _record_bytes(result.curated_records) == cold_bytes
+        assert stats.signal_cache_hits > 0
+
+    def test_process_cached_run_is_byte_identical_and_resident(
+            self, cold_bytes):
+        """Process workers share one world each and still hit the cache."""
+        obs = Observability()
+        result, stats = api.run_with_stats(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            workers=2, backend="process", observability=obs)
+        assert _record_bytes(result.curated_records) == cold_bytes
+        assert stats.signal_cache_hits > 0
+        builds = {key: value
+                  for key, value in obs.metrics.snapshot()["gauges"].items()
+                  if key.startswith("exec.worker.world_builds")}
+        assert builds, "process workers should report world-build gauges"
+        assert 1 <= len(builds) <= 2
+        assert all(value == 1.0 for value in builds.values()), builds
+
+    def test_shard_restricted_windows_match_full_map(self):
+        """A shard given only its own windows curates identical records."""
+        scenario = ScenarioGenerator(SMALL_CONFIG).generate()
+        platform = IODAPlatform(scenario, signal_cache_size=0)
+        pipeline = CurationPipeline(platform, CurationConfig())
+        windows = pipeline.country_windows(SMALL_PERIOD)
+        iso2 = sorted(windows)[0]
+        restricted = _curate_shard(
+            scenario, PlatformConfig(), CurationConfig(), SMALL_PERIOD,
+            (iso2,), windows={iso2: windows[iso2]}, platform=platform)
+        recomputed = _curate_shard(
+            scenario, PlatformConfig(), CurationConfig(), SMALL_PERIOD,
+            (iso2,), platform=platform)
+        assert restricted == recomputed
+        (shard_iso2, records), = restricted[0]
+        assert shard_iso2 == iso2

@@ -21,6 +21,7 @@ from repro.telescope.packets import (
     PacketKind,
     TelescopePacket,
     diurnal_factor,
+    diurnal_factors,
 )
 from repro.timeutils.timestamps import DAY, HOUR, TimeRange
 
@@ -48,6 +49,27 @@ class TestDiurnal:
     def test_period_is_one_day(self):
         assert diurnal_factor(7 * HOUR, 0) == \
             pytest.approx(diurnal_factor(7 * HOUR + DAY, 0))
+
+    def test_vectorized_matches_scalar_exactly(self):
+        # The telescope signal feeds lam into rng.poisson, so even a
+        # one-ULP drift between the vectorized and scalar paths would
+        # change output bytes: equality must be exact, not approximate.
+        start = 1_600_000_000 - (1_600_000_000 % 300)
+        bin_starts = start + 300 * np.arange(2 * DAY // 300)
+        for offset in (0, 3 * HOUR, -5 * HOUR, 345 * 60, 20700):
+            vectorized = diurnal_factors(bin_starts, offset)
+            scalar = np.array([diurnal_factor(int(ts), offset)
+                               for ts in bin_starts])
+            assert np.array_equal(vectorized, scalar)
+
+    def test_vectorized_respects_amplitude(self):
+        bin_starts = np.arange(0, DAY, 300)
+        flat = diurnal_factors(bin_starts, 0, amplitude=0.0)
+        assert np.array_equal(flat, np.ones_like(flat))
+        scalar = np.array([diurnal_factor(int(ts), 0, amplitude=0.1)
+                           for ts in bin_starts])
+        assert np.array_equal(
+            diurnal_factors(bin_starts, 0, amplitude=0.1), scalar)
 
 
 class TestFilters:
