@@ -29,7 +29,8 @@ CACHE = Path(__file__).resolve().parent.parent / ".cache"
 
 
 def main() -> None:
-    result, stats, health = api.run_with_health(cache_dir=CACHE)
+    result = api.run(cache_dir=CACHE)
+    health = result.health
 
     # 0. Refuse to monitor off a dataset that failed its scorecard.
     print(f"run health: {health.grade} "

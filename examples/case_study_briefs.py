@@ -33,7 +33,7 @@ def build_triage(result) -> ShutdownTriage:
 
 
 def main() -> None:
-    result = api.run(cache_dir=CACHE)
+    result = api.run(cache_dir=CACHE).events
     merged = result.merged
     platform = IODAPlatform(result.scenario)
     triage = build_triage(result)

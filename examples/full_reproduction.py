@@ -38,7 +38,8 @@ def section(title: str) -> None:
 
 
 def main() -> None:
-    result, stats = api.run_with_stats(seed=2023, cache_dir=CACHE)
+    run = api.run(seed=2023, cache_dir=CACHE)
+    result, stats = run.events, run.stats
     merged = result.merged
 
     section("Figure 2 — KIO events per category per year")

@@ -8,8 +8,18 @@ this surface is not.
     import repro.api as api
 
     result = api.run(seed=2023, workers=4, cache_dir=".cache")
+    result.health.grade         # "pass" / "warn" / "fail"
+    result.stats.total_seconds  # execution report
     client = api.client(result)
     page = client.get_events(country_iso2="SY", limit=25)
+
+There is one entry point: :func:`run` executes the pipeline and returns
+a :class:`RunResult` carrying everything a run produces — the event
+datasets (``result.events``), the execution report (``result.stats``),
+the fidelity scorecard (``result.health``), and the journal path when
+one was written.  The historical ``run_with_stats`` /
+``run_with_health`` names remain as deprecated shims over the same
+single execution.
 
 Everything here is re-exported with keyword-only knobs, so adding a
 parameter never breaks a caller.
@@ -17,8 +27,10 @@ parameter never breaks a caller.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.observability import execution_report, health_report
 from repro.core.matching import MatchingConfig
@@ -57,6 +69,7 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "RunJournal",
+    "RunResult",
     "client",
     "compare_baselines",
     "default_policy",
@@ -128,6 +141,47 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         health_policy=health_policy)
 
 
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one pipeline run produces, in one return value.
+
+    ``events`` is the :class:`PipelineResult` the analysis layer
+    consumes; ``stats`` the :class:`ExecStats` execution report;
+    ``health`` the :class:`HealthReport` fidelity scorecard; and
+    ``journal_path`` the JSONL run journal, when one was written
+    (``None`` otherwise).  The most common event fields are exposed
+    directly (``result.curated_records`` etc.) so casual callers never
+    reach through ``events``.
+    """
+
+    events: PipelineResult
+    stats: ExecStats
+    health: HealthReport
+    journal_path: Optional[Path] = None
+
+    # -- convenience passthroughs into the event datasets ------------------
+
+    @property
+    def scenario(self):
+        """The generated world (``events.scenario``)."""
+        return self.events.scenario
+
+    @property
+    def curated_records(self) -> List[OutageRecord]:
+        """The curated outage dataset (``events.curated_records``)."""
+        return self.events.curated_records
+
+    @property
+    def kio_events(self):
+        """Compiled KIO shutdown events (``events.kio_events``)."""
+        return self.events.kio_events
+
+    @property
+    def merged(self):
+        """The merged analysis dataset (``events.merged``)."""
+        return self.events.merged
+
+
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         shards: Optional[int] = None,
         signal_cache_size: Optional[int] = None,
@@ -139,14 +193,23 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         matching_config: Optional[MatchingConfig] = None,
         study_period: TimeRange = STUDY_PERIOD,
         observability: Optional[Observability] = None,
+        journal: Optional[RunJournal | str | Path] = None,
         resilience: Optional[ResilienceConfig] = None,
         faults: Optional[FaultPlan | str] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
         fail_fast: bool = False,
         profile: Optional[ProfileConfig | bool] = None,
-        health_policy: Optional[HealthPolicy] = None) -> PipelineResult:
-    """Run the full reproduction pipeline and return its result.
+        health_policy: Optional[HealthPolicy] = None) -> RunResult:
+    """Run the full reproduction pipeline; return a :class:`RunResult`.
+
+    The single entry point: one execution produces the event datasets,
+    the execution report, and the health scorecard together —
+    ``result.events``, ``result.stats``, ``result.health`` (plus
+    ``result.journal_path``).  There is nothing a second call could
+    add, so there are no variant entry points; the old
+    ``run_with_stats`` / ``run_with_health`` tuples are deprecated
+    shims over this function.
 
     ``workers``/``backend`` schedule the observation+curation stage
     through the sharded executor (results are byte-identical at any
@@ -160,11 +223,16 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     generated world resident per worker so each process builds it once
     per run.
 
-    Pass an :class:`Observability` session (optionally constructed with
-    a JSONL journal path) to capture the run's span tree and metrics —
-    afterwards ``observability.tracer.spans()`` feeds
-    :func:`write_chrome_trace` and ``observability.metrics_snapshot()``
-    is the ``--metrics-json`` payload.  Tracing never perturbs results.
+    ``journal`` is shorthand for
+    ``observability=Observability(journal=...)``: pass a path (or
+    :class:`RunJournal`) and the run streams its JSONL journal there,
+    with the resolved path returned as ``result.journal_path``.  For
+    full control pass an :class:`Observability` session instead
+    (optionally constructed with its own journal) — afterwards
+    ``observability.tracer.spans()`` feeds :func:`write_chrome_trace`
+    and ``observability.metrics_snapshot()`` is the ``--metrics-json``
+    payload.  Tracing never perturbs results.  The two knobs are
+    mutually exclusive.
 
     ``faults`` (a :class:`FaultPlan` or CLI-style spec string like
     ``"fail_first=2;seed=5"``) injects deterministic source faults;
@@ -174,8 +242,8 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     which wins) enables the resilience layer; a run that fully recovers
     from its faults is byte-identical to a fault-free run.  Note that
     an active fault plan bypasses the shard cache.  Check
-    ``run_with_stats(...)[1].degraded`` / ``.quarantined`` for what a
-    degraded run gave up on.
+    ``result.stats.degraded`` / ``.quarantined`` for what a degraded
+    run gave up on.
 
     ``profile=True`` (or a :class:`ProfileConfig`) turns on per-span
     resource profiling — CPU vs wall seconds, peak-RSS growth, and
@@ -183,93 +251,20 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     the readings never touch the RNG substreams, so a profiled run is
     byte-identical to an unprofiled one.  Every run is also graded
     against a fidelity scorecard (``health_policy``; default: the
-    paper-target policy) — see :func:`run_with_health`.
+    paper-target policy) whose ``result.health.grade`` is ``"pass"``,
+    ``"warn"``, or ``"fail"`` and whose ``result.health.rows()``
+    renders the scorecard; the same report is streamed into the run
+    journal as a ``health`` event, replayable with
+    ``repro health RUN.jsonl``.
     """
-    result, _ = run_with_stats(
-        seed=seed, workers=workers, backend=backend, shards=shards,
-        signal_cache_size=signal_cache_size,
-        cache_dir=cache_dir, scenario_config=scenario_config,
-        platform_config=platform_config, curation_config=curation_config,
-        kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period, observability=observability,
-        resilience=resilience, faults=faults, retry_policy=retry_policy,
-        breaker_policy=breaker_policy, fail_fast=fail_fast,
-        profile=profile, health_policy=health_policy)
-    return result
-
-
-def run_with_stats(
-        *, seed: int = 2023, workers: int = 1, backend: str = "thread",
-        shards: Optional[int] = None,
-        signal_cache_size: Optional[int] = None,
-        cache_dir: Optional[Path | str] = None,
-        scenario_config: Optional[ScenarioConfig] = None,
-        platform_config: Optional[PlatformConfig] = None,
-        curation_config: Optional[CurationConfig] = None,
-        kio_config: Optional[KIOCompilerConfig] = None,
-        matching_config: Optional[MatchingConfig] = None,
-        study_period: TimeRange = STUDY_PERIOD,
-        observability: Optional[Observability] = None,
-        resilience: Optional[ResilienceConfig] = None,
-        faults: Optional[FaultPlan | str] = None,
-        retry_policy: Optional[RetryPolicy] = None,
-        breaker_policy: Optional[BreakerPolicy] = None,
-        fail_fast: bool = False,
-        profile: Optional[ProfileConfig | bool] = None,
-        health_policy: Optional[HealthPolicy] = None
-) -> Tuple[PipelineResult, ExecStats]:
-    """Like :func:`run`, but also return the :class:`ExecStats` report.
-
-    The report is the derived view over the run's span tree
-    (:meth:`ExecStats.from_obs`); render it with
-    :func:`execution_report`.  On a degraded run it carries
-    ``degraded=True`` and the ``quarantined`` country codes.
-    """
-    result, stats, _ = run_with_health(
-        seed=seed, workers=workers, backend=backend, shards=shards,
-        signal_cache_size=signal_cache_size,
-        cache_dir=cache_dir, scenario_config=scenario_config,
-        platform_config=platform_config, curation_config=curation_config,
-        kio_config=kio_config, matching_config=matching_config,
-        study_period=study_period, observability=observability,
-        resilience=resilience, faults=faults, retry_policy=retry_policy,
-        breaker_policy=breaker_policy, fail_fast=fail_fast,
-        profile=profile, health_policy=health_policy)
-    return result, stats
-
-
-def run_with_health(
-        *, seed: int = 2023, workers: int = 1, backend: str = "thread",
-        shards: Optional[int] = None,
-        signal_cache_size: Optional[int] = None,
-        cache_dir: Optional[Path | str] = None,
-        scenario_config: Optional[ScenarioConfig] = None,
-        platform_config: Optional[PlatformConfig] = None,
-        curation_config: Optional[CurationConfig] = None,
-        kio_config: Optional[KIOCompilerConfig] = None,
-        matching_config: Optional[MatchingConfig] = None,
-        study_period: TimeRange = STUDY_PERIOD,
-        observability: Optional[Observability] = None,
-        resilience: Optional[ResilienceConfig] = None,
-        faults: Optional[FaultPlan | str] = None,
-        retry_policy: Optional[RetryPolicy] = None,
-        breaker_policy: Optional[BreakerPolicy] = None,
-        fail_fast: bool = False,
-        profile: Optional[ProfileConfig | bool] = None,
-        health_policy: Optional[HealthPolicy] = None
-) -> Tuple[PipelineResult, ExecStats, HealthReport]:
-    """Like :func:`run_with_stats`, plus the run's health scorecard.
-
-    The :class:`HealthReport` grades the run's statistics — headline
-    event populations, match fractions, quarantine count, cache hit
-    rate, stage wall time — against the declared targets of
-    ``health_policy`` (default: the paper-fidelity policy of
-    :func:`repro.obs.health.default_policy`).  ``report.grade`` is
-    ``"pass"``, ``"warn"``, or ``"fail"`` (the worst check wins);
-    ``report.rows()`` renders the scorecard.  The same report is
-    streamed into the run journal as a ``health`` event, replayable
-    with ``repro health RUN.jsonl``.
-    """
+    if journal is not None:
+        if observability is not None:
+            raise ValueError(
+                "pass either journal= or observability= (the journal "
+                "shorthand builds its own Observability session)")
+        observability = Observability(
+            journal=journal if isinstance(journal, RunJournal)
+            else RunJournal(str(journal)))
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
         signal_cache_size=signal_cache_size,
@@ -280,20 +275,50 @@ def run_with_health(
         resilience=_resilience(resilience, faults, retry_policy,
                                breaker_policy, fail_fast),
         profile=profile, health_policy=health_policy)
-    result = pipeline.run()
+    events = pipeline.run()
     assert pipeline.stats is not None and pipeline.health is not None
-    return result, pipeline.stats, pipeline.health
+    journal_path = None
+    if observability is not None and observability.journal is not None:
+        journal_path = observability.journal.path
+    return RunResult(events=events, stats=pipeline.stats,
+                     health=pipeline.health, journal_path=journal_path)
 
 
-def client(result: PipelineResult,
+def _deprecated_shim(old_name: str, replacement: str) -> None:
+    warnings.warn(
+        f"api.{old_name} is deprecated; call api.run(...) and use "
+        f"{replacement}", DeprecationWarning, stacklevel=3)
+
+
+def run_with_stats(**kwargs) -> Tuple[PipelineResult, ExecStats]:
+    """Deprecated: call :func:`run`; the pair is ``(result.events,
+    result.stats)``."""
+    _deprecated_shim("run_with_stats", "result.events / result.stats")
+    result = run(**kwargs)
+    return result.events, result.stats
+
+
+def run_with_health(
+        **kwargs) -> Tuple[PipelineResult, ExecStats, HealthReport]:
+    """Deprecated: call :func:`run`; the triple is ``(result.events,
+    result.stats, result.health)``."""
+    _deprecated_shim("run_with_health",
+                     "result.events / result.stats / result.health")
+    result = run(**kwargs)
+    return result.events, result.stats, result.health
+
+
+def client(result: Union[RunResult, PipelineResult],
            records: Optional[Sequence[OutageRecord]] = None) -> IODAClient:
-    """An :class:`IODAClient` over a pipeline result.
+    """An :class:`IODAClient` over a run's events.
 
-    Serves the result's curated records (or an explicit ``records``
-    override) through the IODA-style query API — signals, alerts, and
-    the cursor-paginated event feed.
+    Accepts the :class:`RunResult` of :func:`run` (or a bare
+    :class:`PipelineResult`) and serves its curated records (or an
+    explicit ``records`` override) through the IODA-style query API —
+    signals, alerts, and the cursor-paginated event feed.
     """
-    platform = IODAPlatform(result.scenario)
+    events = result.events if isinstance(result, RunResult) else result
+    platform = IODAPlatform(events.scenario)
     curated: Sequence[OutageRecord] = (
-        result.curated_records if records is None else records)
+        events.curated_records if records is None else records)
     return IODAClient(platform, curated)

@@ -15,6 +15,7 @@ implementations are provided:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -134,11 +135,17 @@ def visible_slash24_series(
     # once: per-bin carrier counts are iid across bins and prefixes, so a
     # Bernoulli draw at this probability is distributionally identical to
     # simulating every peer, at a fraction of the cost.
-    p_visible = float(
-        1.0 - _binom_cdf(quorum - 1, n_full_feed_peers, 1.0 - miss_rate))
+    p_visible = _p_visible(quorum, n_full_feed_peers, miss_rate)
     visible = rng.random((n_bins, len(sizes))) < p_visible
     values = (contribution * visible).sum(axis=1)
     return TimeSeries(start, bin_width, values.astype(np.float64))
+
+
+@lru_cache(maxsize=64)
+def _p_visible(quorum: int, n_peers: int, miss_rate: float) -> float:
+    """Memoized P(prefix visible | up) — every entity in a run shares
+    the same peer count and miss rate."""
+    return float(1.0 - _binom_cdf(quorum - 1, n_peers, 1.0 - miss_rate))
 
 
 def _binom_cdf(k: int, n: int, p: float) -> float:

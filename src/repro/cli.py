@@ -53,9 +53,9 @@ from repro.analysis import (
 from repro.analysis.observability import execution_report
 from repro.analysis.report import build_report, render_markdown
 from repro.core.heuristics import ShutdownTriage
-from repro.core.pipeline import ReproPipeline
+from repro import api
 from repro.errors import ConfigurationError, ResilienceError, SignalError
-from repro.exec import BACKENDS, ExecutorConfig
+from repro.exec import BACKENDS
 from repro.resilience import ResilienceConfig, RetryPolicy
 from repro.io import dump_kio_events, dump_records, dump_records_csv
 from repro.obs import BASELINE_DIR, HealthReport, Observability, \
@@ -66,7 +66,8 @@ from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
 from repro.timeutils.timestamps import TimeRange, parse_utc
-from repro.world.scenario import ScenarioConfig
+from repro.world.scenario import STUDY_PERIOD, ScenarioConfig, \
+    ScenarioGenerator
 
 __all__ = ["main", "build_parser"]
 
@@ -274,15 +275,23 @@ def _profile_config(args: argparse.Namespace) -> Optional[ProfileConfig]:
     return None
 
 
-def _pipeline(args: argparse.Namespace,
-              observability: Observability | None = None) -> ReproPipeline:
-    return ReproPipeline(
+def _run(args: argparse.Namespace,
+         observability: Observability | None = None) -> api.RunResult:
+    """One pipeline execution through the :mod:`repro.api` facade.
+
+    Every data-producing subcommand funnels through here, so the CLI
+    exercises exactly the surface downstream callers program against.
+    ``ScenarioConfig`` and ``STUDY_PERIOD`` are read off this module so
+    tests can shrink the run while keeping the real flag wiring.
+    """
+    return api.run(
         scenario_config=ScenarioConfig(seed=args.seed),
+        study_period=STUDY_PERIOD,
+        workers=args.workers,
+        backend=args.backend,
+        shards=args.shards,
+        signal_cache_size=getattr(args, "signal_cache_size", None),
         cache_dir=_usable_cache_dir(args.cache_dir),
-        executor=ExecutorConfig(
-            workers=args.workers, backend=args.backend,
-            n_shards=args.shards,
-            signal_cache_size=getattr(args, "signal_cache_size", None)),
         observability=observability,
         resilience=_resilience(args),
         profile=_profile_config(args))
@@ -295,8 +304,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs = (Observability(journal=args.journal)
            if (args.trace or args.journal or args.metrics_json
                or profile is not None) else None)
-    pipeline = _pipeline(args, observability=obs)
-    result = pipeline.run()
+    result = _run(args, observability=obs)
     exported = []
     if obs is not None:
         if args.trace:
@@ -311,9 +319,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 encoding="utf-8")
             exported.append(args.metrics_json)
     if args.stats and args.json:
-        payload = pipeline.stats.as_dict()
+        payload = result.stats.as_dict()
         if args.health:
-            payload["health"] = pipeline.health.as_dict()
+            payload["health"] = result.health.as_dict()
         print(json.dumps(payload, indent=2))
         for path in exported:
             print(f"wrote {path}", file=sys.stderr)
@@ -328,18 +336,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("\n".join(observability_table(result.merged).rows()))
     if args.stats:
         print("\n== Execution ==")
-        print("\n".join(execution_report(pipeline.stats)))
+        print("\n".join(execution_report(result.stats)))
     if args.health:
         print("\n== Health ==")
-        print("\n".join(pipeline.health.rows()))
+        print("\n".join(result.health.rows()))
     for path in exported:
         print(f"wrote {path}")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    result = _pipeline(args).run()
-    rows = build_report(result)
+    result = _run(args)
+    rows = build_report(result.events)
     args.output.write_text(render_markdown(rows, args.seed),
                            encoding="utf-8")
     print(f"wrote {args.output} ({len(rows)} comparison rows)")
@@ -347,7 +355,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    result = _pipeline(args).run()
+    result = _run(args)
     args.output_dir.mkdir(parents=True, exist_ok=True)
     records_path = args.output_dir / "ioda_outage_records.json"
     csv_path = args.output_dir / "ioda_outage_records.csv"
@@ -364,8 +372,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.analysis.figures import write_csvs
 
-    result = _pipeline(args).run()
-    written = write_csvs(result, args.output_dir)
+    result = _run(args)
+    written = write_csvs(result.events, args.output_dir)
     for path in written:
         print(f"wrote {path}")
     return 0
@@ -374,8 +382,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_signals(args: argparse.Namespace) -> int:
     from repro.viz import sparkline
 
-    pipeline = _pipeline(args)
-    scenario = pipeline.build_scenario()
+    # Probe the cache dir for the same not-writable warning a full run
+    # would emit (signals itself never touches the stage cache).
+    _usable_cache_dir(args.cache_dir)
+    scenario = ScenarioGenerator(ScenarioConfig(seed=args.seed)).generate()
     country = scenario.registry.lookup(args.country)
     window = TimeRange(parse_utc(args.start), parse_utc(args.end))
     platform = IODAPlatform(scenario)
@@ -389,7 +399,7 @@ def _cmd_signals(args: argparse.Namespace) -> int:
 
 
 def _cmd_triage(args: argparse.Namespace) -> int:
-    result = _pipeline(args).run()
+    result = _run(args).events
     merged = result.merged
     registry = merged.registry
     libdem = {
@@ -455,16 +465,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
 
 def _run_for_baseline(args: argparse.Namespace):
     """Run the pipeline and capture the baseline-shaped snapshot."""
-    pipeline = _pipeline(args)
-    result = pipeline.run()
-    statistics = run_statistics(result, pipeline.stats)
+    result = _run(args)
+    statistics = run_statistics(result.events, result.stats)
     config = {
         "seed": args.seed,
         "workers": args.workers,
         "backend": args.backend,
         "shards": args.shards,
     }
-    return statistics, config, pipeline.health
+    return statistics, config, result.health
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:

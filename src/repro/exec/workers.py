@@ -75,7 +75,11 @@ __all__ = ["BACKENDS", "ExecutorConfig", "ShardedCurationExecutor"]
 
 BACKENDS = ("serial", "thread", "process")
 
-#: Stage name under which curated shards are cached.
+#: Stage name under which curated shards are cached.  The columnar /
+#: scalar detection switch (``REPRO_SCALAR_DETECT``, :mod:`repro.flags`)
+#: is deliberately NOT part of the cache key: both paths produce
+#: byte-identical records, so warm shard entries stay valid across
+#: flag on/off runs — the same rule as ``signal_cache_size`` below.
 _CURATE_STAGE = "curate"
 
 

@@ -1,0 +1,34 @@
+"""Runtime escape hatches.
+
+The detection/curation hot path is columnar: exact vectorized
+sliding-window medians (:func:`repro.stats.rolling.trailing_median`),
+array-based alert grouping, and the table-driven Active Probing round
+simulation.  The per-bin scalar implementations remain in the tree as
+the executable specification, and setting ``REPRO_SCALAR_DETECT=1``
+routes every detector back through them.
+
+The two paths are bitwise-identical by construction and by test
+(:mod:`tests.test_columnar_detect`), so the flag never changes results
+— it exists to *prove* that, to debug the vectorized code against its
+reference, and to measure the speedup honestly
+(``benchmarks/test_bench_detect.py``).
+
+The flag is read at call time, not import time, so tests can flip it
+with ``monkeypatch.setenv``; worker processes inherit the parent's
+environment, so a sharded run is uniformly scalar or uniformly
+vectorized across every backend.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SCALAR_DETECT_ENV", "scalar_detect"]
+
+#: Environment variable selecting the scalar reference detectors.
+SCALAR_DETECT_ENV = "REPRO_SCALAR_DETECT"
+
+
+def scalar_detect() -> bool:
+    """Whether the scalar reference detection path is selected."""
+    return os.environ.get(SCALAR_DETECT_ENV, "") not in ("", "0")

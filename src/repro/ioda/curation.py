@@ -446,9 +446,8 @@ class CurationPipeline:
         ]
         if not overlapping:
             overlapping = [
-                d for d in self._scenario.all_disruptions()
-                if d.country_iso2 == iso2
-                and d.span.overlaps(candidate.span)]
+                d for d in self._scenario.country_disruptions(iso2)
+                if d.span.overlaps(candidate.span)]
         if not overlapping:
             return False
         strongest = max(overlapping, key=lambda d: d.severity)
@@ -497,7 +496,7 @@ class CurationPipeline:
         for kind in signals:
             series = self._platform.signal(
                 Entity.country(iso2), kind, window)
-            values = series.values
+            _, values = series.arrays()
             if len(values) < 4:
                 return False
             baseline = float(np.median(values))
@@ -553,8 +552,8 @@ class CurationPipeline:
                          ) -> Tuple[Optional[str], Tuple[str, ...]]:
         """The news oracle: what reporting would the curators find?"""
         overlapping = [
-            d for d in self._scenario.all_disruptions()
-            if d.country_iso2 == iso2 and d.span.overlaps(
+            d for d in self._scenario.country_disruptions(iso2)
+            if d.span.overlaps(
                 span.expand(before=2 * HOUR, after=2 * HOUR))]
         if not overlapping:
             return None, ()

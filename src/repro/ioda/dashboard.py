@@ -3,6 +3,10 @@
 The paper's curators start from the dashboard's recent-alert list (§3.1.2);
 :class:`Dashboard` reproduces that view over a platform and a set of
 observation windows, listing alert episodes per entity and signal.
+
+Each listing pulls whole series through the columnar detection core
+(:mod:`repro.signals.alerts`): one array-valued median/threshold pass
+per (entity, signal, window) rather than a Python loop over bins.
 """
 
 from __future__ import annotations

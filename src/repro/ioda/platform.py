@@ -18,6 +18,9 @@ overlapping the window removes its affected share of the entity's address
 space for its duration, with the shares differing per signal exactly where
 the measurement physics differ (mobile-only events do not move the probing
 signal).  Measurement artifacts multiply the affected signal globally.
+Every stage is columnar — up fractions, artifact multipliers, and the
+three substrates all produce whole value arrays; no per-bin Python loop
+runs between ground truth and a published :class:`TimeSeries`.
 
 Signals are deterministic per (seed, entity, window start) so repeated
 queries — e.g. the curation pipeline's control-group checks — observe
@@ -112,6 +115,18 @@ class IODAPlatform:
             raise ConfigurationError(
                 f"signal_cache_size must be >= 0: {size}")
         self._signal_cache = SignalCache(size) if size else None
+        # ActiveProbingRun is deterministic given its block list (all
+        # randomness arrives via the per-query rng), so one instance per
+        # (country, kept-block-count) serves every window and keeps its
+        # belief-iterate tables warm.
+        self._probing_runs: Dict[Tuple[str, int], ActiveProbingRun] = {}
+        # Per-(country, kind, region) disruption impact arrays: the
+        # affected share of each disruption is window-independent, so
+        # _up_fraction only intersects spans per query (see
+        # _disruption_shares).
+        self._share_cache: Dict[
+            Tuple[str, SignalKind, Optional[str]],
+            Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._disruptions_by_country: Dict[
             str, List[GroundTruthDisruption]] = {}
         for disruption in scenario.all_disruptions():
@@ -235,18 +250,36 @@ class IODAPlatform:
         start = bin_floor(window.start, bin_width)
         n_bins = -(-(window.end - start) // bin_width)
         down = np.zeros(n_bins, dtype=np.float64)
-        iso2 = cache.network.country.iso2
-        for disruption in self._disruptions_by_country.get(iso2, []):
-            if not disruption.span.overlaps(window):
-                continue
-            share = self._affected_share(
-                cache, disruption, kind, region_name)
-            if share <= 0.0:
-                continue
-            first = max(0, (disruption.span.start - start) // bin_width)
-            last = min(n_bins, -(-(disruption.span.end - start) // bin_width))
-            down[first:last] += share
+        starts, ends, shares = self._disruption_shares(
+            cache, kind, region_name)
+        # Same half-open overlap test as TimeRange.overlaps, batched.
+        for k in np.flatnonzero((starts < window.end)
+                                & (ends > window.start)):
+            first = max(0, (int(starts[k]) - start) // bin_width)
+            last = min(n_bins, -(-(int(ends[k]) - start) // bin_width))
+            down[first:last] += shares[k]
         return np.clip(1.0 - down, 0.0, 1.0)
+
+    def _disruption_shares(self, cache: _CountryCache, kind: SignalKind,
+                           region_name: Optional[str]
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(start, end, share) arrays of a country's disruptions with a
+        nonzero affected share, memoized — the share depends only on the
+        disruption, signal kind and queried entity, never the window."""
+        iso2 = cache.network.country.iso2
+        key = (iso2, kind, region_name)
+        entry = self._share_cache.get(key)
+        if entry is None:
+            spans = [(d.span.start, d.span.end, share)
+                     for d in self._disruptions_by_country.get(iso2, [])
+                     if (share := self._affected_share(
+                         cache, d, kind, region_name)) > 0.0]
+            entry = (
+                np.array([s[0] for s in spans], dtype=np.int64),
+                np.array([s[1] for s in spans], dtype=np.int64),
+                np.array([s[2] for s in spans], dtype=np.float64))
+            self._share_cache[key] = entry
+        return entry
 
     def _affected_share(self, cache: _CountryCache,
                         disruption: GroundTruthDisruption, kind: SignalKind,
@@ -323,7 +356,11 @@ class IODAPlatform:
             if not blocks:
                 series = TimeSeries.zeros(window, bin_width)
             else:
-                run = ActiveProbingRun(blocks)
+                key = (iso2, len(blocks))
+                run = self._probing_runs.get(key)
+                if run is None:
+                    run = ActiveProbingRun(blocks)
+                    self._probing_runs[key] = run
                 series = run.up_count_series(window, up, rng)
         else:
             intensity = cache.network.ibr_intensity * max(scale, 0.02)

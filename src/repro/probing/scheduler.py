@@ -9,6 +9,18 @@ Ground truth enters through ``up_fraction``: the fraction of the entity's
 by address, and an up-fraction ``f`` keeps the first ``f`` share of blocks
 reachable — consistent with the BGP fast path, so a partial outage takes
 down the *same* part of the network in both signals.
+
+The whole run is simulated columnar: one RNG block draw covers every
+round (bit-identical to per-round draws — the generator fills row by
+row), and beliefs are never iterated round by round.  Because an
+answered round resets a block's belief to 1.0 and every unanswered
+round applies the same deterministic map, a block's belief after any
+round is a table lookup on "rounds since last answer"
+(:meth:`~repro.probing.trinocular.TrinocularInference.belief_iterate_tables`);
+the last-answer index for every (round, block) cell is one
+``maximum.accumulate``.  The per-round reference loop remains as
+:meth:`ActiveProbingRun.up_count_series_scalar`, selected by
+``REPRO_SCALAR_DETECT=1``; both paths are bitwise-identical.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import SignalError
+from repro.flags import scalar_detect
 from repro.probing.blocks import ProbedBlock
 from repro.probing.trinocular import TrinocularConfig, TrinocularInference
 from repro.signals.series import TimeSeries
@@ -39,6 +52,13 @@ class ActiveProbingRun:
         self._round_width = round_width
         self._rates = np.array(
             [b.response_rate for b in self._blocks], dtype=np.float64)
+        # Lazy caches for the columnar path: rates are fixed for the
+        # life of the run, so the answer probability and the classify-up
+        # lookup table are pure functions of them (see _up_table_for).
+        self._p_answer: np.ndarray | None = None
+        self._up_table: np.ndarray | None = None
+        self._up_table_converged = False
+        self._first_down: np.ndarray | None = None
 
     @property
     def n_blocks(self) -> int:
@@ -55,7 +75,105 @@ class ActiveProbingRun:
         ``up_fraction[i]`` is ground truth for round ``i``.  Returns a
         series binned at the round width whose value is the number of
         blocks classified UP at the end of each round.
+
+        Columnar over the whole window (see the module docstring);
+        bitwise-identical to :meth:`up_count_series_scalar`, which
+        ``REPRO_SCALAR_DETECT=1`` selects instead.
         """
+        if scalar_detect():
+            return self.up_count_series_scalar(window, up_fraction, rng)
+        start = bin_floor(window.start, self._round_width)
+        n_rounds = -(-(window.end - start) // self._round_width)
+        up = np.asarray(up_fraction, dtype=np.float64)
+        if up.shape != (n_rounds,):
+            raise SignalError(
+                f"up_fraction has shape {up.shape}, expected ({n_rounds},)")
+
+        n = self.n_blocks
+        block_quantile = (np.arange(n) + 1.0) / n
+        # One draw for every (round, block) cell: the generator fills
+        # the matrix row-major, so row r carries the exact floats the
+        # scalar loop's r-th rng.random(n) call would.
+        draws = rng.random((n_rounds, n))
+        block_up = block_quantile[None, :] <= up[:, None] + 1e-12
+        if self._p_answer is None:
+            self._p_answer = 1.0 - self._inference.miss_likelihood(
+                self._rates)
+        p_answer = self._p_answer
+        # p_answer is 0 for down blocks and draws are in [0, 1), so
+        # "answered" is the draw beating p_answer on an up block.
+        answered = block_up & (draws < p_answer[None, :])
+
+        # up_table[j, 0, i]: is block i UP j rounds after an answer;
+        # up_table[j, 1, i]: is it UP after j unanswered rounds from
+        # the prior.  Lookups clamp to the tables' fixed point.
+        up_table = self._up_table_for(n_rounds + 1)
+        idx_dtype = np.int16 if n_rounds < 32000 else np.int64
+        round_index = np.arange(n_rounds, dtype=idx_dtype)[:, None]
+        last_answer = np.maximum.accumulate(
+            np.where(answered, round_index, idx_dtype(-1)), axis=0)
+        # Never-answered cells (last_answer == -1) land on j = t + 1,
+        # which is exactly their unanswered-round count from the prior.
+        first_down = self._first_down
+        if first_down is not None:
+            # Beliefs decay monotonically between answers, so each table
+            # column is True up to its first False (verified when the
+            # table was built): the clamped lookup collapses to comparing
+            # rounds-since-answer against that first-down level.
+            limit = np.where(last_answer < 0,
+                             first_down[1][None, :], first_down[0][None, :])
+            up_mask = (round_index - last_answer) < limit
+        else:
+            j = np.minimum(round_index - last_answer,
+                           idx_dtype(up_table.shape[0] - 1))
+            from_prior = (last_answer < 0).astype(np.int8)
+            up_mask = up_table[j, from_prior, np.arange(n)[None, :]]
+        values = up_mask.sum(axis=1).astype(np.float64)
+        return TimeSeries(start, self._round_width, values)
+
+    def _up_table_for(self, max_levels: int) -> np.ndarray:
+        """The classify-up lookup table, memoized across windows.
+
+        The belief iterates are a pure function of the (fixed) response
+        rates, so a table that reached its fixed point serves every
+        window, and a longer-than-needed table gives identical lookups
+        (levels past a request's depth are never indexed).  Only rebuilt
+        when an unconverged cached table is shorter than the request.
+        """
+        if self._up_table is None or (
+                not self._up_table_converged
+                and self._up_table.shape[0] < max_levels + 1):
+            tables = self._inference.belief_iterate_tables(
+                self._rates, max_levels=max_levels)
+            self._up_table = self._inference.batch_classify_up(tables)
+            self._up_table_converged = tables.shape[0] < max_levels + 1
+            self._first_down = self._first_down_of(self._up_table)
+        return self._up_table
+
+    @staticmethod
+    def _first_down_of(up_table: np.ndarray) -> np.ndarray | None:
+        """Per-column first level classified DOWN, or ``None``.
+
+        Valid only when every column of the table is True up to a single
+        transition (beliefs decay monotonically between answers, so this
+        holds in practice); all-True columns get an unreachable sentinel.
+        The structure is verified exactly against the table — a
+        non-monotone table returns ``None`` and lookups fall back to the
+        clamped gather.
+        """
+        first_down = np.where(up_table.all(axis=0),
+                              np.iinfo(np.int64).max,
+                              np.argmin(up_table, axis=0))
+        levels = np.arange(up_table.shape[0], dtype=np.int64)[:, None, None]
+        if np.array_equal(up_table, levels < first_down[None, :, :]):
+            return first_down
+        return None
+
+    def up_count_series_scalar(self, window: TimeRange,
+                               up_fraction: np.ndarray,
+                               rng: np.random.Generator) -> TimeSeries:
+        """The per-round reference implementation of
+        :meth:`up_count_series`."""
         start = bin_floor(window.start, self._round_width)
         n_rounds = -(-(window.end - start) // self._round_width)
         up = np.asarray(up_fraction, dtype=np.float64)

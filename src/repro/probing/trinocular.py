@@ -126,3 +126,47 @@ class TrinocularInference:
         k = self._config.probes_per_round
         p_answer = 1.0 - (1.0 - response_rates) ** k
         return np.where(up, p_answer, 0.0)
+
+    # -- columnar whole-run path ----------------------------------------------
+
+    def miss_likelihood(self, response_rates: np.ndarray) -> np.ndarray:
+        """``(1 - rate) ** probes_per_round`` per block, computed once.
+
+        The same power :meth:`batch_update` and
+        :meth:`answer_probability` raise on every call; whole-run
+        consumers hoist it out of the round loop.
+        """
+        return (1.0 - response_rates) ** self._config.probes_per_round
+
+    def belief_iterate_tables(self, response_rates: np.ndarray,
+                              max_levels: int) -> np.ndarray:
+        """Iterates of the unanswered-round belief map, per block.
+
+        An unanswered round applies the same deterministic map ``f`` to
+        a block's belief (Bayes posterior on ``probes_per_round``
+        misses, then drift toward the prior — exactly the arithmetic of
+        :meth:`batch_update`), and an answered round resets the belief
+        to 1.0.  A block's belief after any round is therefore a pure
+        function of how many unanswered rounds have passed since the
+        last answer: ``f^j(1.0)``, or ``f^j(prior)`` for blocks never
+        answered.  This returns those iterates as a table of shape
+        ``(levels, 2, n_blocks)`` — ``[j, 0]`` is ``f^j(1.0)`` and
+        ``[j, 1]`` is ``f^j(prior)`` — stopping early once the iterates
+        hit their (float-exact) fixed point, so lookups past the last
+        level just clamp to it.  At most ``max_levels + 1`` levels are
+        produced.
+        """
+        miss = self.miss_likelihood(response_rates)
+        prior = self._config.prior_up
+        drift = self._config.belief_drift
+        n = len(response_rates)
+        levels = [np.stack([np.ones(n), np.full(n, prior)])]
+        for _ in range(max_levels):
+            beliefs = levels[-1]
+            numerator = beliefs * miss
+            posterior = numerator / (numerator + (1.0 - beliefs))
+            drifted = posterior + drift * (prior - posterior)
+            if np.array_equal(drifted, beliefs):
+                break
+            levels.append(drifted)
+        return np.stack(levels)

@@ -16,6 +16,15 @@ configurations live with the IODA platform in
 :mod:`repro.ioda.platform`.  :func:`group_alerts` merges runs of consecutive
 alerting bins into :class:`AlertEpisode` spans — the unit the curation
 pipeline reasons about ("a prolonged ... drop", §3.1.2).
+
+Detection is columnar: the whole series is pulled as ``(bin_starts,
+values)`` arrays, every trailing-window baseline is computed at once by
+:func:`repro.stats.rolling.trailing_median`, and the threshold
+comparison and episode grouping are array operations.  The per-bin
+scalar implementations (:meth:`AlertDetector.detect_scalar`,
+:func:`group_alerts_scalar`) remain the executable specification; both
+paths produce bitwise-identical alerts, and ``REPRO_SCALAR_DETECT=1``
+(:mod:`repro.flags`) selects the scalar path end to end.
 """
 
 from __future__ import annotations
@@ -23,13 +32,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.errors import SignalError
+from repro.flags import scalar_detect
 from repro.signals.series import TimeSeries
-from repro.stats.rolling import RollingMedian
+from repro.stats.rolling import RollingMedian, trailing_median_at
 from repro.timeutils.timestamps import TimeRange
 
 __all__ = ["DetectorConfig", "Alert", "AlertEpisode", "AlertDetector",
-           "group_alerts"]
+           "group_alerts", "group_alerts_scalar"]
 
 
 @dataclass(frozen=True)
@@ -113,7 +125,48 @@ class AlertDetector:
         return bins
 
     def detect(self, series: TimeSeries) -> List[Alert]:
-        """Return an :class:`Alert` for every bin below threshold."""
+        """Return an :class:`Alert` for every bin below threshold.
+
+        Columnar: a running-max prefilter first proves which bins could
+        possibly alert — the baseline median never exceeds the largest
+        value seen before a bin, so anything at or above ``threshold *
+        running_max`` is out, and the quiet series that dominate the
+        curators' scope descent exit here without computing a single
+        median.  Exact baselines are then computed only at the surviving
+        candidates (:func:`~repro.stats.rolling.trailing_median_at`).
+        Bitwise-identical to :meth:`detect_scalar` (asserted by tests);
+        ``REPRO_SCALAR_DETECT=1`` routes through the scalar path.
+        """
+        if scalar_detect():
+            return self.detect_scalar(series)
+        window = self.window_bins(series.width)
+        min_history = max(1, int(window * self._config.min_history_fraction))
+        bin_starts, values = series.arrays()
+        if values.shape[0] <= min_history:
+            return []
+        # median(window) <= max(values[:i]), and x <= y implies
+        # fl(t*x) <= fl(t*y) (rounding is monotone), so the candidate
+        # set is a strict superset of the alerting bins.
+        running_max = np.maximum.accumulate(values)
+        candidates = min_history + np.flatnonzero(
+            values[min_history:]
+            < self._config.threshold * running_max[min_history - 1:-1])
+        if candidates.size == 0:
+            return []
+        baselines = trailing_median_at(values, window, candidates)
+        keep = values[candidates] < self._config.threshold * baselines
+        return [Alert(time=int(bin_starts[i]), value=float(values[i]),
+                      baseline=float(baselines[k]))
+                for k, i in zip(np.flatnonzero(keep), candidates[keep])]
+
+    def detect_scalar(self, series: TimeSeries) -> List[Alert]:
+        """The per-bin reference implementation of :meth:`detect`.
+
+        Scans the series one bin at a time against a
+        :class:`~repro.stats.rolling.RollingMedian` tracker — the
+        executable specification the columnar path must match bit for
+        bit.
+        """
         window = self.window_bins(series.width)
         min_history = max(1, int(window * self._config.min_history_fraction))
         tracker = RollingMedian(window)
@@ -135,9 +188,42 @@ def group_alerts(alerts: Sequence[Alert], bin_width: int,
     previous alerting bin extend the current episode; larger gaps start a
     new one.  A gap tolerance of one bin absorbs single-bin flickers at the
     edge of the threshold.
+
+    Columnar: episode boundaries fall out of one array diff over the
+    alert times and the per-episode aggregates are ``reduceat`` calls.
+    Identical to :func:`group_alerts_scalar` (the reference);
+    ``REPRO_SCALAR_DETECT=1`` selects the scalar path.
     """
-    if bin_width <= 0:
-        raise SignalError(f"bin width must be positive: {bin_width}")
+    _check_grouping_args(bin_width, max_gap_bins)
+    if scalar_detect():
+        return group_alerts_scalar(alerts, bin_width,
+                                   max_gap_bins=max_gap_bins)
+    if not alerts:
+        return []
+    times = np.fromiter((a.time for a in alerts), dtype=np.int64,
+                        count=len(alerts))
+    values = np.fromiter((a.value for a in alerts), dtype=np.float64,
+                         count=len(alerts))
+    starts = np.concatenate([
+        [0],
+        np.flatnonzero(np.diff(times) > (max_gap_bins + 1) * bin_width) + 1])
+    ends = np.concatenate([starts[1:], [len(alerts)]])
+    min_values = np.minimum.reduceat(values, starts)
+    return [
+        AlertEpisode(
+            span=TimeRange(int(times[first]),
+                           int(times[last - 1]) + bin_width),
+            min_value=float(min_values[k]),
+            baseline=alerts[first].baseline,
+            n_bins=int(last - first),
+        )
+        for k, (first, last) in enumerate(zip(starts, ends))]
+
+
+def group_alerts_scalar(alerts: Sequence[Alert], bin_width: int,
+                        max_gap_bins: int = 1) -> List[AlertEpisode]:
+    """The per-alert reference implementation of :func:`group_alerts`."""
+    _check_grouping_args(bin_width, max_gap_bins)
     if not alerts:
         return []
     episodes: List[AlertEpisode] = []
@@ -150,6 +236,14 @@ def group_alerts(alerts: Sequence[Alert], bin_width: int,
             run = [alert]
     episodes.append(_episode_from_run(run, bin_width))
     return episodes
+
+
+def _check_grouping_args(bin_width: int, max_gap_bins: int) -> None:
+    if bin_width <= 0:
+        raise SignalError(f"bin width must be positive: {bin_width}")
+    if max_gap_bins < 0:
+        raise SignalError(
+            f"max gap must be >= 0 bins: {max_gap_bins}")
 
 
 def _episode_from_run(run: Sequence[Alert], bin_width: int) -> AlertEpisode:

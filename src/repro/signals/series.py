@@ -4,6 +4,16 @@ All IODA signals are regular time series: BGP and Telescope in 5-minute
 bins, Active Probing in 10-minute rounds.  :class:`TimeSeries` wraps a numpy
 array with the bin arithmetic, so signal producers append raw counts and the
 alert engine and plots consume aligned values.
+
+The blessed high-throughput accessors are the columnar pair
+:meth:`TimeSeries.arrays` / :meth:`TimeSeries.from_arrays`: whole
+``(bin_starts, values)`` arrays in, whole arrays out, which is how the
+detection and curation hot paths consume series.  The per-bin accessors
+(:meth:`~TimeSeries.__iter__`, :meth:`~TimeSeries.at`,
+:meth:`~TimeSeries.set_at`, :meth:`~TimeSeries.add_at`) remain as
+convenience paths for tests, examples, and incremental producers — they
+are O(1)-per-bin Python calls and must not appear in per-bin loops over
+fleet-scale signals.
 """
 
 from __future__ import annotations
@@ -55,6 +65,31 @@ class TimeSeries:
         series._values[:] = value
         return series
 
+    @classmethod
+    def from_arrays(cls, bin_starts: np.ndarray,
+                    values: Sequence[float] | np.ndarray) -> "TimeSeries":
+        """Build a series from a ``(bin_starts, values)`` column pair.
+
+        The columnar inverse of :meth:`arrays`: ``bin_starts`` must be
+        the contiguous, evenly spaced bin-start timestamps of the
+        series (at least two bins, so the width is derivable).
+        """
+        starts = np.asarray(bin_starts)
+        if starts.ndim != 1 or len(starts) < 2:
+            raise SignalError(
+                "from_arrays needs at least two bin starts to derive "
+                f"the bin width (got shape {starts.shape})")
+        width = int(starts[1]) - int(starts[0])
+        if width <= 0 or not np.array_equal(
+                starts, int(starts[0]) + width * np.arange(len(starts))):
+            raise SignalError(
+                "from_arrays needs contiguous, evenly spaced bin starts")
+        if len(starts) != len(values):
+            raise SignalError(
+                f"bin_starts and values disagree on length: "
+                f"{len(starts)} != {len(values)}")
+        return cls(int(starts[0]), width, values)
+
     # -- basic accessors -----------------------------------------------------
 
     @property
@@ -78,9 +113,25 @@ class TimeSeries:
         return self._values
 
     @property
+    def bin_starts(self) -> np.ndarray:
+        """Start timestamp of every bin, as an int64 array."""
+        return self._start + self._width * np.arange(
+            len(self._values), dtype=np.int64)
+
+    @property
     def span(self) -> TimeRange:
         """The covered time range."""
         return TimeRange(self.start, self.end)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The series as a ``(bin_starts, values)`` column pair.
+
+        This is the blessed bulk accessor: both columns come back as
+        whole numpy arrays (``values`` is the live array, not a copy —
+        the same view :attr:`values` exposes), so detection and
+        curation scan signals without any per-bin Python iteration.
+        """
+        return self.bin_starts, self._values
 
     def __len__(self) -> int:
         return len(self._values)
@@ -105,11 +156,13 @@ class TimeSeries:
         return self.start + index * self.width
 
     def at(self, ts: int) -> float:
-        """Value of the bin containing ``ts``."""
+        """Value of the bin containing ``ts`` (per-bin convenience;
+        bulk readers use :meth:`arrays`)."""
         return float(self._values[self.index_of(ts)])
 
     def set_at(self, ts: int, value: float) -> None:
-        """Set the value of the bin containing ``ts``."""
+        """Set the value of the bin containing ``ts`` (per-bin
+        convenience; bulk writers mutate :attr:`values` directly)."""
         self._values[self.index_of(ts)] = value
 
     def add_at(self, ts: int, delta: float) -> None:
@@ -117,7 +170,11 @@ class TimeSeries:
         self._values[self.index_of(ts)] += delta
 
     def __iter__(self) -> Iterator[Tuple[int, float]]:
-        """Yield ``(bin_start_timestamp, value)`` pairs."""
+        """Yield ``(bin_start_timestamp, value)`` pairs.
+
+        A per-bin convenience for tests and small consumers; hot paths
+        take the whole columns from :meth:`arrays` instead.
+        """
         for i, value in enumerate(self._values):
             yield self.start + i * self.width, float(value)
 

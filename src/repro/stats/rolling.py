@@ -2,9 +2,22 @@
 
 IODA's alert engine compares each new bin of a signal against the median of
 a trailing history window (24 hours for BGP, 7 days for active probing and
-the telescope).  :class:`RollingMedian` maintains that median incrementally
-using a sorted window, giving O(log w) updates; :func:`rolling_median` is
-the batch convenience over a whole series.
+the telescope).  Two implementations of the same quantity live here:
+
+- :class:`RollingMedian` maintains the median incrementally using a
+  sorted window (O(log w) per push) — the scalar reference, one value
+  at a time; :func:`rolling_median` is its batch convenience.
+- :func:`trailing_median` computes every trailing-window median of a
+  whole series at once with numpy bulk operations — the engine behind
+  the columnar alert detector.  It is *exact*: tests assert bitwise
+  equality with the scalar path on every series shape the detectors
+  see.
+- :func:`trailing_median_at` answers the same question at selected
+  positions only, for callers (the alert detector's prefilter) that
+  can prove most bins need no baseline at all.
+
+Both use the interpolating median (mean of the central pair for even
+counts), matching :func:`repro.stats.descriptive.median`.
 """
 
 from __future__ import annotations
@@ -13,9 +26,13 @@ import bisect
 from collections import deque
 from typing import Iterable, List, Optional
 
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
 from repro.errors import SignalError
 
-__all__ = ["RollingMedian", "rolling_median"]
+__all__ = ["RollingMedian", "rolling_median", "trailing_median",
+           "trailing_median_at"]
 
 
 class RollingMedian:
@@ -83,3 +100,256 @@ def rolling_median(values: Iterable[float],
         medians.append(tracker.median)
         tracker.push(value)
     return medians
+
+
+#: Bounds on the coarse value-bucket count of the two-level rank select
+#: below.  The coarse histogram matrix is ``buckets x (n+1)`` and its
+#: cumsums dominate when buckets are plentiful, while the fine pass
+#: grows as buckets shrink — so the count adapts to ``sqrt(2 *
+#: n_unique)`` between these bounds.
+_MIN_COARSE_BUCKETS = 16
+_MAX_COARSE_BUCKETS = 64
+
+#: Prefix lengths up to this are answered by sorting the padded prefix
+#: matrix directly — cheaper than rank selection, and it keeps the
+#: early-warm-up median wander (which would force many fine buckets)
+#: out of the bucketed path.
+_SMALL_PREFIX = 64
+
+
+def trailing_median(values: np.ndarray, window: int, *,
+                    first: int = 1) -> np.ndarray:
+    """Every trailing-window median of ``values``, vectorized and exact.
+
+    ``out[i]`` is the interpolating median of
+    ``values[max(0, i - window):i]`` — the same strictly trailing
+    convention as :func:`rolling_median` — for every ``i >= first``;
+    positions before ``first`` are NaN.  Callers that only consume
+    medians from some index on (the alert detector's minimum-history
+    guard) pass ``first`` to skip the early warm-up entirely.
+
+    The computation is an exact two-level counting rank-select, not an
+    approximation: values are mapped to ranks of their sorted unique
+    values, cumulative rank histograms answer "how many window elements
+    are <= rank r" for every bin at once, and the two central order
+    statistics are selected per bin (coarse bucket via a cumulative
+    bucket histogram, then the rank range containing the medians is
+    refined).  Short prefixes are handled by one
+    :func:`~numpy.lib.stride_tricks.sliding_window_view` sort, which
+    also bounds the memory of the widest (2016-bin telescope) windows:
+    no ``n x window`` matrix is ever materialized.  Output bits match
+    :class:`RollingMedian` exactly for every input.
+    """
+    if window <= 0:
+        raise SignalError(f"window must be positive: {window}")
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise SignalError("trailing_median expects a one-dimensional array")
+    n = v.shape[0]
+    out = np.full(n, np.nan)
+    first = max(1, first)
+    if n <= first:
+        return out
+    # One stable argsort yields everything the rank select needs: the
+    # sorted unique values, each element's value rank, and the element
+    # positions grouped by rank (``order`` itself).
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    new_flag = np.empty(n, dtype=bool)
+    new_flag[0] = True
+    np.not_equal(sv[1:], sv[:-1], out=new_flag[1:])
+    uniq = sv[new_flag]
+    n_uniq = uniq.shape[0]
+    if n_uniq == 1:
+        out[first:] = uniq[0]
+        return out
+    inv = np.empty(n, dtype=np.int64)
+    inv[order] = np.cumsum(new_flag) - 1
+    rank_starts = np.flatnonzero(new_flag)
+
+    i = np.arange(first, n)
+    lo = np.maximum(0, i - window)
+    cnt = i - lo
+    med = np.empty(len(i))
+
+    # Short prefixes (window not yet sliding): sort the +inf-padded
+    # prefix matrix and read the central pair off each sorted row.
+    small = min(_SMALL_PREFIX, window, n - 1)
+    n_small = int((i <= small).sum())
+    if n_small:
+        padded = np.concatenate([np.full(small, np.inf), v[:small]])
+        rows = np.sort(sliding_window_view(padded, small)[i[:n_small]])
+        c = cnt[:n_small]
+        sel = np.arange(n_small)
+        med[:n_small] = (rows[sel, (c - 1) // 2] + rows[sel, c // 2]) / 2.0
+
+    if n_small < len(i):
+        med[n_small:] = _rank_select_medians(
+            v, uniq, inv, order, rank_starts,
+            i[n_small:], lo[n_small:], cnt[n_small:])
+    out[first:] = med
+    return out
+
+
+#: Requested-position counts up to this go through the per-position
+#: partition loop in :func:`trailing_median_at`; denser requests fall
+#: through to the columnar :func:`trailing_median`, whose fixed cost is
+#: amortized once enough rows share it.
+_SPARSE_ROWS = 32
+
+
+def trailing_median_at(values: np.ndarray, window: int,
+                       idx: np.ndarray) -> np.ndarray:
+    """Exact trailing-window medians at selected positions only.
+
+    ``out[k]`` equals ``trailing_median(values, window)[idx[k]]`` for
+    every requested position — the same strictly trailing window and
+    interpolating median, bit for bit — but computed per position with
+    :func:`numpy.partition`.  The alert detector calls this after its
+    necessary-condition prefilter has reduced thousands of bins to the
+    handful that could possibly alert; a request dense enough that the
+    columnar path is cheaper falls through to :func:`trailing_median`.
+    """
+    if window <= 0:
+        raise SignalError(f"window must be positive: {window}")
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    if v.ndim != 1:
+        raise SignalError(
+            "trailing_median_at expects a one-dimensional array")
+    idx = np.asarray(idx, dtype=np.int64)
+    if idx.size == 0:
+        return np.empty(0)
+    if idx.min() < 0 or idx.max() >= v.shape[0]:
+        raise SignalError(
+            f"positions out of range for series of {v.shape[0]} bins")
+    if idx.size > _SPARSE_ROWS:
+        first = max(1, int(idx.min()))
+        return trailing_median(v, window, first=first)[idx]
+    out = np.empty(idx.size)
+    for k, j in enumerate(idx.tolist()):
+        if j == 0:
+            out[k] = np.nan
+            continue
+        w = v[max(0, j - window):j]
+        c = w.shape[0]
+        h = (c - 1) // 2
+        if c % 2:
+            out[k] = np.partition(w, h)[h]
+        else:
+            part = np.partition(w, (h, h + 1))
+            out[k] = (part[h] + part[h + 1]) / 2.0
+    return out
+
+
+#: Element budget for the unified fine pass: the rank range the two
+#: median statistics span, refined in one histogram.  Ranges whose
+#: histogram or rank-compare matrix would exceed this fall back to the
+#: per-bucket loop, whose compares stay one bucket wide.
+_FINE_BUDGET = 500_000
+
+
+def _rank_select_medians(v: np.ndarray, uniq: np.ndarray, inv: np.ndarray,
+                         order: np.ndarray, rank_starts: np.ndarray,
+                         i: np.ndarray, lo: np.ndarray,
+                         cnt: np.ndarray) -> np.ndarray:
+    """Central order statistics of every window ``v[lo_j:i_j]``.
+
+    ``order`` is the stable value-order permutation of ``v`` and
+    ``rank_starts[r]`` the offset in ``order`` where rank ``r``'s
+    elements begin — both by-products of the caller's argsort.
+    """
+    n = v.shape[0]
+    n_uniq = uniq.shape[0]
+    n_rows = len(i)
+    count_dtype = np.int16 if n < 32000 else np.int64
+    # Target *counts*: the k-th smallest is the first rank whose
+    # cumulative window count reaches k+1.
+    t1 = ((cnt - 1) // 2 + 1).astype(count_dtype)
+    t2 = (cnt // 2 + 1).astype(count_dtype)
+
+    n_buckets = min(_MAX_COARSE_BUCKETS,
+                    max(_MIN_COARSE_BUCKETS, int((2 * n_uniq) ** 0.5)))
+    bucket_size = -(-n_uniq // n_buckets)
+    coarse_of = inv // bucket_size
+    n_coarse = -(-n_uniq // bucket_size)
+    # cum[b, j] = #{l < j : coarse_of[l] <= b}; window counts differ
+    # two columns.
+    cum = np.zeros((n_coarse, n + 1), dtype=count_dtype)
+    cum[coarse_of, np.arange(n) + 1] = 1
+    np.cumsum(cum, axis=1, out=cum)
+    # Accumulate across buckets only at the query columns — the window
+    # rows are a strict subset of the time axis.
+    window_counts = cum[:, i] - cum[:, lo]
+    np.cumsum(window_counts, axis=0, out=window_counts)
+
+    def coarse_select(target):
+        bucket = (window_counts < target[None, :]).sum(axis=0)
+        below = np.where(
+            bucket > 0,
+            window_counts[np.maximum(bucket - 1, 0), np.arange(n_rows)],
+            np.zeros(1, count_dtype))
+        return bucket, target - below
+
+    b1, fine_t1 = coarse_select(t1)
+    b2, fine_t2 = coarse_select(t2)
+    if bucket_size == 1:
+        return (uniq[b1] + uniq[b2]) / 2.0
+
+    def members_in(rank_from, rank_to):
+        """Element positions whose value rank lies in [rank_from, rank_to),
+        straight off the argsort permutation."""
+        stop = rank_starts[rank_to] if rank_to < n_uniq else n
+        return order[rank_starts[rank_from]:stop]
+
+    # Median trajectories wander slowly, so the two statistics usually
+    # span a handful of adjacent coarse buckets: refine the whole rank
+    # range in ONE fine histogram instead of a per-bucket loop.
+    b_min = int(min(b1.min(), b2.min()))
+    b_max = int(max(b1.max(), b2.max()))
+    r0 = b_min * bucket_size
+    width = min(n_uniq, (b_max + 1) * bucket_size) - r0
+    t0 = int(lo.min())
+    t_hi = int(i.max())
+    if width * max(t_hi - t0 + 1, n_rows) <= _FINE_BUDGET:
+        members = members_in(r0, r0 + width)
+        inside = members[(members >= t0) & (members < t_hi)]
+        fine = np.zeros((width, t_hi - t0 + 1), dtype=count_dtype)
+        fine[inv[inside] - r0, inside - t0 + 1] = 1
+        np.cumsum(fine, axis=1, out=fine)
+        counts = fine[:, i - t0] - fine[:, lo - t0]
+        np.cumsum(counts, axis=0, out=counts)
+        # Absolute targets rebased to the range: counts below the range
+        # are the coarse cumulative of the bucket before it.
+        base = window_counts[b_min - 1] if b_min > 0 \
+            else np.zeros(n_rows, count_dtype)
+        r1 = r0 + (counts < (t1 - base)[None, :]).sum(axis=0)
+        r2 = r0 + (counts < (t2 - base)[None, :]).sum(axis=0)
+        return (uniq[r1] + uniq[r2]) / 2.0
+
+    r1 = np.empty(n_rows, dtype=np.int64)
+    r2 = np.empty(n_rows, dtype=np.int64)
+    for b in np.unique(np.concatenate([b1, b2])):
+        first_rank = int(b) * bucket_size
+        width = min(bucket_size, n_uniq - first_rank)
+        sel1 = np.flatnonzero(b1 == b)
+        sel2 = np.flatnonzero(b2 == b)
+        # Restrict the fine histogram to the time slab these rows'
+        # windows cover — median trajectories are temporally local, so
+        # the slabs stay narrow.
+        t0 = int(min(lo[sel1].min() if len(sel1) else n,
+                     lo[sel2].min() if len(sel2) else n))
+        t_hi = int(max(i[sel1].max() if len(sel1) else 0,
+                       i[sel2].max() if len(sel2) else 0))
+        members = members_in(first_rank, first_rank + width)
+        inside = members[(members >= t0) & (members < t_hi)]
+        fine = np.zeros((width, t_hi - t0 + 1), dtype=count_dtype)
+        fine[inv[inside] - first_rank, inside - t0 + 1] = 1
+        np.cumsum(fine, axis=1, out=fine)
+        for sel, target, ranks in ((sel1, fine_t1, r1), (sel2, fine_t2, r2)):
+            if len(sel) == 0:
+                continue
+            counts = fine[:, i[sel] - t0] - fine[:, lo[sel] - t0]
+            np.cumsum(counts, axis=0, out=counts)
+            ranks[sel] = first_rank + \
+                (counts < target[sel][None, :]).sum(axis=0)
+    return (uniq[r1] + uniq[r2]) / 2.0

@@ -110,21 +110,41 @@ class WorldScenario:
         return self.profiles.get((iso2.upper(), year))
 
     def all_disruptions(self) -> Iterator[GroundTruthDisruption]:
-        """Shutdowns and outages interleaved in time order."""
-        merged = sorted(
-            itertools.chain(self.shutdowns, self.outages),
-            key=lambda d: d.span.start)
-        return iter(merged)
+        """Shutdowns and outages interleaved in time order.
+
+        The merged sort is memoized — the disruption tuples never change
+        after generation, and the curation hot path asks thousands of
+        times per run.
+        """
+        return iter(self._merged_disruptions())
+
+    def _merged_disruptions(self) -> List[GroundTruthDisruption]:
+        cached = self.__dict__.get("_disruptions_sorted")
+        if cached is None:
+            cached = sorted(
+                itertools.chain(self.shutdowns, self.outages),
+                key=lambda d: d.span.start)
+            self._disruptions_sorted = cached
+        return cached
+
+    def country_disruptions(self, iso2: str
+                            ) -> List[GroundTruthDisruption]:
+        """One country's disruptions in time order (memoized index)."""
+        index = self.__dict__.get("_disruptions_by_country")
+        if index is None:
+            index = {}
+            for d in self._merged_disruptions():
+                index.setdefault(d.country_iso2, []).append(d)
+            self._disruptions_by_country = index
+        return index.get(iso2.upper(), [])
 
     def disruptions_in(self, period: TimeRange,
                        country_iso2: str | None = None
                        ) -> List[GroundTruthDisruption]:
         """Disruptions whose *start* falls inside ``period``."""
-        return [
-            d for d in self.all_disruptions()
-            if period.contains(d.span.start)
-            and (country_iso2 is None or d.country_iso2 == country_iso2)
-        ]
+        pool = (self._merged_disruptions() if country_iso2 is None
+                else self.country_disruptions(country_iso2))
+        return [d for d in pool if period.contains(d.span.start)]
 
     def country_level_disruptions(
             self, period: TimeRange) -> List[GroundTruthDisruption]:

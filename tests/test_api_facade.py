@@ -5,6 +5,7 @@ import pytest
 import repro
 import repro.api as api
 from repro.exec import ExecStats
+from repro.obs import HealthReport
 from repro.timeutils.timestamps import TimeRange, utc
 from repro.world.scenario import ScenarioConfig
 
@@ -19,44 +20,87 @@ def cache_dir(tmp_path_factory):
 
 @pytest.fixture(scope="module")
 def run_output(cache_dir):
-    return api.run_with_stats(
+    return api.run(
         scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
         workers=2, cache_dir=cache_dir)
 
 
 class TestRun:
-    def test_returns_pipeline_result(self, run_output):
-        result, stats = run_output
-        assert isinstance(result, api.PipelineResult)
-        assert result.curated_records
-        assert result.kio_events
-        assert result.merged.labeled
+    def test_returns_run_result(self, run_output):
+        assert isinstance(run_output, api.RunResult)
+        assert isinstance(run_output.events, api.PipelineResult)
+        assert run_output.curated_records
+        assert run_output.kio_events
+        assert run_output.merged.labeled
+        assert run_output.journal_path is None
+
+    def test_passthroughs_mirror_events(self, run_output):
+        assert run_output.curated_records \
+            is run_output.events.curated_records
+        assert run_output.kio_events is run_output.events.kio_events
+        assert run_output.merged is run_output.events.merged
+        assert run_output.scenario is run_output.events.scenario
 
     def test_stats_report_cold_run(self, run_output):
-        _, stats = run_output
+        stats = run_output.stats
         assert isinstance(stats, ExecStats)
         assert stats.workers == 2
         assert stats.cache_misses == stats.n_shards
         assert stats.n_records > 0
 
+    def test_health_scorecard_attached(self, run_output):
+        assert isinstance(run_output.health, HealthReport)
+        assert run_output.health.grade in ("pass", "warn", "fail")
+
     def test_warm_rerun_skips_curation(self, run_output, cache_dir):
-        cold_result, _ = run_output
-        result, stats = api.run_with_stats(
+        result = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
             workers=2, cache_dir=cache_dir)
-        assert stats.curate_skipped
-        assert stats.cache_hits == stats.n_shards
+        assert result.stats.curate_skipped
+        assert result.stats.cache_hits == result.stats.n_shards
         assert [r.record_id for r in result.curated_records] \
-            == [r.record_id for r in cold_result.curated_records]
+            == [r.record_id for r in run_output.curated_records]
+
+    def test_journal_shorthand(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        result = api.run(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+            journal=journal)
+        assert result.journal_path == journal
+        assert journal.exists()
+        assert api.read_journal(journal)
+
+    def test_journal_and_observability_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            api.run(journal=tmp_path / "run.jsonl",
+                    observability=api.Observability())
 
     def test_facade_is_importable_from_package_root(self):
         assert repro.api.run is api.run
 
 
+class TestDeprecatedShims:
+    def test_run_with_stats_warns_and_returns_pair(self, cache_dir):
+        with pytest.warns(DeprecationWarning, match="run_with_stats"):
+            result, stats = api.run_with_stats(
+                scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                workers=2, cache_dir=cache_dir)
+        assert isinstance(result, api.PipelineResult)
+        assert isinstance(stats, ExecStats)
+
+    def test_run_with_health_warns_and_returns_triple(self, cache_dir):
+        with pytest.warns(DeprecationWarning, match="run_with_health"):
+            result, stats, health = api.run_with_health(
+                scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
+                workers=2, cache_dir=cache_dir)
+        assert isinstance(result, api.PipelineResult)
+        assert isinstance(stats, ExecStats)
+        assert isinstance(health, HealthReport)
+
+
 class TestClient:
     def test_client_serves_cursor_paginated_feed(self, run_output):
-        result, _ = run_output
-        client = api.client(result)
+        client = api.client(run_output)
         seen = []
         cursor = None
         while True:
@@ -65,20 +109,23 @@ class TestClient:
             if page.cursor is None:
                 break
             cursor = page.cursor
-        assert len(seen) == len(result.curated_records)
+        assert len(seen) == len(run_output.curated_records)
+
+    def test_client_accepts_bare_pipeline_result(self, run_output):
+        client = api.client(run_output.events)
+        page = client.get_events(limit=5)
+        assert page.total == len(run_output.curated_records)
 
     def test_records_override(self, run_output):
-        result, _ = run_output
-        subset = result.curated_records[:3]
-        client = api.client(result, records=subset)
+        subset = run_output.curated_records[:3]
+        client = api.client(run_output, records=subset)
         page = client.get_events(limit=10)
         assert page.total == len(subset)
 
 
 class TestRecordIO:
     def test_dump_load_roundtrip(self, run_output, tmp_path):
-        result, _ = run_output
         path = tmp_path / "records.json"
-        api.dump_records(result.curated_records, path)
+        api.dump_records(run_output.curated_records, path)
         loaded = api.load_records(path)
-        assert loaded == list(result.curated_records)
+        assert loaded == list(run_output.curated_records)

@@ -252,9 +252,6 @@ class TestResilienceFlags:
 
     @pytest.fixture()
     def small_cli(self, monkeypatch):
-        import functools
-
-        from repro.core.pipeline import ReproPipeline
         from repro.timeutils.timestamps import TimeRange, utc
         from repro.world.scenario import ScenarioConfig
 
@@ -262,10 +259,8 @@ class TestResilienceFlags:
             "repro.cli.ScenarioConfig",
             lambda seed: ScenarioConfig(seed=seed, years=(2018,)))
         monkeypatch.setattr(
-            "repro.cli.ReproPipeline",
-            functools.partial(
-                ReproPipeline,
-                study_period=TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))))
+            "repro.cli.STUDY_PERIOD",
+            TimeRange(utc(2018, 1, 1), utc(2018, 7, 1)))
 
     def test_chaos_run_recovers_and_reports_clean(self, capsys, tmp_path,
                                                   small_cli):
@@ -309,9 +304,6 @@ class TestHealthAndPerf:
 
     @pytest.fixture()
     def small_cli(self, monkeypatch):
-        import functools
-
-        from repro.core.pipeline import ReproPipeline
         from repro.timeutils.timestamps import TimeRange, utc
         from repro.world.scenario import ScenarioConfig
 
@@ -319,10 +311,8 @@ class TestHealthAndPerf:
             "repro.cli.ScenarioConfig",
             lambda seed: ScenarioConfig(seed=seed, years=(2018,)))
         monkeypatch.setattr(
-            "repro.cli.ReproPipeline",
-            functools.partial(
-                ReproPipeline,
-                study_period=TimeRange(utc(2018, 1, 1), utc(2018, 7, 1))))
+            "repro.cli.STUDY_PERIOD",
+            TimeRange(utc(2018, 1, 1), utc(2018, 7, 1)))
 
     def test_run_health_renders_the_scorecard(self, capsys, tmp_path,
                                               small_cli):

@@ -41,10 +41,10 @@ def _record_bytes(records):
 
 def _traced_run(backend, *, journal=None, workers=2):
     obs = Observability(journal=journal)
-    result, stats = api.run_with_stats(
+    run = api.run(
         scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
         workers=workers, backend=backend, observability=obs)
-    return result, stats, obs
+    return run.events, run.stats, obs
 
 
 def _assert_shards_nest_under_curate(spans):
@@ -153,11 +153,11 @@ class TestProfiledRuns:
                 == _record_bytes(baseline.curated_records), backend
 
     def test_profiled_stats_payload_is_unchanged(self):
-        plain = api.run_with_stats(
-            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)[1]
-        profiled = api.run_with_stats(
+        plain = api.run(
+            scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD).stats
+        profiled = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
-            profile=True)[1]
+            profile=True).stats
         # Same keys, same deterministic values — profile readings must
         # not leak into the --stats --json contract.
         assert set(profiled.as_dict()) == set(plain.as_dict())
@@ -200,8 +200,9 @@ class TestProfiledRuns:
 
 class TestRunHealth:
     def test_every_run_is_graded(self):
-        _, stats, health = api.run_with_health(
+        run = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)
+        stats, health = run.stats, run.health
         assert health.grade in ("pass", "warn", "fail")
         assert health.stats["perf.total_seconds"] \
             == pytest.approx(stats.total_seconds)
@@ -212,17 +213,17 @@ class TestRunHealth:
         policy = HealthPolicy(checks=(
             HealthCheck(name="records.curated", target=1,
                         warn=1e9, fail=1e9),))
-        _, _, health = api.run_with_health(
+        health = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
-            health_policy=policy)
+            health_policy=policy).health
         assert health.grade == "pass"
         assert len(health.results) == 1
 
     def test_canonical_run_statistics_shape(self):
         from repro.obs import run_statistics
-        result, stats = api.run_with_stats(
+        run = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD)
-        statistics = run_statistics(result, stats)
+        statistics = run_statistics(run.events, run.stats)
         assert {"events.union_shutdowns", "events.spontaneous_outages",
                 "countries.shutdown", "match.kio_matched_fraction",
                 "records.curated", "resilience.quarantined",

@@ -232,9 +232,10 @@ class TestPlatformSignalCache:
 @pytest.fixture(scope="module")
 def cold_run():
     """Serial, signal cache disabled: the byte-identity baseline."""
-    return api.run_with_stats(
+    run = api.run(
         scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
         workers=1, backend="serial", signal_cache_size=0)
+    return run.events, run.stats
 
 
 @pytest.fixture(scope="module")
@@ -247,9 +248,10 @@ def cold_bytes(cold_run):
 
 class TestExecutorSignalCache:
     def test_serial_cached_run_is_byte_identical(self, cold_bytes):
-        result, stats = api.run_with_stats(
+        run = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
             workers=1, backend="serial")
+        result, stats = run.events, run.stats
         assert _record_bytes(result.curated_records) == cold_bytes
         assert stats.signal_cache_hits > 0
         report = stats.as_dict()["signal_cache"]
@@ -257,9 +259,10 @@ class TestExecutorSignalCache:
         assert report["misses"] == stats.signal_cache_misses
 
     def test_thread_cached_run_is_byte_identical(self, cold_bytes):
-        result, stats = api.run_with_stats(
+        run = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
             workers=4, backend="thread")
+        result, stats = run.events, run.stats
         assert _record_bytes(result.curated_records) == cold_bytes
         assert stats.signal_cache_hits > 0
 
@@ -267,9 +270,10 @@ class TestExecutorSignalCache:
             self, cold_bytes):
         """Process workers share one world each and still hit the cache."""
         obs = Observability()
-        result, stats = api.run_with_stats(
+        run = api.run(
             scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
             workers=2, backend="process", observability=obs)
+        result, stats = run.events, run.stats
         assert _record_bytes(result.curated_records) == cold_bytes
         assert stats.signal_cache_hits > 0
         builds = {key: value
