@@ -27,6 +27,8 @@ parameter never breaks a caller.
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,6 +39,7 @@ from repro.core.matching import MatchingConfig
 from repro.core.pipeline import PipelineResult, ReproPipeline
 from repro.datasets import DatasetSource, default_sources
 from repro.exec import ExecStats, ExecutorConfig
+from repro.exec.cachestore import fingerprint
 from repro.io import dump_records, load_records
 from repro.ioda.api import IODAClient
 from repro.ioda.curation import CurationConfig
@@ -44,10 +47,10 @@ from repro.ioda.platform import IODAPlatform, PlatformConfig
 from repro.ioda.records import OutageRecord
 from repro.kio.compiler import KIOCompilerConfig
 from repro.obs import HealthCheck, HealthPolicy, HealthReport, \
-    Observability, PerfBaseline, ProfileConfig, RunJournal, \
-    compare_baselines, default_policy, evaluate_run, list_baselines, \
-    load_baseline, read_journal, run_statistics, save_baseline, \
-    summarize_events, write_chrome_trace
+    Observability, PerfBaseline, ProfileConfig, RunJournal, RunRecord, \
+    RunRegistry, TelemetryConfig, compare_baselines, default_policy, \
+    evaluate_run, list_baselines, load_baseline, read_journal, \
+    run_statistics, save_baseline, summarize_events, write_chrome_trace
 from repro.resilience import BreakerPolicy, FaultPlan, ResilienceConfig, \
     RetryPolicy
 from repro.timeutils.timestamps import TimeRange
@@ -69,7 +72,10 @@ __all__ = [
     "ResilienceConfig",
     "RetryPolicy",
     "RunJournal",
+    "RunRecord",
+    "RunRegistry",
     "RunResult",
+    "TelemetryConfig",
     "client",
     "compare_baselines",
     "default_policy",
@@ -123,7 +129,9 @@ def _pipeline(*, seed: int, workers: int, backend: str,
               observability: Optional[Observability],
               resilience: Optional[ResilienceConfig],
               profile: Optional[ProfileConfig | bool],
-              health_policy: Optional[HealthPolicy]) -> ReproPipeline:
+              health_policy: Optional[HealthPolicy],
+              telemetry: Optional[TelemetryConfig | str | float]
+              ) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=scenario_config or ScenarioConfig(seed=seed),
         platform_config=platform_config,
@@ -138,7 +146,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         observability=observability,
         resilience=resilience,
         profile=profile,
-        health_policy=health_policy)
+        health_policy=health_policy,
+        telemetry=telemetry)
 
 
 @dataclass(frozen=True)
@@ -157,7 +166,14 @@ class RunResult:
     events: PipelineResult
     stats: ExecStats
     health: HealthReport
+    #: The run's JSONL journal.  With ``runs_dir=`` configured the
+    #: journal is filed into the run registry, so this points *inside*
+    #: the registry slot and the run also gets a ``run_id``.
     journal_path: Optional[Path] = None
+    #: Content-addressed registry ID (``runs_dir=`` only).
+    run_id: Optional[str] = None
+    #: The run's registry directory (``runs_dir=`` only).
+    run_dir: Optional[Path] = None
 
     # -- convenience passthroughs into the event datasets ------------------
 
@@ -200,7 +216,10 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         breaker_policy: Optional[BreakerPolicy] = None,
         fail_fast: bool = False,
         profile: Optional[ProfileConfig | bool] = None,
-        health_policy: Optional[HealthPolicy] = None) -> RunResult:
+        health_policy: Optional[HealthPolicy] = None,
+        telemetry: Optional[TelemetryConfig | str | float] = None,
+        runs_dir: Optional[Path | str] = None,
+        run_name: Optional[str] = None) -> RunResult:
     """Run the full reproduction pipeline; return a :class:`RunResult`.
 
     The single entry point: one execution produces the event datasets,
@@ -256,12 +275,39 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     renders the scorecard; the same report is streamed into the run
     journal as a ``health`` event, replayable with
     ``repro health RUN.jsonl``.
+
+    ``telemetry`` turns on live heartbeats: pass an interval (``"1s"``,
+    ``0.5``) or a :class:`TelemetryConfig` and a background sampler
+    appends periodic ``heartbeat`` events to the run journal — shard
+    progress with ETA, open span paths, counter deltas, histogram
+    tails, process RSS/CPU — while the run executes (process workers
+    sample locally and their heartbeats are adopted into the parent's
+    journal).  Heartbeats are journal-only: event output stays
+    byte-identical with telemetry on or off.
+
+    ``runs_dir`` enables the cross-run registry: the journal (an
+    auto-created one, unless ``journal=`` names a path) is filed under
+    a content-addressed run ID together with the run's health stats and
+    config fingerprint, and the result carries ``run_id``/``run_dir``.
+    Registered runs power ``repro runs list/show/diff`` and resolve by
+    ID anywhere a journal path is accepted (``repro trace summarize``,
+    ``repro health``, ``repro trace diff``).  ``run_name`` labels the
+    registry entry (default: the ID's first 8 hex chars).
     """
+    if journal is not None and observability is not None:
+        raise ValueError(
+            "pass either journal= or observability= (the journal "
+            "shorthand builds its own Observability session)")
+    pending: Optional[Path] = None
+    if runs_dir is not None and journal is None \
+            and observability is None:
+        # The registry needs a journal; write one under the runs dir
+        # and file it (by content hash) once the run completes.
+        root = Path(runs_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        pending = root / f"pending-{os.getpid()}-{time.time_ns()}.jsonl"
+        journal = pending
     if journal is not None:
-        if observability is not None:
-            raise ValueError(
-                "pass either journal= or observability= (the journal "
-                "shorthand builds its own Observability session)")
         observability = Observability(
             journal=journal if isinstance(journal, RunJournal)
             else RunJournal(str(journal)))
@@ -274,14 +320,35 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         study_period=study_period, observability=observability,
         resilience=_resilience(resilience, faults, retry_policy,
                                breaker_policy, fail_fast),
-        profile=profile, health_policy=health_policy)
+        profile=profile, health_policy=health_policy,
+        telemetry=telemetry)
     events = pipeline.run()
     assert pipeline.stats is not None and pipeline.health is not None
     journal_path = None
     if observability is not None and observability.journal is not None:
         journal_path = observability.journal.path
+    run_id: Optional[str] = None
+    run_dir: Optional[Path] = None
+    if runs_dir is not None and journal_path is not None:
+        active_config = scenario_config or ScenarioConfig(seed=seed)
+        # Journals written directly under the runs dir (ours or a
+        # caller's) are moved into their registry slot; journals
+        # elsewhere are copied and left in place.
+        move = (pending is not None
+                or Path(journal_path).resolve().parent
+                == Path(runs_dir).resolve())
+        record = RunRegistry(Path(runs_dir)).register(
+            journal_path, name=run_name,
+            config={"seed": active_config.seed, "workers": workers,
+                    "backend": backend},
+            fingerprint=fingerprint(active_config, workers, backend,
+                                    shards),
+            move=move)
+        run_id, run_dir = record.run_id, record.path
+        journal_path = record.journal_path
     return RunResult(events=events, stats=pipeline.stats,
-                     health=pipeline.health, journal_path=journal_path)
+                     health=pipeline.health, journal_path=journal_path,
+                     run_id=run_id, run_dir=run_dir)
 
 
 def _deprecated_shim(old_name: str, replacement: str) -> None:

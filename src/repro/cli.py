@@ -21,10 +21,18 @@
   over a UTC time window.
 - ``triage``   — run the §7 triage heuristic over the most recent curated
   events.
-- ``trace``    — ``trace summarize RUN.jsonl`` replays a run journal and
-  prints the slowest spans and hottest counters.
+- ``trace``    — ``trace summarize RUN`` replays a run journal (a path
+  or a registered run ID) and prints the slowest spans and hottest
+  counters; ``trace diff A B`` attributes the wall-time delta between
+  two runs to specific span paths (top-N regressed/improved).
 - ``health``   — replay the fidelity scorecard journaled by a run
-  (``repro health RUN.jsonl``); exits non-zero on a ``fail`` grade.
+  (``repro health RUN``); exits non-zero on a ``fail`` grade.
+- ``runs``     — the cross-run registry (``--runs-dir``): ``runs list``
+  renders the trend table across registered runs, ``runs show RUN``
+  one run's record, ``runs diff A B`` a tolerance-banded comparison,
+  and ``runs register RUN.jsonl`` files an existing journal.
+- ``metrics``  — ``metrics export RUN`` emits the run's final metrics
+  snapshot as OpenMetrics/Prometheus text exposition.
 - ``perf``     — perf-baseline trajectory: ``perf record NAME`` stores a
   perf+fidelity baseline under ``benchmarks/baselines/``, ``perf
   compare BASELINE`` re-runs and diffs with tolerance bands (non-zero
@@ -33,12 +41,16 @@
 ``run`` also accepts ``--profile`` (per-span CPU/RSS readings into the
 span attributes and journal) and ``--profile-alloc DEPTH`` (add
 tracemalloc allocation deltas captured at the given stack depth), plus
-``--health`` to print the run's fidelity scorecard.
+``--health`` to print the run's fidelity scorecard, ``--heartbeat
+INTERVAL`` to stream live ``heartbeat`` events into the journal while
+the run executes, and ``--runs-dir`` (global) to file the journal into
+the run registry under a content-addressed run ID.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -59,9 +71,11 @@ from repro.exec import BACKENDS
 from repro.resilience import ResilienceConfig, RetryPolicy
 from repro.io import dump_kio_events, dump_records, dump_records_csv
 from repro.obs import BASELINE_DIR, HealthReport, Observability, \
-    PerfBaseline, ProfileConfig, compare_baselines, list_baselines, \
-    load_baseline, read_journal, run_statistics, save_baseline, \
-    summarize_events, trajectory_rows, write_chrome_trace
+    PerfBaseline, ProfileConfig, RunRegistry, compare_baselines, \
+    diff_events, list_baselines, load_baseline, parse_interval, \
+    read_journal, run_statistics, save_baseline, \
+    snapshot_to_openmetrics, summarize_events, trajectory_rows, \
+    write_chrome_trace
 from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -98,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "LRU (default: platform default; 0 "
                              "disables memoization for A/B runs — "
                              "results are byte-identical either way)")
+    parser.add_argument("--runs-dir", type=Path, default=None,
+                        dest="runs_dir", metavar="DIR",
+                        help="run-registry directory: 'repro run' files "
+                             "its journal there under a "
+                             "content-addressed run ID, and the "
+                             "trace/health/runs/metrics commands "
+                             "resolve run IDs against it (read "
+                             "commands default to runs/)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run",
@@ -150,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the run's fidelity scorecard (with "
                           "--stats --json, embed it under a 'health' "
                           "key)")
+    run.add_argument("--heartbeat", metavar="INTERVAL", default=None,
+                     help="stream live 'heartbeat' events (shard "
+                          "progress + ETA, open spans, counter deltas, "
+                          "histogram tails, RSS/CPU) into the run "
+                          "journal every INTERVAL (e.g. 1s, 500ms); "
+                          "heartbeats are journal-only, so pair with "
+                          "--journal or --runs-dir")
+    run.add_argument("--run-name", dest="run_name", default=None,
+                     metavar="NAME",
+                     help="label for the registry entry (with "
+                          "--runs-dir; default: the run ID prefix)")
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -181,19 +214,78 @@ def build_parser() -> argparse.ArgumentParser:
     summarize = trace_commands.add_parser(
         "summarize", help="replay a JSONL run journal: slowest spans, "
                           "hottest counters")
-    summarize.add_argument("journal", type=Path,
-                           help="path to a RUN.jsonl journal")
+    summarize.add_argument("journal",
+                           help="path to a RUN.jsonl journal, or a "
+                                "registered run ID (see --runs-dir)")
     summarize.add_argument("--top", type=int, default=10,
                            help="rows per section (default 10)")
+    trace_diff = trace_commands.add_parser(
+        "diff", help="attribute the wall-time delta between two runs "
+                     "to specific span paths")
+    trace_diff.add_argument("run_a",
+                            help="baseline run: journal path or "
+                                 "registered run ID")
+    trace_diff.add_argument("run_b",
+                            help="compared run: journal path or "
+                                 "registered run ID")
+    trace_diff.add_argument("--top", type=int, default=5,
+                            help="paths per direction (default 5)")
+    trace_diff.add_argument("--epsilon", type=float, default=0.001,
+                            help="seconds below which a path counts as "
+                                 "unchanged (default 0.001)")
 
     health = commands.add_parser(
         "health", help="replay the fidelity scorecard a run journaled")
-    health.add_argument("journal", type=Path,
-                        help="path to a RUN.jsonl journal")
+    health.add_argument("journal",
+                        help="path to a RUN.jsonl journal, or a "
+                             "registered run ID (see --runs-dir)")
     health.add_argument("--json", action="store_true",
                         help="emit the scorecard as JSON")
     health.add_argument("--strict", action="store_true",
                         help="exit non-zero on warn as well as fail")
+
+    runs = commands.add_parser(
+        "runs", help="the cross-run registry (see --runs-dir)")
+    runs_commands = runs.add_subparsers(dest="runs_command",
+                                        required=True)
+    runs_commands.add_parser(
+        "list", help="render the trend table across registered runs")
+    runs_show = runs_commands.add_parser(
+        "show", help="print one registered run's record")
+    runs_show.add_argument("run", help="run ID (or unique prefix/name)")
+    runs_diff = runs_commands.add_parser(
+        "diff", help="tolerance-banded comparison of two registered "
+                     "runs; exits non-zero on regression")
+    runs_diff.add_argument("run_a", help="baseline run ID")
+    runs_diff.add_argument("run_b", help="compared run ID")
+    runs_diff.add_argument("--tolerance", type=float, default=1.0,
+                           help="scale on every perf tolerance band "
+                                "(default 1.0)")
+    runs_diff.add_argument("--min-seconds", type=float, default=1.0,
+                           dest="min_seconds",
+                           help="absolute slack in seconds added to "
+                                "every perf band (default 1.0)")
+    runs_register = runs_commands.add_parser(
+        "register", help="file an existing journal into the registry")
+    runs_register.add_argument("journal", type=Path,
+                               help="path to a RUN.jsonl journal")
+    runs_register.add_argument("--name", default=None,
+                               help="label for the registry entry")
+
+    metrics = commands.add_parser(
+        "metrics", help="metrics export surfaces")
+    metrics_commands = metrics.add_subparsers(dest="metrics_command",
+                                              required=True)
+    metrics_export = metrics_commands.add_parser(
+        "export", help="emit a run's final metrics snapshot as "
+                       "OpenMetrics text exposition")
+    metrics_export.add_argument("journal",
+                                help="path to a RUN.jsonl journal, or "
+                                     "a registered run ID")
+    metrics_export.add_argument("--output", "-o", type=Path,
+                                default=None,
+                                help="write to a file instead of "
+                                     "stdout")
 
     perf = commands.add_parser(
         "perf", help="record / compare / report perf+fidelity baselines")
@@ -294,30 +386,103 @@ def _run(args: argparse.Namespace,
         cache_dir=_usable_cache_dir(args.cache_dir),
         observability=observability,
         resilience=_resilience(args),
-        profile=_profile_config(args))
+        profile=_profile_config(args),
+        telemetry=getattr(args, "heartbeat", None),
+        runs_dir=getattr(args, "runs_dir", None),
+        run_name=getattr(args, "run_name", None))
+
+
+def _registry(args: argparse.Namespace) -> RunRegistry:
+    """The registry the read commands resolve run IDs against."""
+    return RunRegistry(getattr(args, "runs_dir", None) or Path("runs"))
+
+
+def _resolve_journal(token: str,
+                     args: argparse.Namespace) -> Optional[Path]:
+    """A journal path from a path-or-run-ID token (None = unresolvable).
+
+    Paths win; anything that is not an existing file is resolved
+    against the run registry.  Errors print to stderr so callers can
+    exit 2 without a traceback.
+    """
+    path = Path(token)
+    if path.exists():
+        return path
+    try:
+        record = _registry(args).get(token)
+    except KeyError as exc:
+        print(f"repro: error: no such journal or run: {token} "
+              f"({exc.args[0]})", file=sys.stderr)
+        return None
+    journal = record.journal_path
+    if journal is None or not journal.exists():
+        print(f"repro: error: run {record.run_id} has no journal file",
+              file=sys.stderr)
+        return None
+    return journal
+
+
+def _read_events(token: str, args: argparse.Namespace):
+    """Replayed journal events for a token, or None (error printed)."""
+    journal = _resolve_journal(token, args)
+    if journal is None:
+        return None
+    try:
+        events = read_journal(journal)
+    except OSError as exc:
+        print(f"repro: error: cannot read journal {journal}: {exc}",
+              file=sys.stderr)
+        return None
+    if not events:
+        print(f"repro: error: empty or unreadable journal: {journal}",
+              file=sys.stderr)
+        return None
+    return events
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
+    if args.heartbeat is not None:
+        try:
+            parse_interval(args.heartbeat)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        if args.journal is None and args.runs_dir is None:
+            print("repro: warning: --heartbeat without --journal or "
+                  "--runs-dir; heartbeats are journal-only and will "
+                  "be discarded", file=sys.stderr)
     profile = _profile_config(args)
-    obs = (Observability(journal=args.journal)
-           if (args.trace or args.journal or args.metrics_json
-               or profile is not None) else None)
+    journal = args.journal
+    needs_obs = bool(args.trace or journal or args.metrics_json
+                     or profile is not None)
+    if needs_obs and journal is None and args.runs_dir is not None:
+        # The exports need an in-process session, which bypasses the
+        # facade's auto-journal; write the journal under the runs dir
+        # so api.run still files the run into the registry (it moves
+        # runs-dir journals rather than copying them).
+        args.runs_dir.mkdir(parents=True, exist_ok=True)
+        journal = (args.runs_dir
+                   / f"pending-{os.getpid()}-{time.time_ns()}.jsonl")
+    obs = Observability(journal=journal) if needs_obs else None
     result = _run(args, observability=obs)
     exported = []
     if obs is not None:
         if args.trace:
             exported.append(write_chrome_trace(obs.tracer.spans(),
                                                args.trace))
-        if args.journal:
-            exported.append(args.journal)
+        if journal is not None:
+            exported.append(result.journal_path or journal)
         if args.metrics_json:
             args.metrics_json.parent.mkdir(parents=True, exist_ok=True)
             args.metrics_json.write_text(
                 json.dumps(obs.metrics_snapshot(), indent=2),
                 encoding="utf-8")
             exported.append(args.metrics_json)
+    if result.run_id is not None:
+        print(f"registered run {result.run_id} under {args.runs_dir}",
+              file=sys.stderr)
     if args.stats and args.json:
         payload = result.stats.as_dict()
         if args.health:
@@ -424,27 +589,91 @@ def _cmd_triage(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summarize":
+        events = _read_events(args.journal, args)
+        if events is None:
+            return 2
+        print("\n".join(summarize_events(events).rows(top=args.top)))
+        return 0
+    if args.trace_command == "diff":
+        events_a = _read_events(args.run_a, args)
+        if events_a is None:
+            return 2
+        events_b = _read_events(args.run_b, args)
+        if events_b is None:
+            return 2
+        diff = diff_events(events_a, events_b,
+                           label_a=args.run_a, label_b=args.run_b,
+                           epsilon=args.epsilon)
+        print("\n".join(diff.rows(top=args.top)))
+        return 0
+    return 2
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    registry = _registry(args)
+    if args.runs_command == "list":
+        print("\n".join(registry.rows()))
+        return 0
+    if args.runs_command == "register":
         if not args.journal.exists():
             print(f"repro: error: no such journal: {args.journal}",
                   file=sys.stderr)
             return 2
-        events = read_journal(args.journal)
-        if not events:
-            print(f"repro: error: empty or unreadable journal: "
-                  f"{args.journal}", file=sys.stderr)
+        record = registry.register(args.journal, name=args.name)
+        print(f"registered run {record.run_id} ({record.name}) "
+              f"under {registry.root}")
+        return 0
+    if args.runs_command == "show":
+        try:
+            record = registry.get(args.run)
+        except KeyError as exc:
+            print(f"repro: error: {exc.args[0]}", file=sys.stderr)
             return 2
-        print("\n".join(summarize_events(events).rows(top=args.top)))
+        print("\n".join(record.rows()))
+        return 0
+    if args.runs_command == "diff":
+        try:
+            record_a = registry.get(args.run_a)
+            record_b = registry.get(args.run_b)
+        except KeyError as exc:
+            print(f"repro: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        comparison = compare_baselines(
+            record_b.as_baseline(), record_a.as_baseline(),
+            tolerance=args.tolerance, min_seconds=args.min_seconds)
+        print("\n".join(comparison.rows()))
+        return 0 if comparison.ok else 1
+    return 2
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.metrics_command != "export":
+        return 2
+    events = _read_events(args.journal, args)
+    if events is None:
+        return 2
+    snapshots = [e for e in events if e.get("type") == "metrics"]
+    if not snapshots:
+        print(f"repro: error: no metrics snapshot in journal for "
+              f"{args.journal}", file=sys.stderr)
+        return 2
+    # Snapshots are cumulative; the final one is the run's registry.
+    text = snapshot_to_openmetrics(snapshots[-1])
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
 def _cmd_health(args: argparse.Namespace) -> int:
     import json
 
-    if not args.journal.exists():
-        print(f"repro: error: no such journal: {args.journal}",
-              file=sys.stderr)
+    events = _read_events(args.journal, args)
+    if events is None:
         return 2
-    events = read_journal(args.journal)
     records = [e for e in events if e.get("type") == "health"]
     if not records:
         print(f"repro: error: no health record in {args.journal} "
@@ -525,6 +754,8 @@ _COMMANDS = {
     "triage": _cmd_triage,
     "trace": _cmd_trace,
     "health": _cmd_health,
+    "runs": _cmd_runs,
+    "metrics": _cmd_metrics,
     "perf": _cmd_perf,
 }
 

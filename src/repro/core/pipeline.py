@@ -28,6 +28,7 @@ from repro.exec.workers import ExecutorConfig, ShardedCurationExecutor
 from repro.obs.health import HealthPolicy, HealthReport, evaluate_run
 from repro.obs.profile import ProfileConfig
 from repro.obs.runtime import Observability, activate
+from repro.obs.telemetry import TelemetryConfig
 from repro.core.merge import MergedDataset, build_merged_dataset
 from repro.datasets import (
     CoupDataset,
@@ -97,7 +98,8 @@ class ReproPipeline:
                  observability: Observability | None = None,
                  resilience: ResilienceConfig | None = None,
                  profile: ProfileConfig | bool | None = None,
-                 health_policy: HealthPolicy | None = None):
+                 health_policy: HealthPolicy | None = None,
+                 telemetry: TelemetryConfig | str | float | None = None):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -116,6 +118,7 @@ class ReproPipeline:
         self._observability = observability
         self._profile = (ProfileConfig() if profile is True
                          else profile or None)
+        self._telemetry = TelemetryConfig.coerce(telemetry)
         self._health_policy = health_policy
         self._last_obs: Optional[Observability] = None
         self._stats: Optional[ExecStats] = None
@@ -198,24 +201,34 @@ class ReproPipeline:
         if self._profile is not None and obs.enabled \
                 and obs.profile is None:
             obs.enable_profiling(self._profile)
+        if self._telemetry is not None and obs.enabled \
+                and obs.telemetry is None:
+            obs.enable_telemetry(self._telemetry)
         plan = (self._resilience.fault_plan
                 if self._resilience is not None else None)
         with activate(obs), inject(plan):
-            with obs.span("run", seed=self._scenario_config.seed):
-                with obs.span("stage:scenario"):
-                    scenario = self.build_scenario()
-                with obs.span("stage:curate"):
-                    records = self.curate(scenario)
-                with obs.span("stage:kio"):
-                    kio_events = self.compile_kio(scenario)
-                with obs.span("stage:merge"):
-                    merged = build_merged_dataset(
-                        scenario.registry, kio_events, records,
-                        self._study_period,
-                        matching=self._matching_config)
-                with obs.span("stage:datasets"):
-                    result = self._assemble(
-                        scenario, records, kio_events, merged)
+            # The heartbeat sampler covers the whole run; its final
+            # beat (emitted by stop) lands before the closing metrics
+            # snapshot and the journal footer.
+            obs.start_telemetry()
+            try:
+                with obs.span("run", seed=self._scenario_config.seed):
+                    with obs.span("stage:scenario"):
+                        scenario = self.build_scenario()
+                    with obs.span("stage:curate"):
+                        records = self.curate(scenario)
+                    with obs.span("stage:kio"):
+                        kio_events = self.compile_kio(scenario)
+                    with obs.span("stage:merge"):
+                        merged = build_merged_dataset(
+                            scenario.registry, kio_events, records,
+                            self._study_period,
+                            matching=self._matching_config)
+                    with obs.span("stage:datasets"):
+                        result = self._assemble(
+                            scenario, records, kio_events, merged)
+            finally:
+                obs.stop_telemetry()
         self._stats = ExecStats.from_obs(obs)
         self._health = evaluate_run(result, self._stats,
                                     self._health_policy)

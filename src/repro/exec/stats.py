@@ -25,13 +25,34 @@ from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.runtime import Observability
 
-__all__ = ["ExecStats", "StageTiming"]
+from repro.obs.telemetry import SHARDS_COMPLETED_COUNTER, \
+    SHARDS_TOTAL_GAUGE
+
+__all__ = ["ExecStats", "StageTiming", "publish_shard_done",
+           "publish_shard_plan"]
 
 #: Span-name prefix identifying pipeline stages in the span tree.
 STAGE_PREFIX = "stage:"
 
 #: Span name the executor gives each executed shard.
 SHARD_SPAN = "exec.shard"
+
+
+def publish_shard_plan(metrics: Any, total: int) -> None:
+    """Publish the run's shard total to the progress series.
+
+    The heartbeat sampler (:mod:`repro.obs.telemetry`) reads the
+    ``exec.shards.*`` series to report completed/total and an ETA while
+    the run is still going; cache-served shards count as completed via
+    :func:`publish_shard_done` like any other.
+    """
+    metrics.gauge(SHARDS_TOTAL_GAUGE).set(float(total))
+
+
+def publish_shard_done(metrics: Any, n: int = 1) -> None:
+    """Count ``n`` shards as completed on the progress series."""
+    if n:
+        metrics.counter(SHARDS_COMPLETED_COUNTER).inc(n)
 
 
 @dataclass

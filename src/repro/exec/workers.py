@@ -58,9 +58,11 @@ from repro.errors import CircuitOpenError, ConfigurationError, \
     RetriesExhaustedError, SchemaError
 from repro.exec.cachestore import CacheStore, fingerprint
 from repro.exec.shards import DEFAULT_N_SHARDS, Shard, ShardPlan
-from repro.exec.stats import SHARD_SPAN, ExecStats
+from repro.exec.stats import SHARD_SPAN, ExecStats, publish_shard_done, \
+    publish_shard_plan
 from repro.obs.profile import ProfileConfig
 from repro.obs.runtime import Observability, activate, current
+from repro.obs.telemetry import TelemetryConfig
 from repro.ioda.curation import CurationConfig, CurationPipeline, \
     finalize_records
 from repro.ioda.platform import IODAPlatform, PlatformConfig
@@ -188,10 +190,10 @@ def _curate_shard(scenario: WorldScenario,
 
 #: What one scheduled shard sends back: records, quarantined countries,
 #: wall seconds, and — from process workers — the locally collected
-#: spans and metrics that the parent grafts into the run's
-#: observability session.
+#: spans, metrics, and heartbeat events that the parent grafts into the
+#: run's observability session.
 _ShardOutcome = Tuple[_ShardRecords, _Quarantined, float, list,
-                      Optional[dict]]
+                      Optional[dict], list]
 
 #: The worker-resident world: one (scenario, platform) pair per process,
 #: keyed by the fingerprint of everything that shaped it.  A pool worker
@@ -257,7 +259,8 @@ def _curate_shard_subprocess(
         resilience: Optional[ResilienceConfig] = None,
         profile: Optional[ProfileConfig] = None,
         windows: Optional[Mapping[str, Sequence[TimeRange]]] = None,
-        signal_cache_size: Optional[int] = None) -> _ShardOutcome:
+        signal_cache_size: Optional[int] = None,
+        telemetry: Optional[TelemetryConfig] = None) -> _ShardOutcome:
     """Process-pool entry point: curate over the worker-resident world.
 
     Module-level so it pickles by reference.  The scenario and platform
@@ -287,17 +290,26 @@ def _curate_shard_subprocess(
                 scenario, platform_config, curation_config, period,
                 countries, windows=windows, platform=platform,
                 resilience=resilience)
-        return result, quarantined, time.perf_counter() - started, [], None
-    local = Observability(profile=profile)
+        return (result, quarantined, time.perf_counter() - started,
+                [], None, [])
+    # Workers cannot write the parent's journal, so their sampler (the
+    # parent's picklable telemetry config travels like the profile
+    # config) buffers heartbeats locally; they ride home in the outcome
+    # and the parent journals them via ``adopt_heartbeats``.
+    local = Observability(profile=profile, telemetry=telemetry)
     with activate(local), inject(plan):
-        with local.span(SHARD_SPAN, shard=shard_index,
-                        countries=len(countries), backend="process"):
-            scenario, platform = _resident_world(
-                scenario_config, platform_config, signal_cache_size)
-            result, quarantined = _curate_shard(
-                scenario, platform_config, curation_config, period,
-                countries, windows=windows, platform=platform,
-                resilience=resilience)
+        local.start_telemetry()
+        try:
+            with local.span(SHARD_SPAN, shard=shard_index,
+                            countries=len(countries), backend="process"):
+                scenario, platform = _resident_world(
+                    scenario_config, platform_config, signal_cache_size)
+                result, quarantined = _curate_shard(
+                    scenario, platform_config, curation_config, period,
+                    countries, windows=windows, platform=platform,
+                    resilience=resilience)
+        finally:
+            local.stop_telemetry()
         # Gauges merge last-write-wins per series, so each worker
         # process reports its cumulative build count under its own pid
         # — the parent-side sum counts world builds per process (the
@@ -305,7 +317,8 @@ def _curate_shard_subprocess(
         local.metrics.gauge("exec.worker.world_builds",
                             pid=os.getpid()).set(float(_WORLD_BUILDS))
     return (result, quarantined, time.perf_counter() - started,
-            local.tracer.spans(), local.metrics.snapshot())
+            local.tracer.spans(), local.metrics.snapshot(),
+            local.heartbeats)
 
 
 class ShardedCurationExecutor:
@@ -358,6 +371,7 @@ class ShardedCurationExecutor:
             weights=weights)
         stats.n_shards = len(plan)
         obs.annotate(n_shards=len(plan))
+        publish_shard_plan(obs.metrics, len(plan))
 
         # Chaos runs never touch the shard cache: a planted payload could
         # mask the very failures being exercised, and a degraded shard
@@ -378,6 +392,7 @@ class ShardedCurationExecutor:
         stats.cache_misses = len(cold)
         obs.metrics.counter("exec.cache.hits").inc(stats.cache_hits)
         obs.metrics.counter("exec.cache.misses").inc(len(cold))
+        publish_shard_done(obs.metrics, stats.cache_hits)
 
         quarantined: List[str] = []
         if cold:
@@ -444,6 +459,7 @@ class ShardedCurationExecutor:
                         platform=platform, resilience=self._resilience)
                 stats.record_shard(
                     shard.index, time.perf_counter() - started)
+                publish_shard_done(obs.metrics)
             return results
 
         if backend == "thread":
@@ -459,7 +475,7 @@ class ShardedCurationExecutor:
                         shard.countries, windows=shard_windows(shard),
                         platform=platform, resilience=self._resilience)
                 return (result, quarantined,
-                        time.perf_counter() - started, [], None)
+                        time.perf_counter() - started, [], None, [])
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(timed, shard): shard
@@ -479,6 +495,7 @@ class ShardedCurationExecutor:
                     getattr(obs, "profile", None),
                     windows=shard_windows(shard),
                     signal_cache_size=self._config.signal_cache_size,
+                    telemetry=getattr(obs, "telemetry", None),
                 ): shard
                 for shard in cold}
             return self._collect(futures, stats, obs, parent_id)
@@ -493,13 +510,16 @@ class ShardedCurationExecutor:
             for future in done:
                 shard = futures[future]
                 (shard_records, quarantined, seconds, spans,
-                 metrics) = future.result()
+                 metrics, heartbeats) = future.result()
                 results[shard] = (shard_records, quarantined)
                 stats.record_shard(shard.index, seconds)
+                publish_shard_done(obs.metrics)
                 if spans:
                     obs.tracer.adopt(spans, parent_id)
                 if metrics:
                     obs.metrics.merge(metrics)
+                if heartbeats:
+                    obs.adopt_heartbeats(heartbeats)
         return results
 
     # -- cache ------------------------------------------------------------------

@@ -47,12 +47,17 @@ from repro.obs.health import CheckResult, HealthCheck, HealthPolicy, \
 from repro.obs.journal import JOURNAL_VERSION, RunJournal, iter_journal, \
     read_journal
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
-    NullMetrics, series_key
+    NullMetrics, series_key, snapshot_to_openmetrics
 from repro.obs.profile import ProfileConfig, SpanProfiler
+from repro.obs.registry import RunRecord, RunRegistry, run_id_for
 from repro.obs.runtime import NULL_OBS, Observability, activate, current
 from repro.obs.summary import JournalSummary, aggregate_spans, \
     summarize_events
+from repro.obs.telemetry import HeartbeatSampler, TelemetryConfig, \
+    parse_interval
 from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
+from repro.obs.tracediff import PathDelta, TraceDiff, diff_events, \
+    span_path_seconds
 
 __all__ = [
     "BASELINE_DIR",
@@ -63,6 +68,7 @@ __all__ = [
     "HealthCheck",
     "HealthPolicy",
     "HealthReport",
+    "HeartbeatSampler",
     "Histogram",
     "JOURNAL_VERSION",
     "JournalSummary",
@@ -71,12 +77,17 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "Observability",
+    "PathDelta",
     "PerfBaseline",
     "ProfileConfig",
     "RunJournal",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanProfiler",
     "SpanRecord",
+    "TelemetryConfig",
+    "TraceDiff",
     "Tracer",
     "activate",
     "aggregate_spans",
@@ -84,14 +95,19 @@ __all__ = [
     "compare_baselines",
     "current",
     "default_policy",
+    "diff_events",
     "evaluate_run",
     "iter_journal",
     "list_baselines",
     "load_baseline",
+    "parse_interval",
     "read_journal",
+    "run_id_for",
     "run_statistics",
     "save_baseline",
     "series_key",
+    "snapshot_to_openmetrics",
+    "span_path_seconds",
     "summarize_events",
     "trajectory_rows",
     "write_chrome_trace",

@@ -73,18 +73,22 @@ class PerfBaseline:
     @classmethod
     def capture(cls, *, name: str, config: Mapping[str, Any],
                 statistics: Mapping[str, float],
-                health_grade: str = "pass") -> "PerfBaseline":
+                health_grade: str = "pass",
+                created: Optional[str] = None) -> "PerfBaseline":
         """Split a run-statistics mapping into a storable baseline.
 
         ``statistics`` is the :func:`repro.obs.health.run_statistics`
         mapping: ``perf.*`` and ``cache.*`` keys become the perf half,
-        everything else the fidelity half.
+        everything else the fidelity half.  ``created`` overrides the
+        timestamp (the run registry passes the run's own start time so
+        re-registering an old journal does not rewrite history).
         """
         fidelity = {k: float(v) for k, v in statistics.items()
                     if not k.startswith(("perf.", "cache."))}
         perf = {k: float(v) for k, v in statistics.items()
                 if k.startswith(("perf.", "cache."))}
-        created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        if created is None:
+            created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
         return cls(name=name, created=created, config=dict(config),
                    fidelity=fidelity, perf=perf,
                    health_grade=health_grade)

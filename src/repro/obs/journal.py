@@ -2,11 +2,14 @@
 
 A :class:`RunJournal` streams one JSON object per line as the run
 happens: a ``run_start`` header, a ``span`` event every time a span
-closes (including spans adopted from process workers), periodic or
-final ``metrics`` snapshots, and a ``run_end`` footer.  Because events
-are appended as they occur, a crashed run still leaves a readable
-journal up to the moment it died — the property that makes journals
-useful for debugging in the first place.
+closes (including spans adopted from process workers), periodic
+``heartbeat`` events when live telemetry is enabled (see
+:mod:`repro.obs.telemetry`), periodic or final ``metrics`` snapshots,
+and a ``run_end`` footer.  Because events are appended as they occur, a
+crashed run still leaves a readable journal up to the moment it died —
+the property that makes journals useful for debugging in the first
+place, and what lets ``tail -f`` (or the heartbeat tests) read a
+journal that is still being written.
 
 :func:`read_journal` replays a journal file back into event dicts;
 ``repro trace summarize RUN.jsonl`` is built on it (see
@@ -19,7 +22,7 @@ import json
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Collection, Dict, Iterator, List, Optional, Union
 
 __all__ = ["JOURNAL_VERSION", "RunJournal", "iter_journal", "read_journal"]
 
@@ -71,8 +74,14 @@ class RunJournal:
         self.close()
 
 
-def iter_journal(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+def iter_journal(path: Union[str, Path], *,
+                 types: Optional[Collection[str]] = None
+                 ) -> Iterator[Dict[str, Any]]:
     """Yield a journal's events in order, skipping malformed lines.
+
+    ``types`` keeps only events whose ``type`` is in the given set —
+    e.g. ``types={"heartbeat"}`` replays just the live-telemetry
+    samples without materializing the (much larger) span stream.
 
     Tolerating a torn final line means a journal from a crashed or
     still-running pipeline remains replayable.  A crash can tear the
@@ -92,9 +101,13 @@ def iter_journal(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
             except ValueError:
                 continue
             if isinstance(event, dict):
+                if types is not None and event.get("type") not in types:
+                    continue
                 yield event
 
 
-def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+def read_journal(path: Union[str, Path], *,
+                 types: Optional[Collection[str]] = None
+                 ) -> List[Dict[str, Any]]:
     """Replay a journal file into a list of event dicts."""
-    return list(iter_journal(path))
+    return list(iter_journal(path, types=types))

@@ -19,10 +19,12 @@ instrumentation costs nothing when no observability session is active.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
 
 __all__ = ["ATTEMPT_BUCKETS", "Counter", "Gauge", "Histogram",
-           "MetricsRegistry", "NullMetrics", "series_key"]
+           "MetricsRegistry", "NullMetrics", "series_key",
+           "snapshot_to_openmetrics"]
 
 #: Default histogram buckets: sub-millisecond to minutes (seconds scale).
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -100,33 +102,52 @@ class Histogram:
             self.minimum = min(self.minimum, value)
             self.maximum = max(self.maximum, value)
 
-    def percentile(self, q: float) -> Optional[float]:
-        """The ``q``-th percentile (0-100), interpolated within buckets.
+    def percentiles(self, qs: Sequence[float]
+                    ) -> Dict[float, Optional[float]]:
+        """Several percentiles (0-100 each) from one bucket walk.
 
-        The overflow bucket has no upper bound, so percentiles landing
-        there report the observed maximum.  Interpolated values are
-        clamped to the observed ``[min, max]`` range so a sparse bucket
-        can never report a percentile outside the data.  An empty
-        histogram has no percentiles and returns ``None``.
+        The single shared interpolation: :meth:`summary` and the
+        heartbeat sampler (:mod:`repro.obs.telemetry`) both call this
+        instead of walking the buckets once per quantile.  The overflow
+        bucket has no upper bound, so percentiles landing there report
+        the observed maximum.  Interpolated values are clamped to the
+        observed ``[min, max]`` range so a sparse bucket can never
+        report a percentile outside the data.  An empty histogram has
+        no percentiles: every requested quantile maps to ``None``.
         """
         if self.count == 0:
-            return None
-        rank = (q / 100.0) * self.count
+            return {q: None for q in qs}
+        out: Dict[float, Optional[float]] = {}
+        # One pass: ranks are visited in ascending order, and the
+        # bucket cursor only ever moves forward.
         seen = 0
-        for i, n in enumerate(self.counts):
-            if n == 0:
-                continue
-            if seen + n >= rank:
-                if i >= len(self.buckets):
-                    return self.maximum
-                lower = (self.buckets[i - 1] if i > 0
-                         else min(self.minimum, self.buckets[i]))
-                upper = self.buckets[i]
-                fraction = (rank - seen) / n
-                value = lower + (upper - lower) * fraction
-                return min(max(value, self.minimum), self.maximum)
-            seen += n
-        return self.maximum
+        index = 0
+        for q in sorted(qs):
+            rank = (q / 100.0) * self.count
+            value: Optional[float] = self.maximum
+            while index < len(self.counts):
+                n = self.counts[index]
+                if n and seen + n >= rank:
+                    if index >= len(self.buckets):
+                        value = self.maximum
+                    else:
+                        lower = (self.buckets[index - 1] if index > 0
+                                 else min(self.minimum,
+                                          self.buckets[index]))
+                        upper = self.buckets[index]
+                        fraction = (rank - seen) / n
+                        interpolated = lower + (upper - lower) * fraction
+                        value = min(max(interpolated, self.minimum),
+                                    self.maximum)
+                    break
+                seen += n
+                index += 1
+            out[q] = value
+        return out
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0-100); see :meth:`percentiles`."""
+        return self.percentiles((q,))[q]
 
     def summary(self) -> Dict[str, Any]:
         """JSON form: shape stats, key percentiles, and raw buckets.
@@ -140,14 +161,15 @@ class Histogram:
                     "p50": None, "p90": None, "p99": None,
                     "buckets": list(self.buckets),
                     "bucket_counts": list(self.counts)}
+        quantiles = self.percentiles((50, 90, 99))
         return {
             "count": self.count,
             "sum": round(self.total, 6),
             "min": round(self.minimum, 6),
             "max": round(self.maximum, 6),
-            "p50": round(self.percentile(50), 6),
-            "p90": round(self.percentile(90), 6),
-            "p99": round(self.percentile(99), 6),
+            "p50": round(quantiles[50], 6),
+            "p90": round(quantiles[90], 6),
+            "p99": round(quantiles[99], 6),
             "buckets": list(self.buckets),
             "bucket_counts": list(self.counts),
         }
@@ -225,6 +247,25 @@ class MetricsRegistry:
                                for k, h in sorted(self._histograms.items())},
             }
 
+    def histograms(self) -> Dict[str, Histogram]:
+        """The live histogram series (key → metric), sorted by key.
+
+        Readers like the heartbeat sampler use this to compute just the
+        percentiles they need (:meth:`Histogram.percentiles`) instead of
+        paying for a full :meth:`snapshot` per tick.
+        """
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
+
+    def to_openmetrics(self) -> str:
+        """The registry in Prometheus/OpenMetrics text exposition.
+
+        See :func:`snapshot_to_openmetrics`; this is the live-registry
+        form (``repro metrics export`` also accepts a journal's last
+        ``metrics`` snapshot).
+        """
+        return snapshot_to_openmetrics(self.snapshot())
+
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         """Fold a worker's snapshot in: counters add, gauges last-write,
         histograms merge bucket counts."""
@@ -275,5 +316,117 @@ class NullMetrics:
     def snapshot(self) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
+    def histograms(self) -> Dict[str, Histogram]:
+        return {}
+
+    def to_openmetrics(self) -> str:
+        return snapshot_to_openmetrics(self.snapshot())
+
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         return None
+
+
+# -- OpenMetrics text exposition ---------------------------------------------------
+
+
+def _split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`series_key`: ``name{k=v,...}`` → (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for clause in inner.rstrip("}").split(","):
+        if not clause:
+            continue
+        label, _, value = clause.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name for a dotted series name."""
+    cleaned = "".join(c if c.isalnum() or c in "_:" else "_"
+                      for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\") \
+            .replace('"', '\\"').replace("\n", "\\n")
+        escaped.append(f'{key}="{value}"')
+    return "{" + ",".join(escaped) + "}"
+
+
+def _value_str(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return format(number, ".10g")
+
+
+def snapshot_to_openmetrics(snapshot: Mapping[str, Any]) -> str:
+    """A metrics snapshot as OpenMetrics text exposition.
+
+    Accepts the :meth:`MetricsRegistry.snapshot` shape (which is also
+    the journal's ``metrics`` event, minus its ``type`` key) and
+    renders the Prometheus text format the future serving layer will
+    expose on a scrape endpoint: dotted series names become
+    ``repro_``-prefixed underscore names, labels survive as-is,
+    counters gain the ``_total`` suffix, and histograms emit cumulative
+    ``_bucket{le=...}`` samples plus ``_sum``/``_count``.  Output is
+    deterministic (sorted by metric name, then label set) and ends
+    with the ``# EOF`` terminator.
+    """
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(metric: str, kind: str) -> List[str]:
+        entry = families.get(metric)
+        if entry is None:
+            entry = families[metric] = (kind, [])
+        return entry[1]
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_series_key(key)
+        metric = _metric_name(name)
+        family(metric, "counter").append(
+            f"{metric}_total{_label_str(labels)} {_value_str(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_series_key(key)
+        metric = _metric_name(name)
+        family(metric, "gauge").append(
+            f"{metric}{_label_str(labels)} {_value_str(value)}")
+    for key, summary in snapshot.get("histograms", {}).items():
+        name, labels = _split_series_key(key)
+        metric = _metric_name(name)
+        samples = family(metric, "histogram")
+        cumulative = 0
+        bounds = list(summary.get("buckets", ()))
+        counts = list(summary.get("bucket_counts",
+                                  [0] * (len(bounds) + 1)))
+        for upper, n in zip(bounds + ["+Inf"], counts):
+            cumulative += int(n)
+            le = ("+Inf" if upper == "+Inf"
+                  else format(float(upper), ".10g"))
+            samples.append(
+                f"{metric}_bucket{_label_str({**labels, 'le': le})} "
+                f"{cumulative}")
+        samples.append(
+            f"{metric}_sum{_label_str(labels)} "
+            f"{_value_str(summary.get('sum', 0.0))}")
+        samples.append(
+            f"{metric}_count{_label_str(labels)} "
+            f"{_value_str(summary.get('count', 0))}")
+
+    lines: List[str] = []
+    for metric in sorted(families):
+        kind, samples = families[metric]
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.extend(samples)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

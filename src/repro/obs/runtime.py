@@ -25,18 +25,21 @@ from typing import Any, Dict, Iterator, Optional, Union
 from repro.obs.journal import RunJournal
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.profile import ProfileConfig, SpanProfiler
+from repro.obs.telemetry import HeartbeatSampler, TelemetryConfig
 from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
 
 __all__ = ["NULL_OBS", "Observability", "activate", "current"]
 
 
 class Observability:
-    """One run's tracer + metrics + (optional) journal + profiler."""
+    """One run's tracer + metrics + (optional) journal/profiler/sampler."""
 
     enabled = True
 
     def __init__(self, *, journal: Optional[Union[RunJournal, str]] = None,
-                 profile: Optional[Union[ProfileConfig, bool]] = None):
+                 profile: Optional[Union[ProfileConfig, bool]] = None,
+                 telemetry: Optional[Union[TelemetryConfig, float,
+                                           str]] = None):
         if journal is not None and not isinstance(journal, RunJournal):
             journal = RunJournal(journal)
         self.journal = journal
@@ -46,6 +49,13 @@ class Observability:
         if profile:
             self.enable_profiling(
                 profile if isinstance(profile, ProfileConfig) else None)
+        self.telemetry: Optional[TelemetryConfig] = None
+        self._sampler: Optional[HeartbeatSampler] = None
+        #: Heartbeats collected when no journal is attached — how
+        #: process workers buffer samples for the parent to adopt.
+        self.heartbeats: list = []
+        if telemetry is not None:
+            self.enable_telemetry(TelemetryConfig.coerce(telemetry))
         self._finished = False
 
     def enable_profiling(self, config: Optional[ProfileConfig] = None
@@ -60,6 +70,56 @@ class Observability:
             self.tracer.profiler.uninstall()
         self.tracer.profiler = SpanProfiler(self.profile).install()
         return self
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def enable_telemetry(self, config: Optional[TelemetryConfig] = None
+                         ) -> "Observability":
+        """Arm the heartbeat sampler (started by :meth:`start_telemetry`).
+
+        Also turns on the tracer's open-span registry so heartbeats can
+        report what the run is doing.  Idempotent; a later call
+        replaces the config of a sampler that has not started yet.
+        """
+        self.telemetry = config if config is not None else TelemetryConfig()
+        self.tracer.track_open = True
+        return self
+
+    def start_telemetry(self) -> Optional[HeartbeatSampler]:
+        """Start the armed sampler (no-op without a telemetry config).
+
+        Heartbeats stream into the run journal when one is attached;
+        otherwise they buffer in :attr:`heartbeats` (the process-worker
+        path, adopted by the parent via :meth:`adopt_heartbeats`).
+        """
+        if self.telemetry is None:
+            return None
+        if self._sampler is None:
+            sink = (self.journal.write if self.journal is not None
+                    else self.heartbeats.append)
+            self._sampler = HeartbeatSampler(
+                self.telemetry, tracer=self.tracer, metrics=self.metrics,
+                sink=sink)
+        return self._sampler.start()
+
+    def stop_telemetry(self) -> None:
+        """Stop the sampler, emitting its final heartbeat (idempotent)."""
+        if self._sampler is not None:
+            self._sampler.stop()
+
+    def adopt_heartbeats(self, events) -> None:
+        """Graft heartbeats sampled by a worker session into this one.
+
+        The telemetry twin of :meth:`repro.obs.trace.Tracer.adopt`:
+        events go to the journal when one is attached, otherwise onto
+        this session's own buffer.  Heartbeats are journal-only either
+        way — they never enter pipeline event output.
+        """
+        for event in events:
+            if self.journal is not None:
+                self.journal.write(event)
+            else:
+                self.heartbeats.append(event)
 
     # -- recording ---------------------------------------------------------------
 
@@ -126,12 +186,26 @@ class _NullObservability:
         self.metrics = NullMetrics()
         self.journal = None
         self.profile = None
+        self.telemetry = None
+        self.heartbeats: list = []
 
     def span(self, name: str, *, parent: Optional[int] = None,
              **attrs: Any):
         return self.tracer.span(name)
 
     def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def enable_telemetry(self, config: Any = None) -> "_NullObservability":
+        return self
+
+    def start_telemetry(self) -> None:
+        return None
+
+    def stop_telemetry(self) -> None:
+        return None
+
+    def adopt_heartbeats(self, events: Any) -> None:
         return None
 
     def metrics_snapshot(self) -> Dict[str, Any]:

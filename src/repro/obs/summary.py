@@ -40,12 +40,17 @@ class JournalSummary:
     counters: Mapping[str, int] = field(default_factory=dict)
     histograms: Mapping[str, Mapping[str, Any]] = field(
         default_factory=dict)
+    #: Live-telemetry samples found in the journal (0 when the run had
+    #: no heartbeat sampler; see :mod:`repro.obs.telemetry`).
+    n_heartbeats: int = 0
 
     def rows(self, top: int = 10) -> List[str]:
         """Human-readable report lines."""
+        heartbeat = (f", {self.n_heartbeats} heartbeats"
+                     if self.n_heartbeats else "")
         lines = [
             f"journal         {self.n_events} events, {self.n_spans} "
-            f"spans, run {self.run_seconds:.2f}s",
+            f"spans{heartbeat}, run {self.run_seconds:.2f}s",
         ]
         if self.slowest:
             lines.append("slowest spans")
@@ -125,4 +130,6 @@ def summarize_events(events: Sequence[Mapping[str, Any]]) -> JournalSummary:
         aggregates=tuple(aggregate_spans(spans)),
         counters=counters,
         histograms=histograms,
+        n_heartbeats=sum(
+            1 for e in events if e.get("type") == "heartbeat"),
     )

@@ -82,7 +82,8 @@ class Span:
     """An open span; closes (and is recorded) when the ``with`` exits."""
 
     __slots__ = ("_tracer", "span_id", "parent_id", "name", "attrs",
-                 "_start_perf", "_start_wall", "_profile", "duration")
+                 "_start_perf", "_start_wall", "_profile", "_path",
+                 "duration")
 
     def __init__(self, tracer: "Tracer", span_id: int,
                  parent_id: Optional[int], name: str,
@@ -95,6 +96,7 @@ class Span:
         self._start_perf = 0.0
         self._start_wall = 0.0
         self._profile = None
+        self._path: Optional[str] = None
         self.duration = 0.0
 
     def set_attrs(self, **attrs: Any) -> "Span":
@@ -153,9 +155,16 @@ class Tracer:
         #: Optional :class:`repro.obs.profile.SpanProfiler`; when set,
         #: every span samples resource counters on enter/exit.
         self.profiler = None
+        #: When True, the tracer maintains a registry of currently-open
+        #: span paths (``run/stage:curate/exec.shard``) so the
+        #: heartbeat sampler (:mod:`repro.obs.telemetry`) can report
+        #: what the run is doing *right now*.  Off by default: the span
+        #: hot path pays only this boolean check.
+        self.track_open = False
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._records: List[SpanRecord] = []
+        self._open: Dict[int, str] = {}
         self._stack = threading.local()
         # Anchor the monotonic clock to the wall once, so starts are
         # comparable across threads and processes without ever jumping.
@@ -193,12 +202,36 @@ class Tracer:
         if stack is None:
             stack = []
             self._stack.spans = stack
+        if self.track_open:
+            parent_path = stack[-1]._path if stack else None
+            with self._lock:
+                if parent_path is None and span.parent_id is not None:
+                    # Pool-thread spans start on an empty stack with an
+                    # explicit parent id; resolve lineage through the
+                    # open registry so their path keeps the full chain.
+                    parent_path = self._open.get(span.parent_id)
+                span._path = (f"{parent_path}/{span.name}"
+                              if parent_path else span.name)
+                self._open[span.span_id] = span._path
         stack.append(span)
+
+    def open_paths(self) -> List[str]:
+        """Paths of every currently-open span, sorted (all threads).
+
+        Empty unless :attr:`track_open` is enabled — the heartbeat
+        sampler turns it on for its in-run "what is the run doing"
+        report.
+        """
+        with self._lock:
+            return sorted(self._open.values())
 
     def _pop(self, span: Span) -> None:
         stack = getattr(self._stack, "spans", None)
         if stack and stack[-1] is span:
             stack.pop()
+        if self.track_open:
+            with self._lock:
+                self._open.pop(span.span_id, None)
         record = SpanRecord(
             span_id=span.span_id, parent_id=span.parent_id,
             name=span.name, start=span._start_wall,
@@ -258,6 +291,7 @@ class NullTracer:
     """
 
     enabled = False
+    track_open = False
 
     def span(self, name: str, *, parent: Optional[int] = None,
              **attrs: Any) -> _NullSpan:
@@ -265,6 +299,9 @@ class NullTracer:
 
     def current_id(self) -> Optional[int]:
         return None
+
+    def open_paths(self) -> List[str]:
+        return []
 
     def current_span(self) -> None:
         return None
