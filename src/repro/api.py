@@ -13,13 +13,17 @@ this surface is not.
     client = api.client(result)
     page = client.get_events(country_iso2="SY", limit=25)
 
-There is one entry point: :func:`run` executes the pipeline and returns
-a :class:`RunResult` carrying everything a run produces — the event
-datasets (``result.events``), the execution report (``result.stats``),
-the fidelity scorecard (``result.health``), and the journal path when
-one was written.  The historical ``run_with_stats`` /
-``run_with_health`` names remain as deprecated shims over the same
-single execution.
+There are two entry points over the same engine.  :func:`run` executes
+the pipeline in one shot and returns a :class:`RunResult` carrying
+everything a run produces — the event datasets (``result.events``), the
+execution report (``result.stats``), the fidelity scorecard
+(``result.health``), and the journal path when one was written.
+:func:`stream` opens the same run incrementally: it returns a
+:class:`~repro.stream.session.StreamSession` whose bins are pushed (or
+replayed) under an advancing watermark, emitting live
+``open``/``update``/``close`` event lifecycles, and whose
+``finalize()`` yields a :class:`RunResult` byte-identical to
+:func:`run`'s.
 
 Everything here is re-exported with keyword-only knobs, so adding a
 parameter never breaks a caller.
@@ -29,10 +33,9 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.analysis.observability import execution_report, health_report
 from repro.core.matching import MatchingConfig
@@ -53,6 +56,8 @@ from repro.obs import HealthCheck, HealthPolicy, HealthReport, \
     run_statistics, save_baseline, summarize_events, write_chrome_trace
 from repro.resilience import BreakerPolicy, FaultPlan, ResilienceConfig, \
     RetryPolicy
+from repro.stream.models import SignalBin, StreamEvent
+from repro.stream.session import StreamSession
 from repro.timeutils.timestamps import TimeRange
 from repro.world.scenario import STUDY_PERIOD, ScenarioConfig
 
@@ -75,6 +80,9 @@ __all__ = [
     "RunRecord",
     "RunRegistry",
     "RunResult",
+    "SignalBin",
+    "StreamEvent",
+    "StreamSession",
     "TelemetryConfig",
     "client",
     "compare_baselines",
@@ -90,9 +98,8 @@ __all__ = [
     "read_journal",
     "run",
     "run_statistics",
-    "run_with_health",
-    "run_with_stats",
     "save_baseline",
+    "stream",
     "summarize_events",
     "write_chrome_trace",
 ]
@@ -148,6 +155,69 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         profile=profile,
         health_policy=health_policy,
         telemetry=telemetry)
+
+
+def _journal_setup(journal: Optional[RunJournal | str | Path],
+                   observability: Optional[Observability],
+                   runs_dir: Optional[Path | str]
+                   ) -> tuple[Optional[Observability], Optional[Path]]:
+    """Resolve the ``journal``/``observability``/``runs_dir`` knobs.
+
+    Returns the observability session to run under (None when neither
+    knob was passed and no registry is in play) and the pending
+    registry journal path, when one was auto-created.
+    """
+    if journal is not None and observability is not None:
+        raise ValueError(
+            "pass either journal= or observability= (the journal "
+            "shorthand builds its own Observability session)")
+    pending: Optional[Path] = None
+    if runs_dir is not None and journal is None and observability is None:
+        # The registry needs a journal; write one under the runs dir
+        # and file it (by content hash) once the run completes.
+        root = Path(runs_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        pending = root / f"pending-{os.getpid()}-{time.time_ns()}.jsonl"
+        journal = pending
+    if journal is not None:
+        observability = Observability(
+            journal=journal if isinstance(journal, RunJournal)
+            else RunJournal(str(journal)))
+    return observability, pending
+
+
+def _file_run(observability: Optional[Observability], *,
+              runs_dir: Optional[Path | str], pending: Optional[Path],
+              run_name: Optional[str], active_config: ScenarioConfig,
+              workers: int, backend: str, shards: Optional[int]
+              ) -> tuple[Optional[Path], Optional[str], Optional[Path]]:
+    """The registry tail shared by :func:`run` and a stream finalize.
+
+    Returns ``(journal_path, run_id, run_dir)`` — the latter two only
+    when ``runs_dir`` filed the journal into the registry.
+    """
+    journal_path = None
+    if observability is not None and observability.journal is not None:
+        journal_path = observability.journal.path
+    run_id: Optional[str] = None
+    run_dir: Optional[Path] = None
+    if runs_dir is not None and journal_path is not None:
+        # Journals written directly under the runs dir (ours or a
+        # caller's) are moved into their registry slot; journals
+        # elsewhere are copied and left in place.
+        move = (pending is not None
+                or Path(journal_path).resolve().parent
+                == Path(runs_dir).resolve())
+        record = RunRegistry(Path(runs_dir)).register(
+            journal_path, name=run_name,
+            config={"seed": active_config.seed, "workers": workers,
+                    "backend": backend},
+            fingerprint=fingerprint(active_config, workers, backend,
+                                    shards),
+            move=move)
+        run_id, run_dir = record.run_id, record.path
+        journal_path = record.journal_path
+    return journal_path, run_id, run_dir
 
 
 @dataclass(frozen=True)
@@ -226,9 +296,10 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     the execution report, and the health scorecard together —
     ``result.events``, ``result.stats``, ``result.health`` (plus
     ``result.journal_path``).  There is nothing a second call could
-    add, so there are no variant entry points; the old
-    ``run_with_stats`` / ``run_with_health`` tuples are deprecated
-    shims over this function.
+    add, so there are no variant entry points (the historical
+    ``run_with_stats``/``run_with_health`` tuple shims are gone; index
+    the :class:`RunResult` instead).  For incremental execution of the
+    same pipeline, see :func:`stream`.
 
     ``workers``/``backend`` schedule the observation+curation stage
     through the sharded executor (results are byte-identical at any
@@ -294,23 +365,8 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     ``repro health``, ``repro trace diff``).  ``run_name`` labels the
     registry entry (default: the ID's first 8 hex chars).
     """
-    if journal is not None and observability is not None:
-        raise ValueError(
-            "pass either journal= or observability= (the journal "
-            "shorthand builds its own Observability session)")
-    pending: Optional[Path] = None
-    if runs_dir is not None and journal is None \
-            and observability is None:
-        # The registry needs a journal; write one under the runs dir
-        # and file it (by content hash) once the run completes.
-        root = Path(runs_dir)
-        root.mkdir(parents=True, exist_ok=True)
-        pending = root / f"pending-{os.getpid()}-{time.time_ns()}.jsonl"
-        journal = pending
-    if journal is not None:
-        observability = Observability(
-            journal=journal if isinstance(journal, RunJournal)
-            else RunJournal(str(journal)))
+    observability, pending = _journal_setup(journal, observability,
+                                            runs_dir)
     pipeline = _pipeline(
         seed=seed, workers=workers, backend=backend, shards=shards,
         signal_cache_size=signal_cache_size,
@@ -324,55 +380,106 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         telemetry=telemetry)
     events = pipeline.run()
     assert pipeline.stats is not None and pipeline.health is not None
-    journal_path = None
-    if observability is not None and observability.journal is not None:
-        journal_path = observability.journal.path
-    run_id: Optional[str] = None
-    run_dir: Optional[Path] = None
-    if runs_dir is not None and journal_path is not None:
-        active_config = scenario_config or ScenarioConfig(seed=seed)
-        # Journals written directly under the runs dir (ours or a
-        # caller's) are moved into their registry slot; journals
-        # elsewhere are copied and left in place.
-        move = (pending is not None
-                or Path(journal_path).resolve().parent
-                == Path(runs_dir).resolve())
-        record = RunRegistry(Path(runs_dir)).register(
-            journal_path, name=run_name,
-            config={"seed": active_config.seed, "workers": workers,
-                    "backend": backend},
-            fingerprint=fingerprint(active_config, workers, backend,
-                                    shards),
-            move=move)
-        run_id, run_dir = record.run_id, record.path
-        journal_path = record.journal_path
+    journal_path, run_id, run_dir = _file_run(
+        observability, runs_dir=runs_dir, pending=pending,
+        run_name=run_name,
+        active_config=scenario_config or ScenarioConfig(seed=seed),
+        workers=workers, backend=backend, shards=shards)
     return RunResult(events=events, stats=pipeline.stats,
                      health=pipeline.health, journal_path=journal_path,
                      run_id=run_id, run_dir=run_dir)
 
 
-def _deprecated_shim(old_name: str, replacement: str) -> None:
-    warnings.warn(
-        f"api.{old_name} is deprecated; call api.run(...) and use "
-        f"{replacement}", DeprecationWarning, stacklevel=3)
+def stream(*, seed: int = 2023, workers: int = 1,
+           backend: str = "serial",
+           signal_cache_size: Optional[int] = None,
+           scenario_config: Optional[ScenarioConfig] = None,
+           platform_config: Optional[PlatformConfig] = None,
+           curation_config: Optional[CurationConfig] = None,
+           kio_config: Optional[KIOCompilerConfig] = None,
+           matching_config: Optional[MatchingConfig] = None,
+           study_period: TimeRange = STUDY_PERIOD,
+           observability: Optional[Observability] = None,
+           journal: Optional[RunJournal | str | Path] = None,
+           resilience: Optional[ResilienceConfig] = None,
+           faults: Optional[FaultPlan | str] = None,
+           retry_policy: Optional[RetryPolicy] = None,
+           breaker_policy: Optional[BreakerPolicy] = None,
+           fail_fast: bool = False,
+           profile: Optional[ProfileConfig | bool] = None,
+           health_policy: Optional[HealthPolicy] = None,
+           telemetry: Optional[TelemetryConfig | str | float] = None,
+           runs_dir: Optional[Path | str] = None,
+           run_name: Optional[str] = None) -> StreamSession:
+    """Open the reproduction as an incremental run; return its session.
 
+    The streaming twin of :func:`run`: the same stages, but the
+    observation+curation stage is driven from outside, bin by bin.  The
+    returned :class:`~repro.stream.session.StreamSession` accepts
+    measurement bins in any order (``session.push``), consumes them as
+    the watermark advances (``session.advance_watermark`` — or let
+    ``session.replay(step)`` drive both from the scenario's own feed),
+    and emits live ``open``/``update``/``close`` event-lifecycle
+    records (``session.events()``).  ``session.finalize()`` completes
+    the remaining stages and returns a :class:`RunResult`
+    **byte-identical** to ``run()`` with the same configuration —
+    however the bins were chunked, on every backend.
 
-def run_with_stats(**kwargs) -> Tuple[PipelineResult, ExecStats]:
-    """Deprecated: call :func:`run`; the pair is ``(result.events,
-    result.stats)``."""
-    _deprecated_shim("run_with_stats", "result.events / result.stats")
-    result = run(**kwargs)
-    return result.events, result.stats
+    ``backend`` schedules window adjudication: ``serial`` (default)
+    inline, ``thread``/``process`` fan closed windows out per country
+    exactly like the batch executor (``process`` keeps the generated
+    world resident per worker).  ``journal=``/``observability=``/
+    ``telemetry=`` work as in :func:`run`; a journaled stream
+    additionally records every lifecycle event as a ``stream.event``
+    line, and heartbeats carry a ``stream`` block with the live
+    watermark, lag, and open-event count.  ``runs_dir`` files the
+    finalized journal into the cross-run registry, so a streamed run
+    diffs against a batch run with ``repro runs diff``.
 
+    ``faults=`` (with ``retry_policy``/``breaker_policy``) injects
+    deterministic faults into the session's *bin source* (site
+    ``stream.source``): fetches fail, back off, and retry without
+    perturbing the streamed bytes, so a recovered stream finalizes
+    byte-identical to a calm one.
 
-def run_with_health(
-        **kwargs) -> Tuple[PipelineResult, ExecStats, HealthReport]:
-    """Deprecated: call :func:`run`; the triple is ``(result.events,
-    result.stats, result.health)``."""
-    _deprecated_shim("run_with_health",
-                     "result.events / result.stats / result.health")
-    result = run(**kwargs)
-    return result.events, result.stats, result.health
+    The batch executor's knobs that stream curation cannot use
+    (``cache_dir``, ``shards``) are absent: a stream is incremental by
+    construction and never consults the shard cache.
+    """
+    observability, pending = _journal_setup(journal, observability,
+                                            runs_dir)
+    active_config = scenario_config or ScenarioConfig(seed=seed)
+    resilience_config = _resilience(resilience, faults, retry_policy,
+                                    breaker_policy, fail_fast)
+    pipeline = _pipeline(
+        seed=seed, workers=workers, backend=backend, shards=None,
+        signal_cache_size=signal_cache_size, cache_dir=None,
+        scenario_config=scenario_config,
+        platform_config=platform_config, curation_config=curation_config,
+        kio_config=kio_config, matching_config=matching_config,
+        study_period=study_period, observability=observability,
+        resilience=resilience_config, profile=profile,
+        health_policy=health_policy, telemetry=telemetry)
+
+    def package(pipeline: ReproPipeline, obs: Observability,
+                events: PipelineResult) -> RunResult:
+        assert pipeline.stats is not None and pipeline.health is not None
+        journal_path, run_id, run_dir = _file_run(
+            obs if obs.enabled else None, runs_dir=runs_dir,
+            pending=pending, run_name=run_name,
+            active_config=active_config, workers=workers,
+            backend=backend, shards=None)
+        return RunResult(events=events, stats=pipeline.stats,
+                         health=pipeline.health,
+                         journal_path=journal_path,
+                         run_id=run_id, run_dir=run_dir)
+
+    return StreamSession(
+        pipeline, seed=active_config.seed, period=study_period,
+        platform_config=platform_config,
+        curation_config=curation_config, backend=backend,
+        workers=workers, signal_cache_size=signal_cache_size,
+        resilience=resilience_config, package=package)
 
 
 def client(result: Union[RunResult, PipelineResult],

@@ -14,6 +14,14 @@
   sources, ``--max-retries N`` sets the retry budget, and
   ``--fail-fast``/``--degrade`` choose between aborting on an exhausted
   source and quarantining it (see :mod:`repro.resilience`).
+- ``stream``   — run the same pipeline incrementally: bins replay under
+  a watermark advancing ``--step`` at a time, live
+  ``open``/``update``/``close`` event lifecycles print as they happen
+  (``--events`` for every record), and the finalized result is
+  byte-identical to ``run``.  ``--inject-faults`` runs chaos against
+  the bin source; ``--journal`` records every lifecycle event as a
+  ``stream.event`` line and ``--heartbeat`` adds live ``stream``
+  blocks (watermark, lag, open events) to the heartbeats.
 - ``report``   — regenerate EXPERIMENTS.md.
 - ``export``   — write the curated records and harmonized KIO events to
   JSON files (the paper's released dataset artifact).
@@ -183,6 +191,42 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME",
                      help="label for the registry entry (with "
                           "--runs-dir; default: the run ID prefix)")
+    stream = commands.add_parser(
+        "stream",
+        help="run the pipeline incrementally under an advancing "
+             "watermark, printing the live event lifecycle")
+    stream.add_argument("--step", default="7d", metavar="SPAN",
+                        help="watermark step per advance (e.g. 12h, "
+                             "7d, 604800; default 7d)")
+    stream.add_argument("--events", action="store_true",
+                        help="print every open/update/close lifecycle "
+                             "event as it is emitted (default: one "
+                             "progress line per advance)")
+    stream.add_argument("--journal", type=Path, default=None,
+                        metavar="PATH",
+                        help="stream the run journal (stream.event "
+                             "lines included) to PATH")
+    stream.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        dest="inject_faults",
+                        help="deterministic chaos against the bin "
+                             "source (site stream.source); a recovered "
+                             "stream finalizes byte-identical")
+    stream.add_argument("--max-retries", type=int, default=None,
+                        dest="max_retries",
+                        help="retry budget per unit of work")
+    stream.add_argument("--heartbeat", metavar="INTERVAL", default=None,
+                        help="live heartbeats with a 'stream' block "
+                             "(watermark, lag, open events); "
+                             "journal-only, pair with --journal or "
+                             "--runs-dir")
+    stream.add_argument("--health", action="store_true",
+                        help="print the finalized run's fidelity "
+                             "scorecard")
+    stream.add_argument("--run-name", dest="run_name", default=None,
+                        metavar="NAME",
+                        help="label for the registry entry (with "
+                             "--runs-dir)")
+
     report = commands.add_parser(
         "report", help="regenerate the EXPERIMENTS.md comparison")
     report.add_argument("--output", type=Path,
@@ -510,6 +554,88 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+_STEP_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 7 * 86400}
+
+
+def _parse_step(spec: str) -> int:
+    """Seconds from a watermark-step spec: ``7d``, ``12h``, ``604800``."""
+    text = spec.strip().lower()
+    scale = 1
+    if text and text[-1] in _STEP_UNITS:
+        scale = _STEP_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = int(float(text) * scale)
+    except ValueError:
+        raise ConfigurationError(
+            f"unparseable step {spec!r}; expected e.g. '12h', '7d', or "
+            f"seconds") from None
+    if seconds <= 0:
+        raise ConfigurationError(f"step must be positive: {spec!r}")
+    return seconds
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    step = _parse_step(args.step)
+    if args.heartbeat is not None:
+        try:
+            parse_interval(args.heartbeat)
+        except ValueError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+        if args.journal is None and args.runs_dir is None:
+            print("repro: warning: --heartbeat without --journal or "
+                  "--runs-dir; heartbeats are journal-only and will "
+                  "be discarded", file=sys.stderr)
+    session = api.stream(
+        scenario_config=ScenarioConfig(seed=args.seed),
+        study_period=STUDY_PERIOD,
+        workers=args.workers,
+        backend=args.backend,
+        signal_cache_size=getattr(args, "signal_cache_size", None),
+        journal=args.journal,
+        resilience=_resilience(args),
+        telemetry=args.heartbeat,
+        runs_dir=getattr(args, "runs_dir", None),
+        run_name=getattr(args, "run_name", None))
+    counts = {"open": 0, "update": 0, "close": 0, "recorded": 0}
+    advances = 0
+    try:
+        for events in session.replay(step):
+            advances += 1
+            for event in events:
+                counts[event.state] += 1
+                if event.outcome == "recorded":
+                    counts["recorded"] += 1
+                if args.events:
+                    span = f"[{event.span.start}, {event.span.end})"
+                    tail = f" -> {event.outcome}" if event.outcome else ""
+                    print(f"{event.seq:6d} {event.state:>6} "
+                          f"{event.key:<16} {span}{tail}")
+            if not args.events:
+                print(f"watermark {session.watermark}: "
+                      f"{len(events)} events "
+                      f"({counts['open']} open / {counts['update']} "
+                      f"update / {counts['close']} close so far)")
+        result = session.finalize()
+    except BaseException:
+        session.close()
+        raise
+    print(f"\nstreamed to horizon in {advances} advances: "
+          f"{counts['open']} opened, {counts['update']} updated, "
+          f"{counts['close']} closed ({counts['recorded']} recorded); "
+          f"{len(result.curated_records)} curated records")
+    if result.journal_path is not None:
+        print(f"wrote {result.journal_path}")
+    if result.run_id is not None:
+        print(f"registered run {result.run_id} under {args.runs_dir}",
+              file=sys.stderr)
+    if args.health:
+        print("\n== Health ==")
+        print("\n".join(result.health.rows()))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     result = _run(args)
     rows = build_report(result.events)
@@ -747,6 +873,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "stream": _cmd_stream,
     "report": _cmd_report,
     "export": _cmd_export,
     "figures": _cmd_figures,

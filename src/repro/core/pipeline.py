@@ -196,14 +196,7 @@ class ReproPipeline:
         allocation readings — profiling samples OS counters only, so a
         profiled run stays byte-identical to an unprofiled one.
         """
-        obs = (self._observability if self._observability is not None
-               else Observability())
-        if self._profile is not None and obs.enabled \
-                and obs.profile is None:
-            obs.enable_profiling(self._profile)
-        if self._telemetry is not None and obs.enabled \
-                and obs.telemetry is None:
-            obs.enable_telemetry(self._telemetry)
+        obs = self.build_observability()
         plan = (self._resilience.fault_plan
                 if self._resilience is not None else None)
         with activate(obs), inject(plan):
@@ -217,18 +210,65 @@ class ReproPipeline:
                         scenario = self.build_scenario()
                     with obs.span("stage:curate"):
                         records = self.curate(scenario)
-                    with obs.span("stage:kio"):
-                        kio_events = self.compile_kio(scenario)
-                    with obs.span("stage:merge"):
-                        merged = build_merged_dataset(
-                            scenario.registry, kio_events, records,
-                            self._study_period,
-                            matching=self._matching_config)
-                    with obs.span("stage:datasets"):
-                        result = self._assemble(
-                            scenario, records, kio_events, merged)
+                    result = self.complete(scenario, records)
             finally:
                 obs.stop_telemetry()
+        self.finish(obs, result)
+        return result
+
+    def build_observability(self) -> Observability:
+        """The run's observability session, profiling/telemetry applied.
+
+        Returns the constructor-supplied session (or a fresh one),
+        with the pipeline's profile and telemetry configs enabled on it
+        exactly as :meth:`run` would.  Drivers that own the run loop —
+        the streaming session (:mod:`repro.stream.session`) — call this
+        then :meth:`complete`/:meth:`finish` around their own stages.
+        """
+        obs = (self._observability if self._observability is not None
+               else Observability())
+        if self._profile is not None and obs.enabled \
+                and obs.profile is None:
+            obs.enable_profiling(self._profile)
+        if self._telemetry is not None and obs.enabled \
+                and obs.telemetry is None:
+            obs.enable_telemetry(self._telemetry)
+        return obs
+
+    def complete(self, scenario: WorldScenario,
+                 records: List[OutageRecord]) -> PipelineResult:
+        """Stages 3–5 over already-curated records.
+
+        Runs KIO compilation, the merge, and the auxiliary datasets —
+        with their ``stage:*`` spans recorded into the *active*
+        observability session — and assembles the
+        :class:`PipelineResult`.  :meth:`run` calls this after batch
+        curation; a :class:`~repro.stream.session.StreamSession` calls
+        it at finalize over the records its engine curated
+        incrementally.  Identical records in, identical result out.
+        """
+        from repro.obs.runtime import current
+
+        obs = current()
+        with obs.span("stage:kio"):
+            kio_events = self.compile_kio(scenario)
+        with obs.span("stage:merge"):
+            merged = build_merged_dataset(
+                scenario.registry, kio_events, records,
+                self._study_period,
+                matching=self._matching_config)
+        with obs.span("stage:datasets"):
+            return self._assemble(scenario, records, kio_events, merged)
+
+    def finish(self, obs: Observability,
+               result: PipelineResult) -> tuple[ExecStats, HealthReport]:
+        """Grade and close out a run executed under ``obs``.
+
+        Derives the :class:`ExecStats` report from the span tree,
+        grades the run against the health policy, journals the health
+        event, and finishes the session — the common tail of
+        :meth:`run` and of a streaming finalize.
+        """
         self._stats = ExecStats.from_obs(obs)
         self._health = evaluate_run(result, self._stats,
                                     self._health_policy)
@@ -236,7 +276,7 @@ class ReproPipeline:
             obs.journal.write(self._health.as_event())
         self._last_obs = obs
         obs.finish()
-        return result
+        return self._stats, self._health
 
     def _assemble(self, scenario: WorldScenario,
                   records: List[OutageRecord],

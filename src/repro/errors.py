@@ -21,6 +21,7 @@ __all__ = [
     "DatasetError",
     "PaginationError",
     "CursorError",
+    "StreamError",
     "ResilienceError",
     "TransientSourceError",
     "SourceTimeoutError",
@@ -77,6 +78,13 @@ class CursorError(PaginationError):
 
 class DatasetError(ReproError):
     """An auxiliary dataset emitter failed to produce or parse records."""
+
+
+class StreamError(ReproError):
+    """A streaming-ingestion operation violated the stream contract:
+    misaligned or conflicting bins, a non-monotonic watermark, bins
+    missing under an advanced watermark, or pushes into a closed
+    window/session."""
 
 
 class ResilienceError(ReproError):

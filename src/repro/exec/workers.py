@@ -73,7 +73,8 @@ from repro.timeutils.timestamps import TimeRange
 from repro.world.scenario import ScenarioConfig, ScenarioGenerator, \
     WorldScenario
 
-__all__ = ["BACKENDS", "ExecutorConfig", "ShardedCurationExecutor"]
+__all__ = ["BACKENDS", "ExecutorConfig", "ShardedCurationExecutor",
+           "resident_world", "worker_init"]
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -211,7 +212,7 @@ _WORKER_WORLD: Dict[str, Tuple[WorldScenario, IODAPlatform]] = {}
 _WORLD_BUILDS = 0
 
 
-def _resident_world(scenario_config: ScenarioConfig,
+def resident_world(scenario_config: ScenarioConfig,
                     platform_config: PlatformConfig,
                     signal_cache_size: Optional[int]
                     ) -> Tuple[WorldScenario, IODAPlatform]:
@@ -235,7 +236,7 @@ def _resident_world(scenario_config: ScenarioConfig,
     return entry
 
 
-def _worker_init(scenario_config: ScenarioConfig,
+def worker_init(scenario_config: ScenarioConfig,
                  platform_config: PlatformConfig,
                  signal_cache_size: Optional[int]) -> None:
     """Pool initializer: pre-build the resident world once per process.
@@ -245,7 +246,7 @@ def _worker_init(scenario_config: ScenarioConfig,
     generation here matches generation inside a chaos run byte for
     byte).  The build is memoized, so the first shard call finds it.
     """
-    _resident_world(scenario_config, platform_config, signal_cache_size)
+    resident_world(scenario_config, platform_config, signal_cache_size)
 
 
 def _curate_shard_subprocess(
@@ -264,7 +265,7 @@ def _curate_shard_subprocess(
     """Process-pool entry point: curate over the worker-resident world.
 
     Module-level so it pickles by reference.  The scenario and platform
-    come from the per-process memo (:func:`_resident_world`) — built by
+    come from the per-process memo (:func:`resident_world`) — built by
     the pool initializer, reused by every shard this worker executes —
     so a shard call ships only configs and its own countries' windows
     across the process boundary.
@@ -284,7 +285,7 @@ def _curate_shard_subprocess(
     plan = resilience.fault_plan if resilience is not None else None
     if not collect_obs:
         with inject(plan):
-            scenario, platform = _resident_world(
+            scenario, platform = resident_world(
                 scenario_config, platform_config, signal_cache_size)
             result, quarantined = _curate_shard(
                 scenario, platform_config, curation_config, period,
@@ -302,7 +303,7 @@ def _curate_shard_subprocess(
         try:
             with local.span(SHARD_SPAN, shard=shard_index,
                             countries=len(countries), backend="process"):
-                scenario, platform = _resident_world(
+                scenario, platform = resident_world(
                     scenario_config, platform_config, signal_cache_size)
                 result, quarantined = _curate_shard(
                     scenario, platform_config, curation_config, period,
@@ -483,7 +484,7 @@ class ShardedCurationExecutor:
                 return self._collect(futures, stats, obs, parent_id)
 
         with ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_init,
+                max_workers=workers, initializer=worker_init,
                 initargs=(scenario.config, self._platform_config,
                           self._config.signal_cache_size)) as pool:
             futures = {

@@ -4,20 +4,27 @@ The real IODA exposes signals, alerts and events through a public REST
 API that the paper's authors queried alongside the dashboard (§3.1.2).
 :class:`IODAClient` is the equivalent programmatic facade over the
 simulated platform: time-windowed signal queries, alert listings, and a
-paginated event feed over a curated record list — the interface a
-downstream tool (like the paper's proposed rapid-response triage) would
-build against.
+cursor-paginated event feed over a curated record list — the interface
+a downstream tool (like the paper's proposed rapid-response triage)
+would build against.
+
+The feed can be **live**: built over a streaming session
+(:meth:`repro.stream.session.StreamSession.client`), the client reads
+its records through a ``feed`` callable and binds every cursor to the
+session's ``revision`` (the watermark), so a cursor minted before the
+stream advanced fails loudly with :class:`~repro.errors.CursorError`
+instead of silently paging a shifted feed.
 """
 
 from __future__ import annotations
 
 import base64
 import binascii
-import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, \
+    Union
 
-from repro.errors import CursorError, PaginationError, TimeRangeError
+from repro.errors import CursorError, TimeRangeError
 from repro.exec.cachestore import fingerprint
 from repro.resilience.faults import maybe_fault
 from repro.ioda.dashboard import Dashboard, DashboardEntry
@@ -46,26 +53,41 @@ class SignalPayload:
 class EventPage:
     """One page of the curated-event feed.
 
-    ``cursor`` is the supported way to fetch the next page: pass it back
-    via ``get_events(..., cursor=page.cursor)``.  It is opaque — bound to
-    the query's filters and the feed revision, so a cursor minted by one
-    query cannot silently page through another.  ``next_offset`` remains
-    populated for old callers but raw offset arithmetic is deprecated.
+    ``cursor`` is the only way to fetch the next page: pass it back via
+    ``get_events(..., cursor=page.cursor)``.  It is opaque — bound to
+    the query's filters and the feed revision, so a cursor minted by
+    one query cannot silently page through another.  ``None`` means the
+    feed is exhausted.
     """
 
     events: Tuple[OutageRecord, ...]
-    next_offset: Optional[int]
     total: int
     cursor: Optional[str] = None
 
 
 class IODAClient:
-    """Programmatic query interface over the platform."""
+    """Programmatic query interface over the platform.
+
+    ``records`` is a static curated dataset (the common, post-run
+    case).  A **live** client instead passes ``feed`` — a callable
+    returning the records curated so far — plus ``revision``, a value
+    (or zero-argument callable) identifying the feed's current state;
+    cursors bind to the revision at mint time and raise
+    :class:`~repro.errors.CursorError` once it moves.
+    """
 
     def __init__(self, platform: IODAPlatform,
-                 records: Sequence[OutageRecord] = ()):
+                 records: Sequence[OutageRecord] = (), *,
+                 feed: Optional[Callable[[], Sequence[OutageRecord]]]
+                 = None,
+                 revision: Union[Callable[[], Any], Any, None] = None):
+        if feed is not None and records:
+            raise ValueError("pass either records or a live feed=, "
+                             "not both")
         self._platform = platform
         self._dashboard = Dashboard(platform)
+        self._feed = feed
+        self._revision = revision
         self._records = sorted(records, key=lambda r: r.span.start)
 
     # -- signals --------------------------------------------------------------
@@ -107,50 +129,41 @@ class IODAClient:
     def get_events(self, country_iso2: Optional[str] = None,
                    from_ts: Optional[int] = None,
                    until_ts: Optional[int] = None, *,
-                   offset: Optional[int] = None, limit: int = 50,
+                   limit: int = 50,
                    cursor: Optional[str] = None) -> EventPage:
         """Paginated curated-event feed with optional filters.
 
-        Paging parameters (``offset``, ``limit``, ``cursor``) are
-        keyword-only.
+        Paging parameters (``limit``, ``cursor``) are keyword-only.
 
         **Cursor contract.**  ``EventPage.cursor`` is an opaque token:
 
         - Mint one only by calling this method; pass it back verbatim
           via ``cursor=`` to fetch the next page.
         - A cursor binds to the exact filters it was minted with *and*
-          to the feed revision (the record set the client was built
-          over).  Reusing it with different filters, against a
-          different client, or after the feed changed raises
+          to the feed revision (the record set — or, for a live
+          streaming client, the watermark — the page was served from).
+          Reusing it with different filters, against a different
+          client, or after the feed changed raises
           :class:`~repro.errors.CursorError`.
         - So does any tampered, truncated, or unsupported-version
           token.  ``CursorError`` subclasses
-          :class:`~repro.errors.PaginationError`, so existing handlers
+          :class:`~repro.errors.PaginationError`, so broad handlers
           keep working; recover by restarting pagination without a
           cursor.
         - Cursors never expire on their own and are safe to persist
           across processes as long as the feed is unchanged.
-
-        Passing ``offset`` directly is deprecated; it cannot detect a
-        feed change under your pagination the way a cursor does.
         """
         maybe_fault("ioda.api.get_events",
                     key=country_iso2 or "events-feed")
         if limit <= 0:
             raise TimeRangeError(f"limit must be positive: {limit}")
-        if offset is not None and cursor is not None:
-            raise PaginationError(
-                "pass either cursor= or the deprecated offset=, not both")
-        if offset is not None:
-            warnings.warn(
-                "IODAClient.get_events(offset=...) is deprecated; page "
-                "with the opaque EventPage.cursor instead",
-                DeprecationWarning, stacklevel=2)
-        query_key = self._query_key(country_iso2, from_ts, until_ts)
+        records = self._current_records()
+        query_key = self._query_key(country_iso2, from_ts, until_ts,
+                                    records)
         start = (self._decode_cursor(cursor, query_key)
-                 if cursor is not None else (offset or 0))
+                 if cursor is not None else 0)
         filtered = [
-            record for record in self._records
+            record for record in records
             if (country_iso2 is None
                 or record.country_iso2 == country_iso2.upper())
             and (from_ts is None or record.span.start >= from_ts)
@@ -158,21 +171,30 @@ class IODAClient:
         ]
         page = filtered[start:start + limit]
         has_more = start + limit < len(filtered)
-        next_offset = start + limit if has_more else None
         next_cursor = (self._encode_cursor(start + limit, query_key)
                        if has_more else None)
-        return EventPage(events=tuple(page), next_offset=next_offset,
-                         total=len(filtered), cursor=next_cursor)
+        return EventPage(events=tuple(page), total=len(filtered),
+                         cursor=next_cursor)
 
     # -- cursors ----------------------------------------------------------------
 
+    def _current_records(self) -> List[OutageRecord]:
+        if self._feed is None:
+            return self._records
+        return sorted(self._feed(), key=lambda r: r.span.start)
+
     def _query_key(self, country_iso2: Optional[str],
-                   from_ts: Optional[int],
-                   until_ts: Optional[int]) -> str:
-        """Fingerprint of the filters (and feed content) a cursor binds to."""
+                   from_ts: Optional[int], until_ts: Optional[int],
+                   records: Sequence[OutageRecord]) -> str:
+        """Fingerprint of the filters and feed revision a cursor binds to."""
+        if self._revision is not None:
+            revision = (self._revision()
+                        if callable(self._revision) else self._revision)
+        else:
+            revision = len(records)
         return fingerprint(
             country_iso2.upper() if country_iso2 else None,
-            from_ts, until_ts, len(self._records))
+            from_ts, until_ts, revision)
 
     @staticmethod
     def _encode_cursor(position: int, query_key: str) -> str:
@@ -190,8 +212,8 @@ class IODAClient:
             raise CursorError(f"unsupported cursor version: {version!r}")
         if key != query_key:
             raise CursorError(
-                "cursor was issued for a different query or feed; "
-                "restart pagination without a cursor")
+                "cursor was issued for a different query or feed "
+                "revision; restart pagination without a cursor")
         try:
             return int(position)
         except ValueError as exc:

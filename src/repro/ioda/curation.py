@@ -61,7 +61,8 @@ from repro.timeutils.timestamps import DAY, HOUR, TimeRange, bin_floor
 from repro.world.disruptions import Cause
 from repro.world.scenario import WorldScenario
 
-__all__ = ["CurationConfig", "CurationPipeline", "finalize_records"]
+__all__ = ["CandidateOutcome", "CurationConfig", "CurationPipeline",
+           "WindowAdjudication", "finalize_records"]
 
 
 def finalize_records(
@@ -152,6 +153,40 @@ class _Candidate:
         return tuple(k for k, eps in self.episodes.items() if eps)
 
 
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """How one candidate (or descent finding) was adjudicated.
+
+    ``outcome`` is ``"recorded"`` (with the curated record),
+    ``"dismissed"`` (investigated, not recorded), or ``"unobserved"``
+    (fell in an observation-calendar gap, §3.1.2).  ``signals`` are the
+    human-visible signal kinds at adjudication time — the set the
+    streaming engine reports on lifecycle ``close`` events.
+    """
+
+    span: TimeRange
+    signals: Tuple[SignalKind, ...]
+    outcome: str
+    record: Optional[OutageRecord] = None
+
+
+@dataclass(frozen=True)
+class WindowAdjudication:
+    """The full result of adjudicating one investigation window.
+
+    ``records`` is exactly what the batch path appends for the window
+    (country-level records, then any scope-descent records), in order.
+    ``outcomes`` adds the per-candidate verdicts the streaming engine
+    turns into lifecycle events; ``descended`` says whether the curator
+    fell through to sub-national views.  Frozen and picklable, so
+    process-backend stream workers ship it home unchanged.
+    """
+
+    records: Tuple[OutageRecord, ...]
+    outcomes: Tuple[CandidateOutcome, ...]
+    descended: bool
+
+
 class CurationPipeline:
     """Builds the curated outage list from platform signals."""
 
@@ -167,6 +202,10 @@ class CurationPipeline:
     @property
     def config(self) -> CurationConfig:
         return self._config
+
+    @property
+    def platform(self) -> IODAPlatform:
+        return self._platform
 
     # -- top level ---------------------------------------------------------------
 
@@ -218,27 +257,82 @@ class CurationPipeline:
                      record_ids: Iterator[int]) -> List[OutageRecord]:
         entity = Entity.country(iso2)
         episodes = self._dashboard.episodes_by_signal(entity, window)
+        return list(self.adjudicate_window(
+            iso2, window, period, episodes, rng, record_ids).records)
+
+    def adjudicate_window(self, iso2: str, window: TimeRange,
+                          period: TimeRange,
+                          episodes: Dict[SignalKind, List[AlertEpisode]],
+                          rng: np.random.Generator,
+                          record_ids: Iterator[int]) -> WindowAdjudication:
+        """Adjudicate one window given its per-signal alert episodes.
+
+        This is the batch `_investigate` loop with the dashboard pull
+        factored out — the streaming engine accumulates the episodes
+        incrementally and calls here once the watermark closes the
+        window, consuming ``rng`` draws and record ids in exactly the
+        order the batch path does, so the records come out identical.
+        """
+        entity = Entity.country(iso2)
         candidates = self._cluster(episodes)
         current().metrics.counter("curation.candidates_clustered") \
             .inc(len(candidates))
         records: List[OutageRecord] = []
+        outcomes: List[CandidateOutcome] = []
         found_visible = False
         for candidate in candidates:
+            signals = tuple(self.visible_signals_of(candidate))
             if not self._calendar.observes(candidate.span.start,
                                            self._scenario.seed):
                 # Nobody was investigating at the time (§3.1.2 gaps);
                 # mark it handled so the descent does not re-find it.
                 found_visible = True
+                outcomes.append(CandidateOutcome(
+                    candidate.span, signals, "unobserved"))
                 continue
             record = self._adjudicate(
                 iso2, entity, candidate, period, rng, record_ids)
             if record is not None:
                 found_visible = True
                 records.append(record)
-        if not found_visible:
-            records.extend(
-                self._descend(iso2, window, period, rng, record_ids))
-        return records
+                outcomes.append(CandidateOutcome(
+                    candidate.span, signals, "recorded", record))
+            else:
+                outcomes.append(CandidateOutcome(
+                    candidate.span, signals, "dismissed"))
+        descended = not found_visible
+        if descended:
+            for record in self._descend(iso2, window, period, rng,
+                                        record_ids):
+                records.append(record)
+                outcomes.append(CandidateOutcome(
+                    record.span,
+                    tuple(k for k in SignalKind if record.human_visible[k]),
+                    "recorded", record))
+        return WindowAdjudication(
+            records=tuple(records), outcomes=tuple(outcomes),
+            descended=descended)
+
+    def cluster_episodes(
+            self, episodes: Dict[SignalKind, List[AlertEpisode]]
+    ) -> List[_Candidate]:
+        """Cluster per-signal episodes into candidates (pure, no RNG).
+
+        The streaming engine calls this on every watermark advance to
+        refresh its provisional open-event view; unlike
+        :meth:`adjudicate_window` it does not touch metrics, the RNG, or
+        record ids, so provisional views never perturb the final run.
+        """
+        return self._cluster(episodes)
+
+    def visible_signals_of(
+            self, candidate: _Candidate) -> Dict[SignalKind, List[AlertEpisode]]:
+        """The anchored human-visible episodes of a candidate (pure)."""
+        return self._anchor_overlapping(self._visible_signals(candidate))
+
+    def observes(self, timestamp: int) -> bool:
+        """Whether the observation calendar covers ``timestamp`` (pure)."""
+        return self._calendar.observes(timestamp, self._scenario.seed)
 
     # -- investigation windows -----------------------------------------------------
 

@@ -4,9 +4,10 @@ The paper's curators start from the dashboard's recent-alert list (§3.1.2);
 :class:`Dashboard` reproduces that view over a platform and a set of
 observation windows, listing alert episodes per entity and signal.
 
-Each listing pulls whole series through the columnar detection core
-(:mod:`repro.signals.alerts`): one array-valued median/threshold pass
-per (entity, signal, window) rather than a Python loop over bins.
+Each listing pulls whole series through the incremental detection core
+(:func:`repro.stream.detect.stream_episodes`): the batch view is the
+streaming engine fed one maximal chunk, so dashboards, batch curation,
+and live streams all share one detector implementation, bit for bit.
 """
 
 from __future__ import annotations
@@ -16,9 +17,10 @@ from typing import Dict, List
 
 from repro.ioda.detectors import detector_for
 from repro.ioda.platform import IODAPlatform
-from repro.signals.alerts import AlertEpisode, group_alerts
+from repro.signals.alerts import AlertEpisode
 from repro.signals.entities import Entity, EntityScope
 from repro.signals.kinds import SignalKind
+from repro.stream.detect import stream_episodes
 from repro.timeutils.timestamps import TimeRange
 
 __all__ = ["Dashboard", "DashboardEntry", "ioda_url"]
@@ -62,8 +64,7 @@ class Dashboard:
         listed: List[DashboardEntry] = []
         for kind in SignalKind:
             series = self._platform.signal(entity, kind, window)
-            alerts = detector_for(kind).detect(series)
-            for episode in group_alerts(alerts, series.width):
+            for episode in stream_episodes(series, detector_for(kind).config):
                 listed.append(DashboardEntry(
                     entity=entity, signal=kind, episode=episode))
         listed.sort(key=lambda e: e.episode.span.start)
@@ -76,6 +77,5 @@ class Dashboard:
         grouped: Dict[SignalKind, List[AlertEpisode]] = {}
         for kind in SignalKind:
             series = self._platform.signal(entity, kind, window)
-            alerts = detector_for(kind).detect(series)
-            grouped[kind] = group_alerts(alerts, series.width)
+            grouped[kind] = stream_episodes(series, detector_for(kind).config)
         return grouped

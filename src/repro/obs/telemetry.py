@@ -209,6 +209,9 @@ class HeartbeatSampler:
         cache = self._signal_cache(counters)
         if cache is not None:
             event["signal_cache"] = cache
+        stream = self._stream_progress(counters, gauges)
+        if stream is not None:
+            event["stream"] = stream
         self._metrics.counter(HEARTBEATS_COUNTER).inc()
         self._sink(event)
         return event
@@ -249,6 +252,31 @@ class HeartbeatSampler:
                (0.0 if not remaining else None))
         return {"completed": completed, "total": int(total),
                 "eta_seconds": eta}
+
+    @staticmethod
+    def _stream_progress(counters: Dict[str, int],
+                         gauges: Dict[str, float]
+                         ) -> Optional[Dict[str, Any]]:
+        """The ``stream`` block of a streaming run's heartbeat.
+
+        Reads the live gauges a :class:`repro.stream.session.
+        StreamSession` maintains; absent on batch runs (no stream
+        gauges, no block).
+        """
+        watermark = gauges.get("stream.watermark")
+        if watermark is None:
+            return None
+        block: Dict[str, Any] = {
+            "watermark": int(watermark),
+            "open_events": int(gauges.get("stream.open_events", 0)),
+            "windows_active": int(
+                gauges.get("stream.windows_active", 0)),
+            "bins_pushed": counters.get("stream.bins_pushed", 0),
+        }
+        lag = gauges.get("stream.lag_seconds")
+        if lag is not None:
+            block["lag_seconds"] = int(lag)
+        return block
 
     @staticmethod
     def _signal_cache(counters: Dict[str, int]

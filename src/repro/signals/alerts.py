@@ -25,6 +25,12 @@ scalar implementations (:meth:`AlertDetector.detect_scalar`,
 :func:`group_alerts_scalar`) remain the executable specification; both
 paths produce bitwise-identical alerts, and ``REPRO_SCALAR_DETECT=1``
 (:mod:`repro.flags`) selects the scalar path end to end.
+
+The incremental counterpart lives in :mod:`repro.stream.detect`:
+:class:`~repro.stream.detect.StreamingAlertDetector` absorbs the same
+series chunk by chunk at O(window) state and emits the same alerts
+bit for bit — which is what lets :func:`repro.api.stream` finalize
+byte-identical to a batch run.
 """
 
 from __future__ import annotations

@@ -31,8 +31,8 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import SignalError
 
-__all__ = ["RollingMedian", "rolling_median", "trailing_median",
-           "trailing_median_at"]
+__all__ = ["RollingMedian", "TrailingMedianStream", "rolling_median",
+           "trailing_median", "trailing_median_at"]
 
 
 class RollingMedian:
@@ -83,6 +83,78 @@ class RollingMedian:
         if n % 2:
             return float(self._sorted[mid])
         return (self._sorted[mid - 1] + self._sorted[mid]) / 2.0
+
+
+class TrailingMedianStream:
+    """Incremental counterpart to :func:`trailing_median` — O(window) state.
+
+    Values arrive chunk by chunk (the streaming detector feeds one chunk
+    per watermark advance); the stream retains only the trailing
+    ``window`` values, yet answers any trailing-window median inside a
+    new chunk **bitwise-identically** to the batch path: the window of
+    position ``i`` only ever reaches ``window`` values back, all of
+    which live in the retained tail, so the same exact rank selection
+    (:func:`trailing_median_at`) runs over the same multiset.  Per-push
+    work is columnar — no per-bin Python loop — and state never grows
+    with the length of the series, which is what lets a streamed
+    timeline run arbitrarily long at bounded memory.
+    """
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise SignalError(f"window must be positive: {window}")
+        self._window = window
+        self._tail = np.empty(0, dtype=np.float64)
+        self._count = 0
+
+    @property
+    def window(self) -> int:
+        """Capacity of the trailing window, in values."""
+        return self._window
+
+    @property
+    def count(self) -> int:
+        """Total values absorbed so far (not just the retained tail)."""
+        return self._count
+
+    @property
+    def tail_size(self) -> int:
+        """Retained values — always ``min(count, window)``."""
+        return len(self._tail)
+
+    def medians_at(self, chunk: np.ndarray,
+                   idx: np.ndarray) -> np.ndarray:
+        """Trailing medians at positions ``idx`` *within* ``chunk``.
+
+        ``out[k]`` is the median the batch path would compute at global
+        position ``count + idx[k]`` of the full series — the strictly
+        trailing window of up to ``window`` values ending just before
+        that position.  ``chunk`` is the next contiguous run of values
+        (not yet pushed); call :meth:`push` afterwards to absorb it.
+        """
+        chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty(0)
+        if idx.min() < 0 or idx.max() >= chunk.shape[0]:
+            raise SignalError(
+                f"positions out of range for chunk of {chunk.shape[0]} "
+                f"values")
+        joined = np.concatenate([self._tail, chunk])
+        return trailing_median_at(joined, self._window,
+                                  idx + len(self._tail))
+
+    def push(self, chunk: np.ndarray) -> None:
+        """Absorb a chunk, keeping only the trailing ``window`` values."""
+        chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise SignalError("push expects a one-dimensional chunk")
+        self._count += chunk.shape[0]
+        if chunk.shape[0] >= self._window:
+            self._tail = chunk[-self._window:].copy()
+        else:
+            joined = np.concatenate([self._tail, chunk])
+            self._tail = joined[-self._window:]
 
 
 def rolling_median(values: Iterable[float],

@@ -1,0 +1,227 @@
+"""The incremental detection core.
+
+:class:`StreamingAlertDetector` is the chunk-at-a-time counterpart of
+:meth:`repro.signals.alerts.AlertDetector.detect`: bins arrive in
+contiguous chunks (one per watermark advance), state is bounded to
+O(window) per series (:class:`repro.stats.rolling.TrailingMedianStream`
+plus a running max and a bin counter), and the alerts that come out are
+**bitwise-identical** to scanning the concatenated series through the
+batch detector — same running-max prefilter, same exact rank-select
+baselines, same threshold compare.  ``REPRO_SCALAR_DETECT=1``
+(:mod:`repro.flags`) selects the per-bin scalar mode, mirroring the
+batch flag; both modes emit the same bits.
+
+:class:`StreamingEpisodeGrouper` is the incremental counterpart of
+:func:`repro.signals.alerts.group_alerts`: alerts stream in, maximal
+episodes stream out as soon as a gap proves them closed, and the open
+run is inspectable (the engine surfaces it as a provisional episode for
+``open``/``update`` lifecycle events).
+
+:func:`stream_episodes` composes the two over a whole series in one
+feed — which is how the **batch** dashboard
+(:mod:`repro.ioda.dashboard`) now runs: batch detection is literally
+the streaming engine fed one maximal chunk, so there is exactly one
+detection implementation to trust.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.flags import scalar_detect
+from repro.signals.alerts import Alert, AlertEpisode, DetectorConfig, \
+    _check_grouping_args, _episode_from_run
+from repro.signals.series import TimeSeries
+from repro.stats.rolling import RollingMedian, TrailingMedianStream
+
+__all__ = ["StreamingAlertDetector", "StreamingEpisodeGrouper",
+           "stream_episodes"]
+
+
+class StreamingAlertDetector:
+    """Median-of-trailing-window drop detector over a growing series.
+
+    Construct one per (series, signal); feed contiguous chunks in time
+    order.  The detector keeps only the trailing history window, the
+    running maximum, and the number of bins absorbed — never the whole
+    series — so memory stays O(window) no matter how long the stream
+    runs.  Feeding the entire series as one chunk reproduces
+    :meth:`repro.signals.alerts.AlertDetector.detect` bit for bit; so
+    does any other chunking, because every per-bin quantity (prefilter
+    max, baseline median, threshold compare) depends only on the bins
+    before it.
+
+    The scalar/columnar mode is chosen at construction from
+    ``REPRO_SCALAR_DETECT`` (the two modes emit identical alerts; the
+    flag exists so the executable specification stays runnable end to
+    end, exactly as in the batch detector).
+    """
+
+    def __init__(self, config: DetectorConfig, width: int):
+        if width <= 0:
+            raise SignalError(f"bin width must be positive: {width}")
+        window = config.history_seconds // width
+        if window <= 0:
+            raise SignalError(
+                f"history window {config.history_seconds}s shorter "
+                f"than one bin ({width}s)")
+        self._config = config
+        self._width = width
+        self._window = window
+        self._min_history = max(
+            1, int(window * config.min_history_fraction))
+        self._scalar = scalar_detect()
+        if self._scalar:
+            self._tracker: Optional[RollingMedian] = RollingMedian(window)
+            self._median: Optional[TrailingMedianStream] = None
+        else:
+            self._tracker = None
+            self._median = TrailingMedianStream(window)
+        self._running_max = -np.inf
+        self._n = 0
+
+    @property
+    def config(self) -> DetectorConfig:
+        return self._config
+
+    @property
+    def window(self) -> int:
+        """History window, in bins."""
+        return self._window
+
+    @property
+    def n_bins(self) -> int:
+        """Total bins absorbed so far."""
+        return self._n
+
+    def feed(self, bin_starts: np.ndarray,
+             values: np.ndarray) -> List[Alert]:
+        """Absorb the next contiguous chunk; return its alerting bins."""
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise SignalError("feed expects a one-dimensional chunk")
+        if values.shape[0] == 0:
+            return []
+        if self._scalar:
+            return self._feed_scalar(bin_starts, values)
+        # Prefix maxima seeded with the running max: prev[j] is the
+        # largest value strictly before global bin n + j, so the same
+        # necessary-condition prefilter as the batch path applies
+        # (median <= max of history, and rounding is monotone).
+        m = np.maximum.accumulate(
+            np.concatenate([[self._running_max], values]))
+        prev = m[:-1]
+        j = np.arange(values.shape[0])
+        eligible = self._n + j >= self._min_history
+        candidates = np.flatnonzero(
+            eligible & (values < self._config.threshold * prev))
+        alerts: List[Alert] = []
+        if candidates.size:
+            assert self._median is not None
+            baselines = self._median.medians_at(values, candidates)
+            keep = values[candidates] \
+                < self._config.threshold * baselines
+            alerts = [
+                Alert(time=int(bin_starts[i]), value=float(values[i]),
+                      baseline=float(baselines[k]))
+                for k, i in zip(np.flatnonzero(keep), candidates[keep])]
+        if self._median is not None:
+            self._median.push(values)
+        self._running_max = float(m[-1])
+        self._n += values.shape[0]
+        return alerts
+
+    def _feed_scalar(self, bin_starts: np.ndarray,
+                     values: np.ndarray) -> List[Alert]:
+        """Per-bin reference mode (``REPRO_SCALAR_DETECT=1``)."""
+        assert self._tracker is not None
+        alerts: List[Alert] = []
+        for ts, value in zip(bin_starts, values):
+            baseline = self._tracker.median
+            if (baseline is not None
+                    and len(self._tracker) >= self._min_history
+                    and value < self._config.threshold * baseline):
+                alerts.append(Alert(time=int(ts), value=float(value),
+                                    baseline=baseline))
+            self._tracker.push(float(value))
+            self._n += 1
+        return alerts
+
+
+class StreamingEpisodeGrouper:
+    """Incremental :func:`repro.signals.alerts.group_alerts`.
+
+    Alerts stream in (in time order); an episode is emitted the moment a
+    later alert proves its run closed by exceeding the gap tolerance.
+    The still-open run is observable as a provisional episode
+    (:meth:`open_episode`) — the engine's ``open``/``update`` lifecycle
+    events are exactly that view — and :meth:`finalize` flushes it when
+    the series ends.  Feeding a full alert list and finalizing matches
+    the batch grouper bit for bit.
+    """
+
+    def __init__(self, bin_width: int, max_gap_bins: int = 1):
+        _check_grouping_args(bin_width, max_gap_bins)
+        self._bin_width = bin_width
+        self._max_gap = (max_gap_bins + 1) * bin_width
+        self._run: List[Alert] = []
+        self._closed = False
+
+    @property
+    def open_run_size(self) -> int:
+        return len(self._run)
+
+    def feed(self, alerts: Sequence[Alert]) -> List[AlertEpisode]:
+        """Absorb alerts; return the episodes they prove closed."""
+        if self._closed:
+            raise SignalError("grouper already finalized")
+        episodes: List[AlertEpisode] = []
+        for alert in alerts:
+            if self._run and alert.time <= self._run[-1].time \
+                    + self._max_gap:
+                self._run.append(alert)
+            else:
+                if self._run:
+                    episodes.append(
+                        _episode_from_run(self._run, self._bin_width))
+                self._run = [alert]
+        return episodes
+
+    def open_episode(self) -> Optional[AlertEpisode]:
+        """The provisional episode of the still-open run (or None)."""
+        if not self._run:
+            return None
+        return _episode_from_run(self._run, self._bin_width)
+
+    def finalize(self) -> List[AlertEpisode]:
+        """Close the grouper, flushing the open run (idempotent)."""
+        if self._closed:
+            return []
+        self._closed = True
+        if not self._run:
+            return []
+        episode = _episode_from_run(self._run, self._bin_width)
+        self._run = []
+        return [episode]
+
+
+def stream_episodes(series: TimeSeries, config: DetectorConfig,
+                    max_gap_bins: int = 1) -> List[AlertEpisode]:
+    """Detect and group one whole series through the streaming core.
+
+    One maximal chunk through :class:`StreamingAlertDetector` and
+    :class:`StreamingEpisodeGrouper` — bitwise-identical to the batch
+    ``detect`` + ``group_alerts`` pair, which is why the dashboard
+    (and through it all of batch curation) routes here: batch is the
+    ingest-everything special case of the stream engine.
+    """
+    detector = StreamingAlertDetector(config, series.width)
+    grouper = StreamingEpisodeGrouper(series.width,
+                                      max_gap_bins=max_gap_bins)
+    bin_starts, values = series.arrays()
+    episodes = grouper.feed(detector.feed(bin_starts, values))
+    episodes.extend(grouper.finalize())
+    return episodes

@@ -1,0 +1,559 @@
+"""The watermark-driven streaming engine.
+
+:class:`StreamEngine` is the processor behind
+:class:`~repro.stream.session.StreamSession`: bins are **offered** in
+any order (:meth:`push`), buffered on each investigation window's bin
+grid, and **consumed** in time order when the watermark advances
+(:meth:`advance`) — contiguous elapsed prefixes feed the incremental
+detectors (:mod:`repro.stream.detect`), and a window whose last bin the
+watermark passes is adjudicated through the exact batch curation loop
+(:meth:`repro.ioda.curation.CurationPipeline.adjudicate_window`).
+Because the detectors are bitwise-equal to the columnar batch path and
+adjudication consumes the per-country RNG substream and record ids in
+batch order, the finalized record set is byte-identical to
+:meth:`repro.ioda.curation.CurationPipeline.run` over the same windows
+— however the bins were chunked, and on every backend.
+
+Between adjudications the engine maintains a provisional **event
+lifecycle**: after each advance it re-clusters the episodes seen so far
+(plus each detector's still-open alert run), and emits
+:class:`~repro.stream.models.StreamEvent`\\ s — ``open`` when a
+human-visible candidate first appears, ``update`` when its span or
+signal set grows, ``close`` when the window is adjudicated (outcome
+``recorded``/``dismissed``) or the candidate merges into a neighbour
+(``merged``).  The provisional pass is pure (no RNG, no record ids), so
+watching a stream never perturbs its final records.
+
+Contract violations raise :class:`~repro.errors.StreamError`:
+misaligned bins, conflicting duplicate values, a regressing watermark,
+bins still missing when the watermark passes them, or pushes into an
+adjudicated window.  Exact duplicates are idempotent no-ops.
+
+Backends mirror the batch executor: ``serial`` adjudicates inline,
+``thread`` fans countries out over a thread pool sharing the platform,
+``process`` ships (windows, episodes, RNG state) to workers holding the
+worker-resident world (:mod:`repro.stream.workers`).  Countries are
+independent — same substream discipline as the batch shards — so all
+three produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StreamError
+from repro.exec.workers import worker_init
+from repro.ioda.curation import CurationPipeline, WindowAdjudication, \
+    finalize_records
+from repro.ioda.detectors import detector_for
+from repro.ioda.records import OutageRecord
+from repro.rng import substream
+from repro.signals.alerts import AlertEpisode
+from repro.signals.kinds import SignalKind
+from repro.stream.detect import StreamingAlertDetector, \
+    StreamingEpisodeGrouper
+from repro.stream.models import SignalBin, StreamEvent, bin_grid
+from repro.stream.workers import adjudicate_country_subprocess
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["STREAM_BACKENDS", "StreamEngine"]
+
+STREAM_BACKENDS = ("serial", "thread", "process")
+
+
+class _SeriesState:
+    """Buffer + incremental detector for one (window, signal) grid."""
+
+    __slots__ = ("kind", "start", "width", "n_bins", "bin_starts",
+                 "values", "present", "fed", "detector", "grouper",
+                 "episodes")
+
+    def __init__(self, window: TimeRange, kind: SignalKind):
+        start, n_bins = bin_grid(window, kind)
+        self.kind = kind
+        self.start = start
+        self.width = kind.bin_width
+        self.n_bins = n_bins
+        self.bin_starts = start + self.width * np.arange(
+            n_bins, dtype=np.int64)
+        self.values = np.empty(n_bins, dtype=np.float64)
+        self.present = np.zeros(n_bins, dtype=bool)
+        self.fed = 0
+        self.detector = StreamingAlertDetector(
+            detector_for(kind).config, self.width)
+        self.grouper = StreamingEpisodeGrouper(self.width)
+        self.episodes: List[AlertEpisode] = []
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_bins * self.width
+
+
+@dataclass
+class _Open:
+    """A provisional (not yet adjudicated) lifecycle event."""
+
+    key: int
+    span: TimeRange
+    signals: Tuple[SignalKind, ...]
+
+
+class _WindowState:
+    """One investigation window's buffers and open lifecycle events."""
+
+    __slots__ = ("window", "series", "close_ts", "opens", "adjudicated",
+                 "touched")
+
+    def __init__(self, window: TimeRange):
+        self.window = window
+        self.series: Optional[Dict[SignalKind, _SeriesState]] = {
+            kind: _SeriesState(window, kind) for kind in SignalKind}
+        self.close_ts = max(s.end for s in self.series.values())
+        self.opens: Dict[int, _Open] = {}
+        self.adjudicated = False
+        self.touched = False
+
+
+class _CountryState:
+    """One country's windows, RNG substream, and curated records."""
+
+    __slots__ = ("iso2", "windows", "by_start", "rng", "next_record_id",
+                 "records")
+
+    def __init__(self, iso2: str, windows: Sequence[TimeRange], seed: int):
+        self.iso2 = iso2
+        self.windows = [_WindowState(w) for w in windows]
+        self.by_start = {w.window.start: w for w in self.windows}
+        self.rng = substream(seed, "curation", iso2)
+        self.next_record_id = 1
+        self.records: List[OutageRecord] = []
+
+
+class StreamEngine:
+    """Incremental curation over pushed bins and an advancing watermark."""
+
+    def __init__(self, pipeline: CurationPipeline,
+                 windows: Mapping[str, Sequence[TimeRange]],
+                 period: TimeRange, *, backend: str = "serial",
+                 workers: int = 1,
+                 signal_cache_size: Optional[int] = None):
+        if backend not in STREAM_BACKENDS:
+            raise ConfigurationError(
+                f"unknown stream backend {backend!r}; expected one of "
+                f"{STREAM_BACKENDS}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        self._pipeline = pipeline
+        self._period = period
+        self._backend = backend
+        self._workers = workers
+        self._signal_cache_size = signal_cache_size
+        platform = pipeline.platform
+        scenario = platform.scenario
+        self._scenario_config = scenario.config
+        self._platform_config = platform.config
+        self._curation_config = pipeline.config
+        self._order = sorted(windows)
+        self._countries = {
+            iso2: _CountryState(iso2, windows[iso2], scenario.seed)
+            for iso2 in self._order}
+        self._watermark: Optional[int] = None
+        self._max_bin_end: Optional[int] = None
+        self._bins_pushed = 0
+        self._seq = itertools.count(1)
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+
+    # -- introspection (the session's telemetry reads these) ------------------
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """The last advanced watermark (None before the first advance)."""
+        return self._watermark
+
+    @property
+    def bins_pushed(self) -> int:
+        """Distinct bins accepted so far (duplicates not counted)."""
+        return self._bins_pushed
+
+    @property
+    def watermark_lag(self) -> Optional[int]:
+        """Seconds between the newest pushed bin's end and the watermark."""
+        if self._max_bin_end is None:
+            return None
+        return self._max_bin_end - (self._watermark
+                                    if self._watermark is not None
+                                    else self._max_bin_end)
+
+    @property
+    def open_event_count(self) -> int:
+        return sum(len(ws.opens)
+                   for cs in self._countries.values()
+                   for ws in cs.windows if not ws.adjudicated)
+
+    @property
+    def active_window_count(self) -> int:
+        """Windows not yet adjudicated."""
+        return sum(1 for cs in self._countries.values()
+                   for ws in cs.windows if not ws.adjudicated)
+
+    @property
+    def horizon(self) -> int:
+        """Watermark at which every window closes."""
+        return max(ws.close_ts for cs in self._countries.values()
+                   for ws in cs.windows)
+
+    # -- ingestion -------------------------------------------------------------
+
+    def push(self, bins: Iterable[SignalBin]) -> int:
+        """Offer bins, in any order; return how many were new.
+
+        Exact duplicates of already-offered bins are idempotent no-ops
+        (replayed feeds are expected); a duplicate with a *different*
+        value, a bin off its grid, an unknown (country, window), or a
+        push into an adjudicated window raises
+        :class:`~repro.errors.StreamError`.
+        """
+        accepted = 0
+        for b in bins:
+            cs = self._countries.get(b.country_iso2)
+            if cs is None:
+                raise StreamError(
+                    f"no investigation windows for country "
+                    f"{b.country_iso2!r}")
+            ws = cs.by_start.get(b.window_start)
+            if ws is None:
+                raise StreamError(
+                    f"{b.country_iso2} has no investigation window "
+                    f"starting at {b.window_start}")
+            if ws.adjudicated or ws.series is None:
+                raise StreamError(
+                    f"window {ws.window} of {b.country_iso2} is already "
+                    f"adjudicated; cannot push bin at {b.time}")
+            ss = ws.series[b.kind]
+            offset = b.time - ss.start
+            idx, rem = divmod(offset, ss.width)
+            if rem or not 0 <= idx < ss.n_bins:
+                raise StreamError(
+                    f"bin at {b.time} is off the {ss.width}s grid "
+                    f"[{ss.start}, {ss.end}) of {b.country_iso2}/"
+                    f"{b.kind.value}")
+            if ss.present[idx]:
+                if ss.values[idx] != b.value:
+                    raise StreamError(
+                        f"conflicting duplicate for {b.country_iso2}/"
+                        f"{b.kind.value} at {b.time}: had "
+                        f"{ss.values[idx]!r}, got {b.value!r}")
+                continue
+            ss.values[idx] = b.value
+            ss.present[idx] = True
+            accepted += 1
+            end = b.time + ss.width
+            if self._max_bin_end is None or end > self._max_bin_end:
+                self._max_bin_end = end
+        self._bins_pushed += accepted
+        return accepted
+
+    # -- the watermark ---------------------------------------------------------
+
+    def advance(self, watermark: int) -> List[StreamEvent]:
+        """Advance the watermark; consume elapsed bins; emit lifecycle.
+
+        Feeds every window's contiguous elapsed prefix to its
+        detectors, adjudicates windows whose last bin elapsed (fanned
+        out per country on the configured backend), and returns the
+        lifecycle events of this advance in deterministic (country,
+        window) order.  A regressing watermark raises; re-advancing to
+        the current watermark is a no-op.
+        """
+        if self._watermark is not None:
+            if watermark < self._watermark:
+                raise StreamError(
+                    f"watermark must not regress: {watermark} < "
+                    f"{self._watermark}")
+            if watermark == self._watermark:
+                return []
+        self._watermark = watermark
+        due: Dict[str, List[_WindowState]] = {}
+        for iso2 in self._order:
+            for ws in self._countries[iso2].windows:
+                if ws.adjudicated:
+                    continue
+                self._feed_window(iso2, ws, watermark)
+                if watermark >= ws.close_ts:
+                    self._complete_window(iso2, ws)
+                    due.setdefault(iso2, []).append(ws)
+        events: List[StreamEvent] = []
+        due_windows = {id(ws) for states in due.values() for ws in states}
+        for iso2 in self._order:
+            cs = self._countries[iso2]
+            for ws in cs.windows:
+                if ws.adjudicated or id(ws) in due_windows \
+                        or not ws.touched:
+                    continue
+                events.extend(self._refresh_lifecycle(cs, ws))
+                ws.touched = False
+        adjudications = self._adjudicate(due)
+        for iso2 in sorted(due):
+            cs = self._countries[iso2]
+            for ws, adj in zip(due[iso2], adjudications[iso2]):
+                events.extend(self._close_window(cs, ws, adj))
+                cs.records.extend(adj.records)
+                ws.adjudicated = True
+                ws.series = None  # buffers and detector state released
+        return events
+
+    def _feed_window(self, iso2: str, ws: _WindowState,
+                     watermark: int) -> None:
+        assert ws.series is not None
+        for kind in SignalKind:
+            ss = ws.series[kind]
+            ready = min(ss.n_bins, (watermark - ss.start) // ss.width)
+            if ready <= ss.fed:
+                continue
+            pending = ss.present[ss.fed:ready]
+            if not pending.all():
+                missing = ss.start + ss.width * (
+                    ss.fed + int(np.flatnonzero(~pending)[0]))
+                raise StreamError(
+                    f"watermark {watermark} passed bin at {missing} of "
+                    f"{iso2}/{kind.value} before it was pushed")
+            alerts = ss.detector.feed(ss.bin_starts[ss.fed:ready],
+                                      ss.values[ss.fed:ready])
+            ss.episodes.extend(ss.grouper.feed(alerts))
+            ss.fed = ready
+            if alerts:
+                ws.touched = True
+
+    def _complete_window(self, iso2: str, ws: _WindowState) -> None:
+        assert ws.series is not None
+        for kind in SignalKind:
+            ss = ws.series[kind]
+            if ss.fed < ss.n_bins:
+                raise StreamError(
+                    f"window {ws.window} of {iso2} closed with "
+                    f"{ss.n_bins - ss.fed} {kind.value} bins never fed")
+            ss.episodes.extend(ss.grouper.finalize())
+
+    @staticmethod
+    def _episodes_of(ws: _WindowState, *, provisional: bool
+                     ) -> Dict[SignalKind, List[AlertEpisode]]:
+        assert ws.series is not None
+        episodes: Dict[SignalKind, List[AlertEpisode]] = {}
+        for kind in SignalKind:
+            ss = ws.series[kind]
+            eps = list(ss.episodes)
+            if provisional:
+                open_episode = ss.grouper.open_episode()
+                if open_episode is not None:
+                    eps.append(open_episode)
+            episodes[kind] = eps
+        return episodes
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _refresh_lifecycle(self, cs: _CountryState,
+                           ws: _WindowState) -> List[StreamEvent]:
+        """Re-cluster the window's provisional view; emit open/update.
+
+        Pure with respect to the run: clustering, the observation
+        calendar, and visibility recomputation touch neither the RNG
+        nor record ids, so a watched stream records the same bytes as
+        an unwatched one.
+        """
+        events: List[StreamEvent] = []
+        candidates = self._pipeline.cluster_episodes(
+            self._episodes_of(ws, provisional=True))
+        consumed: set = set()
+        for candidate in candidates:
+            if not self._pipeline.observes(candidate.span.start):
+                continue
+            visible = tuple(self._pipeline.visible_signals_of(candidate))
+            if not visible:
+                continue
+            span = candidate.span
+            matches = sorted(
+                key for key, open_ in ws.opens.items()
+                if key not in consumed and open_.span.overlaps(span))
+            if not matches:
+                open_ = _Open(key=span.start, span=span, signals=visible)
+                ws.opens[open_.key] = open_
+                consumed.add(open_.key)
+                events.append(self._emit("open", cs.iso2, ws, open_))
+                continue
+            keep = matches[0]
+            for key in matches[1:]:
+                merged = ws.opens.pop(key)
+                events.append(self._emit("close", cs.iso2, ws, merged,
+                                         outcome="merged"))
+            consumed.add(keep)
+            open_ = ws.opens[keep]
+            if open_.span != span or open_.signals != visible:
+                open_.span = span
+                open_.signals = visible
+                events.append(self._emit("update", cs.iso2, ws, open_))
+        return events
+
+    def _close_window(self, cs: _CountryState, ws: _WindowState,
+                      adj: WindowAdjudication) -> List[StreamEvent]:
+        """Resolve the window's lifecycle against its adjudication."""
+        events: List[StreamEvent] = []
+        consumed: set = set()
+        for outcome in adj.outcomes:
+            matches = sorted(
+                key for key, open_ in ws.opens.items()
+                if key not in consumed
+                and open_.span.overlaps(outcome.span))
+            consumed.update(matches)
+            if outcome.outcome == "unobserved":
+                # Never opened in the common case (the calendar gap is
+                # checked before opening); a span drift that flipped the
+                # check closes any stale open quietly.
+                for key in matches:
+                    events.append(self._emit(
+                        "close", cs.iso2, ws, ws.opens.pop(key),
+                        outcome="dismissed"))
+                continue
+            if matches:
+                for key in matches[1:]:
+                    events.append(self._emit(
+                        "close", cs.iso2, ws, ws.opens.pop(key),
+                        outcome="merged"))
+                open_ = ws.opens.pop(matches[0])
+                open_.span = outcome.span
+                open_.signals = outcome.signals
+                events.append(self._emit(
+                    "close", cs.iso2, ws, open_,
+                    outcome=outcome.outcome, record=outcome.record))
+                continue
+            if not outcome.signals and outcome.outcome != "recorded":
+                continue  # never visible, never opened: no lifecycle
+            # Opened and closed within one advance: synthesize the open
+            # so every close has a matching open on the wire.
+            open_ = _Open(key=outcome.span.start, span=outcome.span,
+                          signals=outcome.signals)
+            events.append(self._emit("open", cs.iso2, ws, open_))
+            events.append(self._emit(
+                "close", cs.iso2, ws, open_, outcome=outcome.outcome,
+                record=outcome.record))
+        for key in sorted(ws.opens):
+            events.append(self._emit("close", cs.iso2, ws,
+                                     ws.opens.pop(key), outcome="merged"))
+        return events
+
+    def _emit(self, state: str, iso2: str, ws: _WindowState, open_: _Open,
+              outcome: Optional[str] = None,
+              record: Optional[OutageRecord] = None) -> StreamEvent:
+        assert self._watermark is not None
+        return StreamEvent(
+            seq=next(self._seq), state=state, key=f"{iso2}:{open_.key}",
+            country_iso2=iso2, window_start=ws.window.start,
+            span=open_.span, signals=open_.signals,
+            watermark=self._watermark, outcome=outcome, record=record)
+
+    # -- adjudication backends -------------------------------------------------
+
+    def _adjudicate(self, due: Dict[str, List[_WindowState]]
+                    ) -> Dict[str, List[WindowAdjudication]]:
+        if not due:
+            return {}
+        work = {
+            iso2: [(ws.window, self._episodes_of(ws, provisional=False))
+                   for ws in states]
+            for iso2, states in due.items()}
+        if (self._backend == "serial" or self._workers <= 1
+                or len(due) == 1):
+            return {iso2: self._adjudicate_country(iso2, work[iso2])
+                    for iso2 in sorted(due)}
+        if self._backend == "thread":
+            with ThreadPoolExecutor(
+                    max_workers=min(self._workers, len(due))) as pool:
+                futures = {
+                    iso2: pool.submit(self._adjudicate_country, iso2,
+                                      work[iso2])
+                    for iso2 in sorted(due)}
+                return {iso2: future.result()
+                        for iso2, future in futures.items()}
+        pool = self._ensure_pool()
+        futures = {}
+        for iso2 in sorted(due):
+            cs = self._countries[iso2]
+            futures[iso2] = pool.submit(
+                adjudicate_country_subprocess, self._scenario_config,
+                self._platform_config, self._curation_config,
+                self._period, iso2, work[iso2],
+                cs.rng.bit_generator.state, cs.next_record_id,
+                self._signal_cache_size)
+        out: Dict[str, List[WindowAdjudication]] = {}
+        for iso2, future in futures.items():
+            adjudications, rng_state, next_record_id = future.result()
+            cs = self._countries[iso2]
+            cs.rng.bit_generator.state = rng_state
+            cs.next_record_id = next_record_id
+            out[iso2] = adjudications
+        return out
+
+    def _adjudicate_country(
+            self, iso2: str,
+            work: Sequence[Tuple[TimeRange,
+                                 Dict[SignalKind, List[AlertEpisode]]]]
+    ) -> List[WindowAdjudication]:
+        cs = self._countries[iso2]
+        record_ids = itertools.count(cs.next_record_id)
+        adjudications = [
+            self._pipeline.adjudicate_window(iso2, window, self._period,
+                                             episodes, cs.rng, record_ids)
+            for window, episodes in work]
+        cs.next_record_id = next(record_ids)
+        return adjudications
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self._workers, initializer=worker_init,
+                initargs=(self._scenario_config, self._platform_config,
+                          self._signal_cache_size))
+        return self._process_pool
+
+    # -- completion ------------------------------------------------------------
+
+    def finalized_records(self) -> List[OutageRecord]:
+        """The canonical curated dataset, once every window closed.
+
+        Same merge as batch: per-country lists in sorted country order
+        through :func:`repro.ioda.curation.finalize_records`.  Raises
+        :class:`~repro.errors.StreamError` while windows remain open —
+        advance the watermark to :attr:`horizon` first.
+        """
+        pending = [(cs.iso2, ws.window.start)
+                   for iso2 in self._order
+                   for cs in (self._countries[iso2],)
+                   for ws in cs.windows if not ws.adjudicated]
+        if pending:
+            raise StreamError(
+                f"{len(pending)} windows still open (first: "
+                f"{pending[0][0]} @ {pending[0][1]}); advance the "
+                f"watermark to the horizon before finalizing")
+        return finalize_records(
+            self._countries[iso2].records for iso2 in self._order)
+
+    def records_so_far(self) -> List[OutageRecord]:
+        """Records of every window adjudicated so far (the live feed).
+
+        Same deterministic merge as :meth:`finalized_records`, over
+        whatever has closed — this is what a live
+        :meth:`~repro.stream.session.StreamSession.client` serves, with
+        the watermark as its feed revision.
+        """
+        return finalize_records(
+            self._countries[iso2].records for iso2 in self._order)
+
+    def close(self) -> None:
+        """Release the process pool (no-op for other backends)."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None

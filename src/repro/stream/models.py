@@ -1,0 +1,155 @@
+"""Wire types of the streaming surface.
+
+These are the values that cross the :class:`~repro.stream.session.
+StreamSession` boundary: :class:`SignalBin` going in (one platform
+measurement bin), :class:`StreamEvent` coming out (one step of an
+outage-event lifecycle).  Everything here is a frozen, picklable
+dataclass so the same payloads flow unchanged through the serial,
+thread, and process backends and into the run journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.ioda.records import OutageRecord
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange, bin_floor
+
+__all__ = ["SignalBin", "BinBatch", "StreamEvent", "EVENT_STATES",
+           "EVENT_OUTCOMES", "bin_grid"]
+
+
+def bin_grid(window: TimeRange, kind: SignalKind) -> Tuple[int, int]:
+    """(first bin start, bin count) of a signal's grid over a window.
+
+    This is the platform's own layout (`IODAPlatform._up_fraction`):
+    bins are floored to the signal's width at the window start and cover
+    the window end.  The engine and the source must agree on it exactly
+    — it defines both which bins a window expects and when a watermark
+    closes the window.
+    """
+    width = kind.bin_width
+    start = bin_floor(window.start, width)
+    n_bins = -(-(window.end - start) // width)
+    return start, n_bins
+
+#: Lifecycle states a :class:`StreamEvent` may carry.
+EVENT_STATES = ("open", "update", "close")
+
+#: Terminal outcomes a ``close`` event may carry.
+EVENT_OUTCOMES = ("recorded", "dismissed", "merged")
+
+
+@dataclass(frozen=True)
+class SignalBin:
+    """One measurement bin of one country-level signal.
+
+    ``window_start`` tags the investigation window the bin belongs to —
+    platform signals are keyed by window start (the synthetic platform
+    derives each window's random substream from it), so the engine must
+    route bins to the right per-window detector.  ``time`` is the bin's
+    own start timestamp; ``value`` the measured signal level.
+    """
+
+    country_iso2: str
+    kind: SignalKind
+    window_start: int
+    time: int
+    value: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "country_iso2": self.country_iso2,
+            "kind": self.kind.value,
+            "window_start": self.window_start,
+            "time": self.time,
+            "value": self.value,
+        }
+
+
+@dataclass(frozen=True)
+class BinBatch:
+    """A batch of bins plus the watermark they justify.
+
+    Produced by :class:`repro.stream.source.ScenarioBinSource` when
+    replaying a scenario step by step; ``watermark`` is the timestamp up
+    to which the source promises all its bins have been delivered, so a
+    driver can push the batch and advance in one move.
+    """
+
+    bins: Tuple[SignalBin, ...]
+    watermark: int
+
+    def __post_init__(self) -> None:
+        for b in self.bins:
+            if b.time >= self.watermark:
+                raise StreamError(
+                    f"bin at {b.time} not covered by its own batch "
+                    f"watermark {self.watermark}")
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One step of an outage-event lifecycle.
+
+    ``seq`` is a session-global, gap-free sequence number (the journal
+    and replay order).  ``key`` identifies the event across its
+    lifecycle: the (country, first-seen candidate span start) pair,
+    rendered ``"CC:timestamp"``.  ``state`` is ``open`` when a visible
+    alert-episode cluster first crosses the watermark, ``update`` when
+    its provisional span or signal set changes on a later advance, and
+    ``close`` when the window is adjudicated (or the cluster merged
+    into a neighbour).  A ``close`` carries an ``outcome`` —
+    ``recorded`` (with the curated :class:`~repro.ioda.records.
+    OutageRecord`), ``dismissed``, or ``merged`` — and only a ``close``
+    does.
+    """
+
+    seq: int
+    state: str
+    key: str
+    country_iso2: str
+    window_start: int
+    span: TimeRange
+    signals: Tuple[SignalKind, ...]
+    watermark: int
+    outcome: Optional[str] = None
+    record: Optional[OutageRecord] = None
+
+    def __post_init__(self) -> None:
+        if self.state not in EVENT_STATES:
+            raise StreamError(f"unknown event state: {self.state!r}")
+        if self.state == "close":
+            if self.outcome not in EVENT_OUTCOMES:
+                raise StreamError(
+                    f"close event needs an outcome from {EVENT_OUTCOMES}: "
+                    f"{self.outcome!r}")
+        elif self.outcome is not None:
+            raise StreamError(
+                f"{self.state!r} event must not carry an outcome")
+        if self.record is not None and self.outcome != "recorded":
+            raise StreamError(
+                "only a 'recorded' close may carry an outage record")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (for the journal and the CLI)."""
+        from repro.io import record_to_dict
+
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "state": self.state,
+            "key": self.key,
+            "country_iso2": self.country_iso2,
+            "window_start": self.window_start,
+            "span": {"start": self.span.start, "end": self.span.end},
+            "signals": [k.value for k in self.signals],
+            "watermark": self.watermark,
+        }
+        if self.outcome is not None:
+            out["outcome"] = self.outcome
+        if self.record is not None:
+            out["record"] = record_to_dict(self.record)
+        return out

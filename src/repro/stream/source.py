@@ -1,0 +1,161 @@
+"""Replaying a scenario as a live bin feed.
+
+:class:`ScenarioBinSource` turns the synthetic platform into the thing
+the paper's platforms actually are: a feed that delivers measurement
+bins as time passes.  It walks the scenario's investigation windows,
+pulls each (country, window, signal) series from the platform exactly
+once — lazily, the first time the advancing watermark reaches it — and
+hands the elapsed bins out as watermarked :class:`~repro.stream.models.
+BinBatch`\\ es.  Because platform signals are deterministic per (seed,
+entity, window start), the feed replays the very bins batch detection
+would read, which is what makes stream-vs-batch byte-identity provable.
+
+The pull is the source's fault-injection site: with a
+:class:`~repro.resilience.ResilienceConfig`, each series fetch runs
+under :func:`~repro.resilience.call_with_retry` (site
+``stream.source``), so an ambient :class:`~repro.resilience.FaultPlan`
+can fail fetches that then back off and retry deterministically.  A
+recovered fetch returns the same deterministic series a fault-free run
+reads — a chaos stream that survives its faults finalizes byte-identical
+to a calm one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.ioda.platform import IODAPlatform
+from repro.resilience import BreakerBoard, ResilienceConfig, call_with_retry
+from repro.signals.entities import Entity
+from repro.signals.kinds import SignalKind
+from repro.stream.models import BinBatch, SignalBin, bin_grid
+from repro.timeutils.timestamps import TimeRange
+
+__all__ = ["ScenarioBinSource"]
+
+
+@dataclass
+class _Grid:
+    """Replay cursor over one (country, window, signal) series."""
+
+    iso2: str
+    window: TimeRange
+    kind: SignalKind
+    start: int
+    n_bins: int
+    cursor: int = 0
+    bin_starts: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_bins * self.kind.bin_width
+
+
+class ScenarioBinSource:
+    """Streams a scenario's country-level signal bins in watermark steps.
+
+    ``windows`` is the per-country investigation-window map
+    (:meth:`repro.ioda.curation.CurationPipeline.country_windows`) — the
+    same map the batch executor distributes, so the source covers
+    exactly the bins batch curation reads.
+    """
+
+    def __init__(self, platform: IODAPlatform,
+                 windows: Mapping[str, Sequence[TimeRange]], *,
+                 resilience: Optional[ResilienceConfig] = None):
+        self._platform = platform
+        self._resilience = resilience
+        self._board = (BreakerBoard(resilience.breaker)
+                       if resilience is not None else None)
+        self._grids: List[_Grid] = []
+        for iso2 in sorted(windows):
+            for window in windows[iso2]:
+                for kind in SignalKind:
+                    start, n_bins = bin_grid(window, kind)
+                    self._grids.append(_Grid(
+                        iso2=iso2, window=window, kind=kind,
+                        start=start, n_bins=n_bins))
+
+    @property
+    def horizon(self) -> int:
+        """Timestamp past the last bin of the last window."""
+        if not self._grids:
+            raise StreamError("source has no windows to stream")
+        return max(grid.end for grid in self._grids)
+
+    @property
+    def origin(self) -> int:
+        """Timestamp of the earliest bin of any window."""
+        if not self._grids:
+            raise StreamError("source has no windows to stream")
+        return min(grid.start for grid in self._grids)
+
+    def batches(self, step: int) -> Iterator[BinBatch]:
+        """Yield the feed in watermark increments of ``step`` seconds.
+
+        Each batch carries every bin that fully elapsed since the
+        previous batch (bin end <= watermark) plus the watermark
+        itself, so a driver can ``push`` then ``advance_watermark`` in
+        one move.  The final batch's watermark is exactly
+        :attr:`horizon`.  Series are materialized lazily and the
+        backing arrays dropped as soon as their last bin ships, so the
+        source never holds the whole study period at once.
+        """
+        if step <= 0:
+            raise StreamError(f"watermark step must be positive: {step}")
+        if not self._grids:
+            return
+        horizon = self.horizon
+        watermark = self.origin
+        while watermark < horizon:
+            watermark = min(watermark + step, horizon)
+            bins: List[SignalBin] = []
+            for grid in self._grids:
+                width = grid.kind.bin_width
+                ready = min(grid.n_bins,
+                            (watermark - grid.start) // width)
+                if ready <= grid.cursor:
+                    continue
+                if grid.values is None:
+                    self._materialize(grid)
+                assert grid.bin_starts is not None \
+                    and grid.values is not None
+                for i in range(grid.cursor, ready):
+                    bins.append(SignalBin(
+                        country_iso2=grid.iso2, kind=grid.kind,
+                        window_start=grid.window.start,
+                        time=int(grid.bin_starts[i]),
+                        value=float(grid.values[i])))
+                grid.cursor = ready
+                if grid.cursor >= grid.n_bins:
+                    grid.bin_starts = grid.values = None
+            yield BinBatch(bins=tuple(bins), watermark=watermark)
+
+    def _materialize(self, grid: _Grid) -> None:
+        """Pull one series from the platform (the retried fault site)."""
+        entity = Entity.country(grid.iso2)
+
+        def pull() -> None:
+            series = self._platform.signal(entity, grid.kind, grid.window)
+            starts, values = series.arrays()
+            if starts.shape[0] != grid.n_bins or int(starts[0]) != grid.start:
+                raise StreamError(
+                    f"platform series disagrees with the bin grid for "
+                    f"{grid.iso2}/{grid.kind.value} at {grid.window}")
+            grid.bin_starts = starts.copy()
+            grid.values = values.copy()
+
+        if self._resilience is None:
+            pull()
+            return
+        assert self._board is not None
+        call_with_retry(
+            pull, policy=self._resilience.retry,
+            key=f"{grid.iso2}:{grid.window.start}:{grid.kind.value}",
+            site="stream.source",
+            breaker=self._board.get(grid.iso2))

@@ -1,0 +1,69 @@
+"""Process-backend adjudication for the stream engine.
+
+The engine's feed phase is cheap numpy; the expensive part of an
+advance is adjudicating the windows the watermark just closed (control
+queries, scope descent).  Under the ``process`` backend those are
+shipped here, to a pool whose workers hold the same worker-resident
+world the batch executor uses (:func:`repro.exec.workers.
+resident_world`): only configs, the windows' accumulated alert
+episodes, and the country's RNG state cross the process boundary.
+
+Curation consumes its per-country RNG substream strictly in candidate
+order, so the engine ships the generator's exact bit-state out and
+takes the advanced state back — the draws land exactly where a serial
+run would land them, which is what keeps the process backend
+byte-identical.  Stream workers do not collect observability (the
+engine's telemetry reports watermark progress from the parent side);
+records, outcomes, and RNG state are the entire contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ioda.curation import CurationConfig, CurationPipeline, \
+    WindowAdjudication
+from repro.ioda.platform import PlatformConfig
+from repro.rng import substream
+from repro.signals.alerts import AlertEpisode
+from repro.signals.kinds import SignalKind
+from repro.timeutils.timestamps import TimeRange
+from repro.world.scenario import ScenarioConfig
+
+__all__ = ["adjudicate_country_subprocess"]
+
+#: One country's due work: (window, its accumulated per-signal episodes).
+_WindowWork = Tuple[TimeRange, Dict[SignalKind, List[AlertEpisode]]]
+
+
+def adjudicate_country_subprocess(
+        scenario_config: ScenarioConfig,
+        platform_config: PlatformConfig,
+        curation_config: CurationConfig,
+        period: TimeRange,
+        iso2: str,
+        work: Sequence[_WindowWork],
+        rng_state: dict,
+        next_record_id: int,
+        signal_cache_size: Optional[int] = None,
+) -> Tuple[List[WindowAdjudication], dict, int]:
+    """Adjudicate one country's closed windows over the resident world.
+
+    Module-level so it pickles by reference.  Returns the adjudications
+    in window order plus the advanced RNG state and next record id for
+    the parent to fold back into its country state.
+    """
+    from repro.exec.workers import resident_world
+
+    scenario, platform = resident_world(
+        scenario_config, platform_config, signal_cache_size)
+    pipeline = CurationPipeline(platform, curation_config)
+    rng = substream(scenario.seed, "curation", iso2)
+    rng.bit_generator.state = rng_state
+    record_ids = itertools.count(next_record_id)
+    adjudications = [
+        pipeline.adjudicate_window(iso2, window, period, episodes, rng,
+                                   record_ids)
+        for window, episodes in work]
+    return adjudications, rng.bit_generator.state, next(record_ids)

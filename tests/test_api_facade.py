@@ -79,23 +79,18 @@ class TestRun:
         assert repro.api.run is api.run
 
 
-class TestDeprecatedShims:
-    def test_run_with_stats_warns_and_returns_pair(self, cache_dir):
-        with pytest.warns(DeprecationWarning, match="run_with_stats"):
-            result, stats = api.run_with_stats(
-                scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
-                workers=2, cache_dir=cache_dir)
-        assert isinstance(result, api.PipelineResult)
-        assert isinstance(stats, ExecStats)
+class TestRemovedShims:
+    def test_tuple_shims_are_gone(self):
+        # Deprecated in PR 6, removed with the api.stream redesign: the
+        # RunResult is the only return shape.
+        assert not hasattr(api, "run_with_stats")
+        assert not hasattr(api, "run_with_health")
+        assert "run_with_stats" not in api.__all__
+        assert "run_with_health" not in api.__all__
 
-    def test_run_with_health_warns_and_returns_triple(self, cache_dir):
-        with pytest.warns(DeprecationWarning, match="run_with_health"):
-            result, stats, health = api.run_with_health(
-                scenario_config=SMALL_CONFIG, study_period=SMALL_PERIOD,
-                workers=2, cache_dir=cache_dir)
-        assert isinstance(result, api.PipelineResult)
-        assert isinstance(stats, ExecStats)
-        assert isinstance(health, HealthReport)
+    def test_stream_is_exported(self):
+        assert "stream" in api.__all__
+        assert "StreamSession" in api.__all__
 
 
 class TestClient:

@@ -69,6 +69,20 @@ class TestParser:
             ["run", "--profile-alloc", "5"])
         assert args.profile_alloc == 5
 
+    def test_stream_arguments(self):
+        args = build_parser().parse_args(
+            ["stream", "--step", "30d", "--events", "--health",
+             "--run-name", "live"])
+        assert args.command == "stream"
+        assert args.step == "30d"
+        assert args.events and args.health
+        assert args.run_name == "live"
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.step == "7d"
+        assert not args.events
+
     def test_health_command_arguments(self):
         args = build_parser().parse_args(
             ["health", "RUN.jsonl", "--json", "--strict"])
@@ -422,6 +436,59 @@ class TestHealthAndPerf:
                                                    tmp_path):
         assert main(["perf", "report", "--dir", str(tmp_path)]) == 2
         assert "no baselines" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    """The stream subcommand on the small test scenario.
+
+    Shrinks the run the same way :class:`TestResilienceFlags` does; the
+    watermark replay, event listing, and step parsing are the real
+    code paths.
+    """
+
+    @pytest.fixture()
+    def small_cli(self, monkeypatch):
+        from repro.timeutils.timestamps import TimeRange, utc
+        from repro.world.scenario import ScenarioConfig
+
+        monkeypatch.setattr(
+            "repro.cli.ScenarioConfig",
+            lambda seed: ScenarioConfig(seed=seed, years=(2018,)))
+        monkeypatch.setattr(
+            "repro.cli.STUDY_PERIOD",
+            TimeRange(utc(2018, 1, 1), utc(2018, 5, 1)))
+
+    def test_stream_replays_to_horizon(self, capsys, small_cli):
+        status = main(["--seed", "7", "stream", "--step", "14d"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "streamed to horizon" in out
+        assert "curated records" in out
+        assert "watermark" in out  # per-advance progress lines
+
+    def test_stream_events_listing(self, capsys, small_cli):
+        status = main(["--seed", "7", "stream", "--step", "28d",
+                       "--events"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "  open " in out or " open" in out
+        assert "-> recorded" in out
+
+    def test_stream_journals_lifecycle_events(self, capsys, tmp_path,
+                                              small_cli):
+        import json
+        journal = tmp_path / "stream.jsonl"
+        status = main(["--seed", "7", "stream", "--step", "28d",
+                       "--journal", str(journal)])
+        assert status == 0
+        lines = [json.loads(line)
+                 for line in journal.read_text().splitlines()]
+        assert any(l["type"] == "stream.event" for l in lines)
+
+    def test_stream_bad_step_exits_2(self, capsys, small_cli):
+        status = main(["stream", "--step", "bogus"])
+        assert status == 2
+        assert "repro: error:" in capsys.readouterr().err
 
 
 class TestCacheDirFallback:

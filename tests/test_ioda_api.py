@@ -69,28 +69,15 @@ class TestEventFeed:
         assert seen == list(pipeline_result.curated_records) \
             or len(seen) == len(pipeline_result.curated_records)
 
-    def test_offset_pagination_deprecated_but_working(self, client,
-                                                      pipeline_result):
-        seen = []
-        offset = 0
-        while True:
-            with pytest.deprecated_call():
-                page = client.get_events(offset=offset, limit=100)
-            seen.extend(page.events)
-            if page.next_offset is None:
-                break
-            offset = page.next_offset
-        assert len(seen) == len(pipeline_result.curated_records)
-
-    def test_offset_warning_kind_and_guidance(self, client):
-        with pytest.warns(DeprecationWarning,
-                          match=r"EventPage\.cursor"):
+    def test_offset_param_removed(self, client):
+        # Cursor paging is the only contract: the deprecated offset=
+        # parameter is gone, loudly.
+        with pytest.raises(TypeError):
             client.get_events(offset=0, limit=10)
 
-    def test_offset_warning_points_at_the_caller(self, client):
-        with pytest.warns(DeprecationWarning) as captured:
-            client.get_events(offset=0, limit=10)
-        assert captured[0].filename == __file__
+    def test_next_offset_field_removed(self, client):
+        page = client.get_events(limit=10)
+        assert not hasattr(page, "next_offset")
 
     def test_cursor_pagination_emits_no_warning(self, client):
         with warnings.catch_warnings(record=True) as captured:
@@ -99,12 +86,10 @@ class TestEventFeed:
             client.get_events(limit=10, cursor=page.cursor)
         assert captured == []
 
-    def test_cursor_and_offset_agree(self, client):
-        with pytest.deprecated_call():
-            by_offset = client.get_events(offset=100, limit=50)
+    def test_cursor_resumes_where_the_page_ended(self, client):
         first = client.get_events(limit=100)
         by_cursor = client.get_events(limit=50, cursor=first.cursor)
-        assert by_cursor.events == by_offset.events
+        assert by_cursor.events == client.get_events(limit=150).events[100:]
 
     def test_cursor_bound_to_filters(self, client):
         page = client.get_events(limit=10)
@@ -150,14 +135,41 @@ class TestEventFeed:
         with pytest.raises(CursorError):
             after.get_events(limit=10, cursor=page.cursor)
 
+    def test_live_feed_serves_current_records(self, platform,
+                                              pipeline_result):
+        records = pipeline_result.curated_records
+        state = {"records": records[:5], "revision": 1}
+        live = IODAClient(platform, feed=lambda: state["records"],
+                          revision=lambda: state["revision"])
+        assert live.get_events(limit=100).total == 5
+        state["records"] = records[:9]
+        assert live.get_events(limit=100).total == 9
+
+    def test_live_cursor_stale_after_revision_moves(self, platform,
+                                                    pipeline_result):
+        # The StreamSession.client() contract: cursors bind to the
+        # stream revision (the watermark), so a cursor minted before an
+        # advance fails loudly instead of silently paging a shifted
+        # feed — even if the record count happens to be unchanged.
+        records = pipeline_result.curated_records
+        state = {"revision": 100}
+        live = IODAClient(platform, feed=lambda: records,
+                          revision=lambda: state["revision"])
+        page = live.get_events(limit=10)
+        assert page.cursor is not None
+        state["revision"] = 200
+        with pytest.raises(CursorError, match="revision"):
+            live.get_events(limit=10, cursor=page.cursor)
+
+    def test_live_feed_rejects_static_records_too(self, platform,
+                                                  pipeline_result):
+        with pytest.raises(ValueError):
+            IODAClient(platform, pipeline_result.curated_records,
+                       feed=lambda: [])
+
     def test_paging_params_are_keyword_only(self, client):
         with pytest.raises(TypeError):
-            client.get_events("SY", None, None, 0)  # offset positionally
-
-    def test_cursor_offset_conflict_rejected(self, client):
-        page = client.get_events(limit=10)
-        with pytest.raises(PaginationError):
-            client.get_events(offset=10, cursor=page.cursor)
+            client.get_events("SY", None, None, 50)  # limit positionally
 
     def test_country_filter(self, client):
         page = client.get_events(country_iso2="sy", limit=500)

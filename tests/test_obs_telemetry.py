@@ -165,6 +165,21 @@ class TestHeartbeatSampler:
         cache = sampler.beat()["signal_cache"]
         assert cache == {"hits": 3, "misses": 1, "hit_rate": 0.75}
 
+    def test_stream_block(self):
+        # Present only once a stream has advanced (the watermark gauge
+        # exists); lag is optional until the first advance computes it.
+        sampler, _, metrics = _sampler(lambda event: None)
+        assert "stream" not in sampler.beat()
+        metrics.gauge("stream.watermark").set(1_500_000_000)
+        metrics.gauge("stream.open_events").set(4)
+        metrics.gauge("stream.windows_active").set(2)
+        metrics.counter("stream.bins_pushed").inc(8640)
+        block = sampler.beat()["stream"]
+        assert block == {"watermark": 1_500_000_000, "open_events": 4,
+                         "windows_active": 2, "bins_pushed": 8640}
+        metrics.gauge("stream.lag_seconds").set(86400.0)
+        assert sampler.beat()["stream"]["lag_seconds"] == 86400
+
     def test_background_thread_beats_and_final(self):
         beats = []
         sampler, _, _ = _sampler(beats.append, interval=0.02)
