@@ -35,7 +35,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.observability import execution_report, health_report
 from repro.core.matching import MatchingConfig
@@ -53,7 +53,8 @@ from repro.obs import HealthCheck, HealthPolicy, HealthReport, \
     Observability, PerfBaseline, ProfileConfig, RunJournal, RunRecord, \
     RunRegistry, TelemetryConfig, compare_baselines, default_policy, \
     evaluate_run, list_baselines, load_baseline, read_journal, \
-    run_statistics, save_baseline, summarize_events, write_chrome_trace
+    run_statistics, save_baseline, sorted_capsules, summarize_events, \
+    write_chrome_trace
 from repro.resilience import BreakerPolicy, FaultPlan, ResilienceConfig, \
     RetryPolicy
 from repro.stream.models import SignalBin, StreamEvent
@@ -137,8 +138,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
               resilience: Optional[ResilienceConfig],
               profile: Optional[ProfileConfig | bool],
               health_policy: Optional[HealthPolicy],
-              telemetry: Optional[TelemetryConfig | str | float]
-              ) -> ReproPipeline:
+              telemetry: Optional[TelemetryConfig | str | float],
+              provenance: bool = False) -> ReproPipeline:
     return ReproPipeline(
         scenario_config=scenario_config or ScenarioConfig(seed=seed),
         platform_config=platform_config,
@@ -154,7 +155,8 @@ def _pipeline(*, seed: int, workers: int, backend: str,
         resilience=resilience,
         profile=profile,
         health_policy=health_policy,
-        telemetry=telemetry)
+        telemetry=telemetry,
+        provenance=provenance)
 
 
 def _journal_setup(journal: Optional[RunJournal | str | Path],
@@ -244,6 +246,11 @@ class RunResult:
     run_id: Optional[str] = None
     #: The run's registry directory (``runs_dir=`` only).
     run_dir: Optional[Path] = None
+    #: The run's lineage capsules (``provenance=True`` only), in a
+    #: backend-independent order — one per adjudicated candidate, plus
+    #: streaming lifecycle capsules.  Journal-only evidence: the event
+    #: datasets are byte-identical with or without them.
+    provenance: Tuple[Mapping, ...] = ()
 
     # -- convenience passthroughs into the event datasets ------------------
 
@@ -288,6 +295,7 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         profile: Optional[ProfileConfig | bool] = None,
         health_policy: Optional[HealthPolicy] = None,
         telemetry: Optional[TelemetryConfig | str | float] = None,
+        provenance: bool = False,
         runs_dir: Optional[Path | str] = None,
         run_name: Optional[str] = None) -> RunResult:
     """Run the full reproduction pipeline; return a :class:`RunResult`.
@@ -356,6 +364,17 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
     journal).  Heartbeats are journal-only: event output stays
     byte-identical with telemetry on or off.
 
+    ``provenance=True`` captures a lineage capsule at every curation
+    decision point — the triggering alert, visibility, corroboration
+    (with the exact RNG substream coordinate), control-group checks,
+    cause attribution — exposed as ``result.provenance`` and journaled
+    as ``provenance`` events (plus a ``provenance.manifest`` mapping
+    record ids to capsules; ``repro explain RUN RECORD_ID`` renders
+    one).  Capsules are journal-only: event output is byte-identical
+    with provenance on or off, on every backend.  A provenance run
+    bypasses the shard cache (a warm hit would skip the very decisions
+    being captured).
+
     ``runs_dir`` enables the cross-run registry: the journal (an
     auto-created one, unless ``journal=`` names a path) is filed under
     a content-addressed run ID together with the run's health stats and
@@ -377,7 +396,7 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         resilience=_resilience(resilience, faults, retry_policy,
                                breaker_policy, fail_fast),
         profile=profile, health_policy=health_policy,
-        telemetry=telemetry)
+        telemetry=telemetry, provenance=provenance)
     events = pipeline.run()
     assert pipeline.stats is not None and pipeline.health is not None
     journal_path, run_id, run_dir = _file_run(
@@ -385,9 +404,13 @@ def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         run_name=run_name,
         active_config=scenario_config or ScenarioConfig(seed=seed),
         workers=workers, backend=backend, shards=shards)
+    run_obs = pipeline.observability
     return RunResult(events=events, stats=pipeline.stats,
                      health=pipeline.health, journal_path=journal_path,
-                     run_id=run_id, run_dir=run_dir)
+                     run_id=run_id, run_dir=run_dir,
+                     provenance=sorted_capsules(
+                         run_obs.provenance if run_obs is not None
+                         else None))
 
 
 def stream(*, seed: int = 2023, workers: int = 1,
@@ -409,6 +432,7 @@ def stream(*, seed: int = 2023, workers: int = 1,
            profile: Optional[ProfileConfig | bool] = None,
            health_policy: Optional[HealthPolicy] = None,
            telemetry: Optional[TelemetryConfig | str | float] = None,
+           provenance: bool = False,
            runs_dir: Optional[Path | str] = None,
            run_name: Optional[str] = None) -> StreamSession:
     """Open the reproduction as an incremental run; return its session.
@@ -442,6 +466,14 @@ def stream(*, seed: int = 2023, workers: int = 1,
     perturbing the streamed bytes, so a recovered stream finalizes
     byte-identical to a calm one.
 
+    ``provenance=True`` works as in :func:`run`, with one streaming
+    extra: every lifecycle event carries the ``capsule_id`` of the
+    lineage capsule behind it (the adjudication capsule on a decided
+    ``close``; a lifecycle capsule on provisional states and merges),
+    and the finalized ``RunResult.provenance`` holds them all.  The
+    record payloads — and the finalized datasets — stay byte-identical
+    with provenance on or off, however the bins were chunked.
+
     The batch executor's knobs that stream curation cannot use
     (``cache_dir``, ``shards``) are absent: a stream is incremental by
     construction and never consults the shard cache.
@@ -459,7 +491,8 @@ def stream(*, seed: int = 2023, workers: int = 1,
         kio_config=kio_config, matching_config=matching_config,
         study_period=study_period, observability=observability,
         resilience=resilience_config, profile=profile,
-        health_policy=health_policy, telemetry=telemetry)
+        health_policy=health_policy, telemetry=telemetry,
+        provenance=provenance)
 
     def package(pipeline: ReproPipeline, obs: Observability,
                 events: PipelineResult) -> RunResult:
@@ -472,7 +505,8 @@ def stream(*, seed: int = 2023, workers: int = 1,
         return RunResult(events=events, stats=pipeline.stats,
                          health=pipeline.health,
                          journal_path=journal_path,
-                         run_id=run_id, run_dir=run_dir)
+                         run_id=run_id, run_dir=run_dir,
+                         provenance=sorted_capsules(obs.provenance))
 
     return StreamSession(
         pipeline, seed=active_config.seed, period=study_period,

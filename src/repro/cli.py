@@ -29,6 +29,10 @@
   over a UTC time window.
 - ``triage``   — run the §7 triage heuristic over the most recent curated
   events.
+- ``explain``  — render the full decision chain behind one curated (or
+  dismissed) record from a provenance-enabled run's journal:
+  ``repro explain RUN RECORD_ID`` (a global record id or a capsule id
+  prefix; RUN is a journal path or a registered run ID).
 - ``trace``    — ``trace summarize RUN`` replays a run journal (a path
   or a registered run ID) and prints the slowest spans and hottest
   counters; ``trace diff A B`` attributes the wall-time delta between
@@ -37,8 +41,11 @@
   (``repro health RUN``); exits non-zero on a ``fail`` grade.
 - ``runs``     — the cross-run registry (``--runs-dir``): ``runs list``
   renders the trend table across registered runs, ``runs show RUN``
-  one run's record, ``runs diff A B`` a tolerance-banded comparison,
-  and ``runs register RUN.jsonl`` files an existing journal.
+  one run's record (capsule counts and decision tallies included),
+  ``runs diff A B`` a tolerance-banded comparison (add
+  ``--provenance`` to attribute the record delta to the earliest
+  flipped curation decision), and ``runs register RUN.jsonl`` files an
+  existing journal.
 - ``metrics``  — ``metrics export RUN`` emits the run's final metrics
   snapshot as OpenMetrics/Prometheus text exposition.
 - ``perf``     — perf-baseline trajectory: ``perf record NAME`` stores a
@@ -79,11 +86,11 @@ from repro.exec import BACKENDS
 from repro.resilience import ResilienceConfig, RetryPolicy
 from repro.io import dump_kio_events, dump_records, dump_records_csv
 from repro.obs import BASELINE_DIR, HealthReport, Observability, \
-    PerfBaseline, ProfileConfig, RunRegistry, compare_baselines, \
-    diff_events, list_baselines, load_baseline, parse_interval, \
-    read_journal, run_statistics, save_baseline, \
-    snapshot_to_openmetrics, summarize_events, trajectory_rows, \
-    write_chrome_trace
+    PerfBaseline, ProfileConfig, ProvenanceError, RunRegistry, \
+    compare_baselines, diff_events, diff_provenance, explain_record, \
+    list_baselines, load_baseline, parse_interval, read_journal, \
+    run_statistics, save_baseline, snapshot_to_openmetrics, \
+    summarize_events, trajectory_rows, write_chrome_trace
 from repro.ioda.platform import IODAPlatform
 from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
@@ -187,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "journal every INTERVAL (e.g. 1s, 500ms); "
                           "heartbeats are journal-only, so pair with "
                           "--journal or --runs-dir")
+    run.add_argument("--provenance", action="store_true",
+                     help="capture a lineage capsule at every curation "
+                          "decision point (journaled as 'provenance' "
+                          "events; render one with 'repro explain'); "
+                          "journal-only, so pair with --journal or "
+                          "--runs-dir")
     run.add_argument("--run-name", dest="run_name", default=None,
                      metavar="NAME",
                      help="label for the registry entry (with "
@@ -222,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--health", action="store_true",
                         help="print the finalized run's fidelity "
                              "scorecard")
+    stream.add_argument("--provenance", action="store_true",
+                        help="capture lineage capsules; every "
+                             "journaled lifecycle event references its "
+                             "capsule_id (journal-only, pair with "
+                             "--journal or --runs-dir)")
     stream.add_argument("--run-name", dest="run_name", default=None,
                         metavar="NAME",
                         help="label for the registry entry (with "
@@ -278,6 +296,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seconds below which a path counts as "
                                  "unchanged (default 0.001)")
 
+    explain = commands.add_parser(
+        "explain",
+        help="render the decision chain behind one record from a "
+             "provenance-enabled run")
+    explain.add_argument("journal",
+                         help="path to a RUN.jsonl journal, or a "
+                              "registered run ID (see --runs-dir)")
+    explain.add_argument("record",
+                         help="global record id (as printed by export/"
+                              "triage) or a capsule id prefix (so "
+                              "dismissed candidates are explainable "
+                              "too)")
+
     health = commands.add_parser(
         "health", help="replay the fidelity scorecard a run journaled")
     health.add_argument("journal",
@@ -309,6 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="min_seconds",
                            help="absolute slack in seconds added to "
                                 "every perf band (default 1.0)")
+    runs_diff.add_argument("--provenance", action="store_true",
+                           help="diff the runs' lineage capsules "
+                                "instead: attribute the record delta "
+                                "to the earliest flipped curation "
+                                "decision (both runs must have been "
+                                "executed with --provenance); exits 1 "
+                                "when the decision chains differ")
     runs_register = runs_commands.add_parser(
         "register", help="file an existing journal into the registry")
     runs_register.add_argument("journal", type=Path,
@@ -432,6 +470,7 @@ def _run(args: argparse.Namespace,
         resilience=_resilience(args),
         profile=_profile_config(args),
         telemetry=getattr(args, "heartbeat", None),
+        provenance=getattr(args, "provenance", False),
         runs_dir=getattr(args, "runs_dir", None),
         run_name=getattr(args, "run_name", None))
 
@@ -497,6 +536,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("repro: warning: --heartbeat without --journal or "
                   "--runs-dir; heartbeats are journal-only and will "
                   "be discarded", file=sys.stderr)
+    if args.provenance and args.journal is None and args.runs_dir is None:
+        print("repro: warning: --provenance without --journal or "
+              "--runs-dir; capsules are journal-only and 'repro "
+              "explain' needs the journal", file=sys.stderr)
     profile = _profile_config(args)
     journal = args.journal
     needs_obs = bool(args.trace or journal or args.metrics_json
@@ -596,6 +639,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         journal=args.journal,
         resilience=_resilience(args),
         telemetry=args.heartbeat,
+        provenance=getattr(args, "provenance", False),
         runs_dir=getattr(args, "runs_dir", None),
         run_name=getattr(args, "run_name", None))
     counts = {"open": 0, "update": 0, "close": 0, "recorded": 0}
@@ -735,6 +779,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    events = _read_events(args.journal, args)
+    if events is None:
+        return 2
+    report = explain_record(events, args.record)
+    print("\n".join(report.rows()))
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     registry = _registry(args)
     if args.runs_command == "list":
@@ -764,6 +817,19 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(f"repro: error: {exc.args[0]}", file=sys.stderr)
             return 2
+        if args.provenance:
+            events = []
+            for record in (record_a, record_b):
+                journal = record.journal_path
+                if journal is None or not journal.exists():
+                    print(f"repro: error: run {record.run_id} has no "
+                          f"journal file", file=sys.stderr)
+                    return 2
+                events.append(read_journal(journal))
+            diff = diff_provenance(events[0], events[1])
+            print("\n".join(diff.rows(label_a=record_a.name,
+                                      label_b=record_b.name)))
+            return 0 if diff.empty else 1
         comparison = compare_baselines(
             record_b.as_baseline(), record_a.as_baseline(),
             tolerance=args.tolerance, min_seconds=args.min_seconds)
@@ -879,6 +945,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "signals": _cmd_signals,
     "triage": _cmd_triage,
+    "explain": _cmd_explain,
     "trace": _cmd_trace,
     "health": _cmd_health,
     "runs": _cmd_runs,
@@ -903,6 +970,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ResilienceError as exc:
         # A --fail-fast run hit a source that exhausted its retries (or
         # tripped its breaker); surface the failure, not a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except ProvenanceError as exc:
+        # explain / runs diff --provenance on a journal without
+        # capsules, or an unknown record/capsule token: one line, no
+        # traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

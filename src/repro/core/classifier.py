@@ -145,6 +145,26 @@ class LogisticModel:
         pairs = list(zip(FEATURE_NAMES, self.weights))
         return sorted(pairs, key=lambda p: abs(p[1]), reverse=True)
 
+    def explain(self, features: np.ndarray) -> List[Tuple[str, float]]:
+        """Per-feature logit contributions for one feature vector.
+
+        The decision-provenance view of a prediction: each entry is
+        ``(feature name, weight * standardized value)``, sorted by
+        absolute contribution, so the intercept plus the sum of the
+        second elements is exactly the logit behind
+        :meth:`predict_proba`.
+        """
+        row = np.asarray(features, dtype=np.float64).reshape(-1)
+        if row.shape[0] != len(FEATURE_NAMES):
+            raise ConfigurationError(
+                f"expected {len(FEATURE_NAMES)} features, "
+                f"got {row.shape[0]}")
+        standardized = (row - self.feature_means) / self.feature_scales
+        contributions = standardized * self.weights
+        pairs = [(name, float(c))
+                 for name, c in zip(FEATURE_NAMES, contributions)]
+        return sorted(pairs, key=lambda p: abs(p[1]), reverse=True)
+
 
 @dataclass(frozen=True)
 class TrainResult:

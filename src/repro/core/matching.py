@@ -99,6 +99,18 @@ class EventMatcher:
         metrics = obs.metrics
         metrics.counter("matching.window_comparisons").inc(comparisons)
         metrics.counter("matching.matches").inc(len(matches))
+        recorder = obs.provenance
+        if recorder is not None:
+            # Journal-only lineage: which record matched which KIO
+            # entry, under which lookback.  ``repro explain`` reads
+            # this back when rendering a record's downstream chain.
+            recorder.note("provenance.match", {
+                "lookback": self._config.lookback,
+                "n_kio": len(kio_events),
+                "n_ioda": len(ioda_records),
+                "matches": [[m.kio_event_id, m.ioda_record_id]
+                            for m in matches],
+            })
         return matches
 
     def matched_ioda_ids(self, matches: Sequence[Match]) -> frozenset[int]:

@@ -22,6 +22,7 @@ from repro.core.matching import EventMatcher, Match, MatchingConfig
 from repro.countries.registry import CountryRegistry
 from repro.ioda.records import OutageRecord
 from repro.kio.schema import KIOEvent
+from repro.obs.runtime import current
 from repro.signals.entities import EntityScope
 from repro.timeutils.timestamps import DAY, TimeRange
 
@@ -107,6 +108,18 @@ def build_merged_dataset(
     matcher = EventMatcher(registry, matching)
     matches = tuple(matcher.match(kio_filtered, ioda_filtered))
     labeled = tuple(label_events(ioda_filtered, matches))
+    recorder = current().provenance
+    if recorder is not None:
+        # One journal-only verdict per labeled record, closing the
+        # lineage chain its adjudication capsule opened.
+        for event in labeled:
+            recorder.note("provenance.verdict", {
+                "record_id": event.record.record_id,
+                "label": event.label.value,
+                "via_kio_match": event.via_kio_match,
+                "via_cause": event.via_cause,
+                "matched_kio_ids": list(event.matched_kio_ids),
+            })
     return MergedDataset(
         period=period,
         registry=registry,

@@ -99,7 +99,8 @@ class ReproPipeline:
                  resilience: ResilienceConfig | None = None,
                  profile: ProfileConfig | bool | None = None,
                  health_policy: HealthPolicy | None = None,
-                 telemetry: TelemetryConfig | str | float | None = None):
+                 telemetry: TelemetryConfig | str | float | None = None,
+                 provenance: bool = False):
         self._scenario_config = scenario_config or ScenarioConfig()
         self._platform_config = platform_config
         self._curation_config = curation_config
@@ -120,6 +121,7 @@ class ReproPipeline:
                          else profile or None)
         self._telemetry = TelemetryConfig.coerce(telemetry)
         self._health_policy = health_policy
+        self._provenance = bool(provenance)
         self._last_obs: Optional[Observability] = None
         self._stats: Optional[ExecStats] = None
         self._health: Optional[HealthReport] = None
@@ -233,6 +235,8 @@ class ReproPipeline:
         if self._telemetry is not None and obs.enabled \
                 and obs.telemetry is None:
             obs.enable_telemetry(self._telemetry)
+        if self._provenance and obs.enabled and obs.provenance is None:
+            obs.enable_provenance()
         return obs
 
     def complete(self, scenario: WorldScenario,

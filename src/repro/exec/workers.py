@@ -191,10 +191,10 @@ def _curate_shard(scenario: WorldScenario,
 
 #: What one scheduled shard sends back: records, quarantined countries,
 #: wall seconds, and — from process workers — the locally collected
-#: spans, metrics, and heartbeat events that the parent grafts into the
-#: run's observability session.
+#: spans, metrics, heartbeat events, and provenance capsules that the
+#: parent grafts into the run's observability session.
 _ShardOutcome = Tuple[_ShardRecords, _Quarantined, float, list,
-                      Optional[dict], list]
+                      Optional[dict], list, list]
 
 #: The worker-resident world: one (scenario, platform) pair per process,
 #: keyed by the fingerprint of everything that shaped it.  A pool worker
@@ -261,7 +261,8 @@ def _curate_shard_subprocess(
         profile: Optional[ProfileConfig] = None,
         windows: Optional[Mapping[str, Sequence[TimeRange]]] = None,
         signal_cache_size: Optional[int] = None,
-        telemetry: Optional[TelemetryConfig] = None) -> _ShardOutcome:
+        telemetry: Optional[TelemetryConfig] = None,
+        provenance: bool = False) -> _ShardOutcome:
     """Process-pool entry point: curate over the worker-resident world.
 
     Module-level so it pickles by reference.  The scenario and platform
@@ -292,12 +293,17 @@ def _curate_shard_subprocess(
                 countries, windows=windows, platform=platform,
                 resilience=resilience)
         return (result, quarantined, time.perf_counter() - started,
-                [], None, [])
+                [], None, [], [])
     # Workers cannot write the parent's journal, so their sampler (the
     # parent's picklable telemetry config travels like the profile
     # config) buffers heartbeats locally; they ride home in the outcome
     # and the parent journals them via ``adopt_heartbeats``.
     local = Observability(profile=profile, telemetry=telemetry)
+    if provenance:
+        # The worker-local recorder buffers lineage capsules (no
+        # journal down here); they ride home in the outcome and the
+        # parent grafts them via ``adopt_provenance``.
+        local.enable_provenance()
     with activate(local), inject(plan):
         local.start_telemetry()
         try:
@@ -319,7 +325,8 @@ def _curate_shard_subprocess(
                             pid=os.getpid()).set(float(_WORLD_BUILDS))
     return (result, quarantined, time.perf_counter() - started,
             local.tracer.spans(), local.metrics.snapshot(),
-            local.heartbeats)
+            local.heartbeats,
+            list(local.provenance.capsules) if provenance else [])
 
 
 class ShardedCurationExecutor:
@@ -376,8 +383,12 @@ class ShardedCurationExecutor:
 
         # Chaos runs never touch the shard cache: a planted payload could
         # mask the very failures being exercised, and a degraded shard
-        # must never be served to a later clean run.
+        # must never be served to a later clean run.  Provenance runs
+        # bypass it too — a warm hit would skip the adjudication whose
+        # lineage capsules the run exists to capture (the records are
+        # identical either way, so cached entries stay valid).
         use_cache = (self._cache is not None
+                     and obs.provenance is None
                      and (self._resilience is None
                           or self._resilience.fault_plan is None))
 
@@ -476,7 +487,7 @@ class ShardedCurationExecutor:
                         shard.countries, windows=shard_windows(shard),
                         platform=platform, resilience=self._resilience)
                 return (result, quarantined,
-                        time.perf_counter() - started, [], None, [])
+                        time.perf_counter() - started, [], None, [], [])
 
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {pool.submit(timed, shard): shard
@@ -497,6 +508,7 @@ class ShardedCurationExecutor:
                     windows=shard_windows(shard),
                     signal_cache_size=self._config.signal_cache_size,
                     telemetry=getattr(obs, "telemetry", None),
+                    provenance=obs.provenance is not None,
                 ): shard
                 for shard in cold}
             return self._collect(futures, stats, obs, parent_id)
@@ -511,7 +523,7 @@ class ShardedCurationExecutor:
             for future in done:
                 shard = futures[future]
                 (shard_records, quarantined, seconds, spans,
-                 metrics, heartbeats) = future.result()
+                 metrics, heartbeats, capsules) = future.result()
                 results[shard] = (shard_records, quarantined)
                 stats.record_shard(shard.index, seconds)
                 publish_shard_done(obs.metrics)
@@ -521,6 +533,8 @@ class ShardedCurationExecutor:
                     obs.metrics.merge(metrics)
                 if heartbeats:
                     obs.adopt_heartbeats(heartbeats)
+                if capsules:
+                    obs.adopt_provenance(capsules)
         return results
 
     # -- cache ------------------------------------------------------------------

@@ -52,6 +52,7 @@ from repro.ioda.calendar import ObservationCalendar
 from repro.ioda.dashboard import Dashboard, ioda_url
 from repro.ioda.platform import IODAPlatform
 from repro.ioda.records import ConfirmationStatus, OutageRecord
+from repro.obs.provenance import DrawCursor
 from repro.obs.runtime import current
 from repro.rng import substream
 from repro.signals.alerts import AlertEpisode
@@ -77,14 +78,28 @@ def finalize_records(
     exactly as :meth:`CurationPipeline.run` always has.  Feeding the
     per-country lists in the same country order therefore yields
     byte-identical output regardless of how the work was scheduled.
+
+    When a provenance recorder is active, the renumbering is also
+    journaled as a ``provenance.manifest`` event mapping each global
+    record id back to the capsule minted when the record was
+    adjudicated (capsules are keyed by the country-local id, the only
+    id that exists at decision time).
     """
+    recorder = current().provenance
     ids = itertools.count(1)
-    records = [replace(record, record_id=next(ids))
-               for country_records in per_country
-               for record in country_records]
+    records: List[OutageRecord] = []
+    mapping: List[Tuple[int, str, int]] = []
+    for country_records in per_country:
+        for record in country_records:
+            global_id = next(ids)
+            if recorder is not None:
+                mapping.append((global_id,) + record.lineage_key)
+            records.append(replace(record, record_id=global_id))
     records.sort(key=lambda r: (r.span.start, r.country_iso2))
     current().metrics.counter("curation.records_finalized") \
         .inc(len(records))
+    if recorder is not None:
+        recorder.manifest(mapping)
     return records
 
 
@@ -162,12 +177,16 @@ class CandidateOutcome:
     (fell in an observation-calendar gap, §3.1.2).  ``signals`` are the
     human-visible signal kinds at adjudication time — the set the
     streaming engine reports on lifecycle ``close`` events.
+    ``capsule_id`` is the provenance capsule minted for the decision
+    when a recorder was active (``None`` otherwise); it is journal-only
+    metadata and never affects the record itself.
     """
 
     span: TimeRange
     signals: Tuple[SignalKind, ...]
     outcome: str
     record: Optional[OutageRecord] = None
+    capsule_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -236,11 +255,15 @@ class CurationPipeline:
                       windows=len(windows)):
             rng = substream(self._scenario.seed, "curation", iso2)
             record_ids = itertools.count(1)
+            # One RNG-draw cursor per country so capsules can cite the
+            # exact substream coordinate of each probabilistic verdict;
+            # only consumed when a provenance recorder is active.
+            draws = DrawCursor()
             records: List[OutageRecord] = []
             for window in windows:
                 records.extend(
                     self._investigate(iso2, window, period, rng,
-                                      record_ids))
+                                      record_ids, draws))
         metrics = obs.metrics
         metrics.counter("curation.windows_investigated").inc(len(windows))
         metrics.counter("curation.records_curated", country=iso2) \
@@ -254,17 +277,22 @@ class CurationPipeline:
 
     def _investigate(self, iso2: str, window: TimeRange, period: TimeRange,
                      rng: np.random.Generator,
-                     record_ids: Iterator[int]) -> List[OutageRecord]:
+                     record_ids: Iterator[int],
+                     draws: Optional[DrawCursor] = None
+                     ) -> List[OutageRecord]:
         entity = Entity.country(iso2)
         episodes = self._dashboard.episodes_by_signal(entity, window)
         return list(self.adjudicate_window(
-            iso2, window, period, episodes, rng, record_ids).records)
+            iso2, window, period, episodes, rng, record_ids,
+            draws=draws).records)
 
     def adjudicate_window(self, iso2: str, window: TimeRange,
                           period: TimeRange,
                           episodes: Dict[SignalKind, List[AlertEpisode]],
                           rng: np.random.Generator,
-                          record_ids: Iterator[int]) -> WindowAdjudication:
+                          record_ids: Iterator[int],
+                          draws: Optional[DrawCursor] = None
+                          ) -> WindowAdjudication:
         """Adjudicate one window given its per-signal alert episodes.
 
         This is the batch `_investigate` loop with the dashboard pull
@@ -272,10 +300,22 @@ class CurationPipeline:
         incrementally and calls here once the watermark closes the
         window, consuming ``rng`` draws and record ids in exactly the
         order the batch path does, so the records come out identical.
+
+        When the active session has a provenance recorder, every
+        candidate's decision chain is sealed into a lineage capsule and
+        the outcome carries its capsule id; the capsules are journal-only
+        and the records are byte-identical either way.  ``draws`` is the
+        country's RNG-draw cursor (threaded across windows so capsule
+        coordinates are chunking-independent); it is only consumed when
+        a recorder is active.
         """
         entity = Entity.country(iso2)
+        obs = current()
+        recorder = obs.provenance
+        if recorder is None:
+            draws = None
         candidates = self._cluster(episodes)
-        current().metrics.counter("curation.candidates_clustered") \
+        obs.metrics.counter("curation.candidates_clustered") \
             .inc(len(candidates))
         records: List[OutageRecord] = []
         outcomes: List[CandidateOutcome] = []
@@ -287,31 +327,85 @@ class CurationPipeline:
                 # Nobody was investigating at the time (§3.1.2 gaps);
                 # mark it handled so the descent does not re-find it.
                 found_visible = True
+                capsule_id = None
+                if recorder is not None:
+                    capsule_id = recorder.emit(self._capsule_payload(
+                        iso2, entity, window, candidate, "unobserved",
+                        "calendar_gap", None))
+                obs.metrics.counter("curation.decision.unobserved",
+                                    reason="calendar_gap").inc()
                 outcomes.append(CandidateOutcome(
-                    candidate.span, signals, "unobserved"))
+                    candidate.span, signals, "unobserved",
+                    capsule_id=capsule_id))
                 continue
-            record = self._adjudicate(
-                iso2, entity, candidate, period, rng, record_ids)
+            trail: Optional[Dict] = {} if recorder is not None else None
+            record, reason = self._adjudicate(
+                iso2, entity, candidate, period, rng, record_ids,
+                trail=trail, draws=draws)
+            outcome = "recorded" if record is not None else "dismissed"
+            capsule_id = None
+            if recorder is not None:
+                capsule_id = recorder.emit(self._capsule_payload(
+                    iso2, entity, window, candidate, outcome, reason,
+                    trail))
+            obs.metrics.counter(f"curation.decision.{outcome}",
+                                reason=reason).inc()
             if record is not None:
                 found_visible = True
                 records.append(record)
                 outcomes.append(CandidateOutcome(
-                    candidate.span, signals, "recorded", record))
+                    candidate.span, signals, "recorded", record,
+                    capsule_id=capsule_id))
             else:
                 outcomes.append(CandidateOutcome(
-                    candidate.span, signals, "dismissed"))
+                    candidate.span, signals, "dismissed",
+                    capsule_id=capsule_id))
         descended = not found_visible
         if descended:
-            for record in self._descend(iso2, window, period, rng,
-                                        record_ids):
+            for record, capsule_id in self._descend(iso2, window, period,
+                                                    rng, record_ids,
+                                                    draws=draws):
                 records.append(record)
                 outcomes.append(CandidateOutcome(
                     record.span,
                     tuple(k for k in SignalKind if record.human_visible[k]),
-                    "recorded", record))
+                    "recorded", record, capsule_id=capsule_id))
         return WindowAdjudication(
             records=tuple(records), outcomes=tuple(outcomes),
             descended=descended)
+
+    def _capsule_payload(self, iso2: str, entity: Entity, window: TimeRange,
+                         candidate: _Candidate, outcome: str, reason: str,
+                         trail: Optional[Dict]) -> Dict:
+        """Assemble the content-addressed lineage-capsule payload.
+
+        Carries only decision evidence — no timestamps or run-local
+        state — so identical decisions hash identically across runs,
+        backends, and stream chunkings.
+        """
+        payload: Dict = {
+            "stage": "adjudicate",
+            "country_iso2": iso2,
+            "entity": entity.identifier,
+            "window_start": window.start,
+            "span": {"start": candidate.span.start,
+                     "end": candidate.span.end},
+            "signals": sorted(k.value for k in candidate.signals_present()),
+            "outcome": outcome,
+            "reason": reason,
+            "alert": {
+                kind.value: {
+                    "episodes": len(eps),
+                    "max_depth": round(max(e.depth for e in eps), 9),
+                    "span": [min(e.span.start for e in eps),
+                             max(e.span.end for e in eps)],
+                }
+                for kind, eps in candidate.episodes.items() if eps},
+            "rng": {"substream": ["curation", iso2]},
+        }
+        if trail:
+            payload.update(trail)
+        return payload
 
     def cluster_episodes(
             self, episodes: Dict[SignalKind, List[AlertEpisode]]
@@ -466,25 +560,46 @@ class CurationPipeline:
 
     def _adjudicate(self, iso2: str, entity: Entity, candidate: _Candidate,
                     period: TimeRange, rng: np.random.Generator,
-                    record_ids: Iterator[int]) -> Optional[OutageRecord]:
+                    record_ids: Iterator[int],
+                    trail: Optional[Dict] = None,
+                    draws: Optional[DrawCursor] = None
+                    ) -> Tuple[Optional[OutageRecord], str]:
+        """Adjudicate one candidate; return ``(record, reason)``.
+
+        ``reason`` names the decision point that settled the candidate
+        (``low_visibility``, ``no_corroboration``, ``control_artifact``,
+        ... for dismissals; ``multi_signal``/``corroborated`` for
+        records).  ``trail``, when provided, accumulates the evidence
+        each decision point saw — the body of the provenance capsule.
+        The RNG is consumed identically whether or not a trail is
+        collected.
+        """
         if not period.contains(candidate.span.start):
-            return None
+            return None, "outside_period"
         if not self._calendar.observes(candidate.span.start,
                                        self._scenario.seed):
-            return None
+            return None, "calendar_gap"
         visible = self._anchor_overlapping(self._visible_signals(candidate))
+        if trail is not None:
+            trail["visibility"] = {
+                "visible": sorted(k.value for k in visible),
+                "required": 2}
         if not visible:
-            return None
+            return None, "low_visibility"
         corroborated = False
         if len(visible) < 2:
             corroborated = self._externally_corroborated(
-                iso2, candidate, rng)
+                iso2, candidate, rng, trail=trail, draws=draws)
             if not corroborated:
-                return None
-        if self._is_infrastructure_artifact(iso2, candidate, visible):
-            return None
-        return self._record(iso2, entity, candidate, visible, corroborated,
-                            rng, record_ids)
+                return None, "no_corroboration"
+        elif trail is not None:
+            trail["corroboration"] = {"checked": False}
+        if self._is_infrastructure_artifact(iso2, candidate, visible,
+                                            trail=trail):
+            return None, "control_artifact"
+        record = self._record(iso2, entity, candidate, visible, corroborated,
+                              rng, record_ids, trail=trail, draws=draws)
+        return record, ("corroborated" if corroborated else "multi_signal")
 
     def _anchor_overlapping(
             self, visible: Dict[SignalKind, List[AlertEpisode]]
@@ -526,12 +641,16 @@ class CurationPipeline:
         return visible
 
     def _externally_corroborated(self, iso2: str, candidate: _Candidate,
-                                 rng: np.random.Generator) -> bool:
+                                 rng: np.random.Generator,
+                                 trail: Optional[Dict] = None,
+                                 draws: Optional[DrawCursor] = None) -> bool:
         """Whether Kentik/Cloudflare-Radar style trackers confirm.
 
         External trackers observed the real world, so corroboration
         probability is a function of what actually happened: severe, long
-        events get noticed; noise does not.
+        events get noticed; noise does not.  A draw is consumed only
+        when a real event overlaps — the trail records its substream
+        coordinate so the verdict can be replayed.
         """
         overlapping = [
             d for d in self._scenario.disruptions_in(
@@ -543,26 +662,53 @@ class CurationPipeline:
                 d for d in self._scenario.country_disruptions(iso2)
                 if d.span.overlaps(candidate.span)]
         if not overlapping:
+            if trail is not None:
+                trail["corroboration"] = {
+                    "checked": True, "overlapping": 0,
+                    "corroborated": False}
             return False
         strongest = max(overlapping, key=lambda d: d.severity)
         p = (self._config.p_external_corroboration
              * strongest.severity
              * min(1.0, strongest.span.duration / (2 * HOUR)))
-        return bool(rng.random() < p)
+        index = draws.take() if draws is not None else None
+        corroborated = bool(rng.random() < p)
+        if trail is not None:
+            trail["corroboration"] = {
+                "checked": True,
+                "overlapping": len(overlapping),
+                "p": round(p, 9),
+                "draw": {"substream": ["curation", iso2], "index": index},
+                "corroborated": corroborated}
+        return corroborated
 
     def _is_infrastructure_artifact(self, iso2: str, candidate: _Candidate,
-                                    visible: Iterable[SignalKind]) -> bool:
+                                    visible: Iterable[SignalKind],
+                                    trail: Optional[Dict] = None) -> bool:
         """Control-group check: similar simultaneous drop elsewhere?"""
         controls = self._control_countries(iso2)
         if not controls:
+            if trail is not None:
+                trail["control"] = {
+                    "controls": [], "n_similar": 0,
+                    "reject_fraction":
+                        self._config.control_reject_fraction,
+                    "artifact": False}
             return False
         check_window = candidate.span.expand(before=6 * HOUR, after=2 * HOUR)
         n_similar = 0
         for control in controls:
             if self._control_shows_drop(control, check_window, visible):
                 n_similar += 1
-        return (n_similar / len(controls)
-                >= self._config.control_reject_fraction)
+        artifact = (n_similar / len(controls)
+                    >= self._config.control_reject_fraction)
+        if trail is not None:
+            trail["control"] = {
+                "controls": list(controls),
+                "n_similar": n_similar,
+                "reject_fraction": self._config.control_reject_fraction,
+                "artifact": artifact}
+        return artifact
 
     def _control_countries(self, iso2: str) -> List[str]:
         """Deterministic cross-region control group excluding ``iso2``."""
@@ -610,7 +756,9 @@ class CurationPipeline:
     def _record(self, iso2: str, entity: Entity, candidate: _Candidate,
                 visible: Dict[SignalKind, List[AlertEpisode]],
                 corroborated: bool, rng: np.random.Generator,
-                record_ids: Iterator[int]) -> OutageRecord:
+                record_ids: Iterator[int],
+                trail: Optional[Dict] = None,
+                draws: Optional[DrawCursor] = None) -> OutageRecord:
         starts = [min(e.span.start for e in episodes)
                   for episodes in visible.values()]
         ends = [max(e.span.end for e in episodes)
@@ -619,14 +767,15 @@ class CurationPipeline:
         auto = {kind: bool(candidate.episodes.get(kind))
                 for kind in SignalKind}
         human = {kind: kind in visible for kind in SignalKind}
-        cause, more_info = self._attribute_cause(iso2, span, rng)
+        cause, more_info = self._attribute_cause(iso2, span, rng,
+                                                 trail=trail, draws=draws)
         if corroborated or cause is not None:
             confirmation = ConfirmationStatus.CONFIRMED
         elif len(visible) >= 2:
             confirmation = ConfirmationStatus.LIKELY
         else:
             confirmation = ConfirmationStatus.UNCONFIRMED
-        return OutageRecord(
+        record = OutageRecord(
             record_id=next(record_ids),
             country_iso2=iso2,
             span=span,
@@ -640,9 +789,18 @@ class CurationPipeline:
             region_names=((entity.identifier.split("-", 1)[1],)
                           if entity.scope is EntityScope.REGION else ()),
         )
+        if trail is not None:
+            trail["record"] = {
+                "local_id": record.record_id,
+                "span": {"start": span.start, "end": span.end},
+                "confirmation": record.confirmation.value,
+                "scope": record.scope.value}
+        return record
 
     def _attribute_cause(self, iso2: str, span: TimeRange,
-                         rng: np.random.Generator
+                         rng: np.random.Generator,
+                         trail: Optional[Dict] = None,
+                         draws: Optional[DrawCursor] = None
                          ) -> Tuple[Optional[str], Tuple[str, ...]]:
         """The news oracle: what reporting would the curators find?"""
         overlapping = [
@@ -650,14 +808,26 @@ class CurationPipeline:
             if d.span.overlaps(
                 span.expand(before=2 * HOUR, after=2 * HOUR))]
         if not overlapping:
+            if trail is not None:
+                trail["cause"] = {"overlapping": 0, "cause": None}
             return None, ()
         truth = max(overlapping, key=lambda d: d.severity)
         p_discover = (self._config.p_discover_shutdown_cause
                       if truth.intentional
                       else self._config.p_discover_outage_cause)
-        if rng.random() >= p_discover:
+        index = draws.take() if draws is not None else None
+        discovered = bool(rng.random() < p_discover)
+        if trail is not None:
+            trail["cause"] = {
+                "overlapping": len(overlapping),
+                "p_discover": round(p_discover, 9),
+                "draw": {"substream": ["curation", iso2], "index": index},
+                "cause": None}
+        if not discovered:
             return None, ()
         cause = _CAUSE_TEXT[truth.cause]
+        if trail is not None:
+            trail["cause"]["cause"] = cause
         info = [f"https://news.example.org/{iso2.lower()}/"
                 f"{truth.disruption_id}"]
         if truth.trigger_event_id is not None:
@@ -669,10 +839,15 @@ class CurationPipeline:
 
     def _descend(self, iso2: str, window: TimeRange, period: TimeRange,
                  rng: np.random.Generator,
-                 record_ids: Iterator[int]) -> List[OutageRecord]:
+                 record_ids: Iterator[int],
+                 draws: Optional[DrawCursor] = None
+                 ) -> List[Tuple[OutageRecord, Optional[str]]]:
         """Inspect region (and optionally AS) views when the country view
-        shows nothing."""
-        records: List[OutageRecord] = []
+        shows nothing.  Returns ``(record, capsule_id)`` pairs; capsule
+        ids are ``None`` when no provenance recorder is active."""
+        obs = current()
+        recorder = obs.provenance
+        results: List[Tuple[OutageRecord, Optional[str]]] = []
         network = self._scenario.topology.get(iso2)
         affected_regions: List[Tuple[str, _Candidate, List[SignalKind]]] = []
         for region in network.regions:
@@ -692,9 +867,31 @@ class CurationPipeline:
         # One record per affected region, matching the paper's "record all
         # affected regions" while our schema keeps one region per row.
         for region_name, candidate, visible in affected_regions:
-            if self._is_infrastructure_artifact(iso2, candidate, visible):
+            entity = Entity.region(iso2, region_name)
+            trail: Optional[Dict] = {} if recorder is not None else None
+            if trail is not None:
+                trail["visibility"] = {
+                    "visible": sorted(k.value for k in visible),
+                    "required": 2}
+                trail["corroboration"] = {"checked": False}
+            if self._is_infrastructure_artifact(iso2, candidate, visible,
+                                                trail=trail):
+                if recorder is not None:
+                    recorder.emit(self._capsule_payload(
+                        iso2, entity, window, candidate, "dismissed",
+                        "control_artifact", trail))
+                obs.metrics.counter("curation.decision.dismissed",
+                                    reason="control_artifact").inc()
                 continue
-            records.append(self._record(
-                iso2, Entity.region(iso2, region_name), candidate, visible,
-                False, rng, record_ids))
-        return records
+            record = self._record(iso2, entity, candidate, visible,
+                                  False, rng, record_ids,
+                                  trail=trail, draws=draws)
+            capsule_id = None
+            if recorder is not None:
+                capsule_id = recorder.emit(self._capsule_payload(
+                    iso2, entity, window, candidate, "recorded",
+                    "region_descent", trail))
+            obs.metrics.counter("curation.decision.recorded",
+                                reason="region_descent").inc()
+            results.append((record, capsule_id))
+        return results

@@ -66,6 +66,13 @@ class OutageRecord:
                 "it should not have been recorded")
 
     @property
+    def lineage_key(self) -> Tuple[str, int]:
+        """``(country, record id)`` — how provenance capsules address a
+        record while its id is still local to the country (before
+        :func:`repro.ioda.curation.finalize_records` renumbers it)."""
+        return (self.country_iso2, self.record_id)
+
+    @property
     def start(self) -> int:
         return self.span.start
 

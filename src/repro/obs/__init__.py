@@ -49,6 +49,10 @@ from repro.obs.journal import JOURNAL_VERSION, RunJournal, iter_journal, \
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
     NullMetrics, series_key, snapshot_to_openmetrics
 from repro.obs.profile import ProfileConfig, SpanProfiler
+from repro.obs.provenance import DrawCursor, ExplainReport, \
+    ProvenanceDiff, ProvenanceError, ProvenanceRecorder, capsule_id_for, \
+    capsules_in, diff_provenance, explain_record, record_manifest, \
+    sorted_capsules
 from repro.obs.registry import RunRecord, RunRegistry, run_id_for
 from repro.obs.runtime import NULL_OBS, Observability, activate, current
 from repro.obs.summary import JournalSummary, aggregate_spans, \
@@ -64,6 +68,8 @@ __all__ = [
     "BaselineComparison",
     "CheckResult",
     "Counter",
+    "DrawCursor",
+    "ExplainReport",
     "Gauge",
     "HealthCheck",
     "HealthPolicy",
@@ -80,6 +86,9 @@ __all__ = [
     "PathDelta",
     "PerfBaseline",
     "ProfileConfig",
+    "ProvenanceDiff",
+    "ProvenanceError",
+    "ProvenanceRecorder",
     "RunJournal",
     "RunRecord",
     "RunRegistry",
@@ -91,22 +100,28 @@ __all__ = [
     "Tracer",
     "activate",
     "aggregate_spans",
+    "capsule_id_for",
+    "capsules_in",
     "chrome_trace",
     "compare_baselines",
     "current",
     "default_policy",
     "diff_events",
+    "diff_provenance",
+    "explain_record",
     "evaluate_run",
     "iter_journal",
     "list_baselines",
     "load_baseline",
     "parse_interval",
     "read_journal",
+    "record_manifest",
     "run_id_for",
     "run_statistics",
     "save_baseline",
     "series_key",
     "snapshot_to_openmetrics",
+    "sorted_capsules",
     "span_path_seconds",
     "summarize_events",
     "trajectory_rows",

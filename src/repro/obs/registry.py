@@ -79,6 +79,12 @@ class RunRecord:
     n_events: int = 0
     n_spans: int = 0
     n_heartbeats: int = 0
+    #: Lineage capsules in the journal (0 unless the run recorded
+    #: provenance; see :mod:`repro.obs.provenance`).
+    n_provenance: int = 0
+    #: Decision-outcome tallies from the adjudication capsules, keyed
+    #: ``"outcome:reason"`` (e.g. ``"dismissed:no_corroboration"``).
+    decisions: Mapping[str, int] = field(default_factory=dict)
     run_seconds: float = 0.0
     #: The run's directory inside the registry.
     path: Optional[Path] = None
@@ -101,6 +107,9 @@ class RunRecord:
             "n_events": self.n_events,
             "n_spans": self.n_spans,
             "n_heartbeats": self.n_heartbeats,
+            "n_provenance": self.n_provenance,
+            "decisions": {k: self.decisions[k]
+                          for k in sorted(self.decisions)},
             "run_seconds": self.run_seconds,
         }
 
@@ -120,6 +129,9 @@ class RunRecord:
             n_events=int(data.get("n_events", 0)),
             n_spans=int(data.get("n_spans", 0)),
             n_heartbeats=int(data.get("n_heartbeats", 0)),
+            n_provenance=int(data.get("n_provenance", 0)),
+            decisions={str(k): int(v)
+                       for k, v in data.get("decisions", {}).items()},
             run_seconds=float(data.get("run_seconds", 0.0)),
             path=path)
 
@@ -140,6 +152,10 @@ class RunRecord:
             f"spans, {self.n_heartbeats} heartbeats, "
             f"{self.run_seconds:.2f}s",
         ]
+        if self.n_provenance:
+            lines.append(f"  provenance    {self.n_provenance} capsules")
+            for key in sorted(self.decisions):
+                lines.append(f"    {key:<30} {self.decisions[key]}")
         if self.fingerprint:
             lines.append(f"  fingerprint   {self.fingerprint}")
         if self.config:
@@ -195,11 +211,20 @@ class RunRegistry:
         summary = summarize_events(events)
         health: Dict[str, Any] = {}
         started: Optional[float] = None
+        decisions: Dict[str, int] = {}
         for event in events:
             if event.get("type") == "health":
                 health = event
             elif event.get("type") == "run_start" and started is None:
                 started = event.get("ts")
+            elif event.get("type") == "provenance":
+                # Adjudication capsules carry (outcome, reason); merged
+                # lifecycle capsules only an outcome.
+                outcome = event.get("outcome")
+                if outcome is not None:
+                    key = (f"{outcome}:{event['reason']}"
+                           if "reason" in event else str(outcome))
+                    decisions[key] = decisions.get(key, 0) + 1
         record = RunRecord(
             run_id=run_id,
             name=name or run_id[:8],
@@ -214,6 +239,8 @@ class RunRegistry:
             n_events=summary.n_events,
             n_spans=summary.n_spans,
             n_heartbeats=summary.n_heartbeats,
+            n_provenance=summary.n_provenance,
+            decisions=decisions,
             run_seconds=round(summary.run_seconds, 6),
             path=run_dir)
         meta_path.write_text(

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterator, Optional, Union
 from repro.obs.journal import RunJournal
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.profile import ProfileConfig, SpanProfiler
+from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.telemetry import HeartbeatSampler, TelemetryConfig
 from repro.obs.trace import NullTracer, Span, SpanRecord, Tracer
 
@@ -54,6 +55,10 @@ class Observability:
         #: Heartbeats collected when no journal is attached — how
         #: process workers buffer samples for the parent to adopt.
         self.heartbeats: list = []
+        #: Lineage-capsule recorder; ``None`` until
+        #: :meth:`enable_provenance`, so instrumented decision points
+        #: pay one attribute check when the feature is off.
+        self.provenance: Optional[ProvenanceRecorder] = None
         if telemetry is not None:
             self.enable_telemetry(TelemetryConfig.coerce(telemetry))
         self._finished = False
@@ -120,6 +125,32 @@ class Observability:
                 self.journal.write(event)
             else:
                 self.heartbeats.append(event)
+
+    # -- provenance --------------------------------------------------------------
+
+    def enable_provenance(self) -> "Observability":
+        """Attach a lineage-capsule recorder to the session (idempotent).
+
+        Capsules stream into the run journal when one is attached and
+        always buffer on the recorder, so ``RunResult.provenance`` works
+        without a journal.  Recording is journal-only: pipeline event
+        output is byte-identical with provenance on or off.
+        """
+        if self.provenance is None:
+            self.provenance = ProvenanceRecorder(journal=self.journal)
+        return self
+
+    def adopt_provenance(self, capsules) -> None:
+        """Graft capsules captured by a worker session into this one.
+
+        The provenance twin of :meth:`adopt_heartbeats`; workers buffer
+        capsules (no journal) and the parent journals them on arrival.
+        """
+        if not capsules:
+            return
+        if self.provenance is None:
+            self.enable_provenance()
+        self.provenance.adopt(capsules)
 
     # -- recording ---------------------------------------------------------------
 
@@ -188,6 +219,7 @@ class _NullObservability:
         self.profile = None
         self.telemetry = None
         self.heartbeats: list = []
+        self.provenance = None
 
     def span(self, name: str, *, parent: Optional[int] = None,
              **attrs: Any):
@@ -206,6 +238,12 @@ class _NullObservability:
         return None
 
     def adopt_heartbeats(self, events: Any) -> None:
+        return None
+
+    def enable_provenance(self) -> "_NullObservability":
+        return self
+
+    def adopt_provenance(self, capsules: Any) -> None:
         return None
 
     def metrics_snapshot(self) -> Dict[str, Any]:

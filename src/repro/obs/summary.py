@@ -43,14 +43,19 @@ class JournalSummary:
     #: Live-telemetry samples found in the journal (0 when the run had
     #: no heartbeat sampler; see :mod:`repro.obs.telemetry`).
     n_heartbeats: int = 0
+    #: Lineage capsules found in the journal (0 unless the run was
+    #: executed with provenance; see :mod:`repro.obs.provenance`).
+    n_provenance: int = 0
 
     def rows(self, top: int = 10) -> List[str]:
         """Human-readable report lines."""
         heartbeat = (f", {self.n_heartbeats} heartbeats"
                      if self.n_heartbeats else "")
+        capsules = (f", {self.n_provenance} capsules"
+                    if self.n_provenance else "")
         lines = [
             f"journal         {self.n_events} events, {self.n_spans} "
-            f"spans{heartbeat}, run {self.run_seconds:.2f}s",
+            f"spans{heartbeat}{capsules}, run {self.run_seconds:.2f}s",
         ]
         if self.slowest:
             lines.append("slowest spans")
@@ -132,4 +137,6 @@ def summarize_events(events: Sequence[Mapping[str, Any]]) -> JournalSummary:
         histograms=histograms,
         n_heartbeats=sum(
             1 for e in events if e.get("type") == "heartbeat"),
+        n_provenance=sum(
+            1 for e in events if e.get("type") == "provenance"),
     )

@@ -52,6 +52,8 @@ from repro.ioda.curation import CurationPipeline, WindowAdjudication, \
     finalize_records
 from repro.ioda.detectors import detector_for
 from repro.ioda.records import OutageRecord
+from repro.obs.provenance import DrawCursor
+from repro.obs.runtime import current
 from repro.rng import substream
 from repro.signals.alerts import AlertEpisode
 from repro.signals.kinds import SignalKind
@@ -123,7 +125,7 @@ class _CountryState:
     """One country's windows, RNG substream, and curated records."""
 
     __slots__ = ("iso2", "windows", "by_start", "rng", "next_record_id",
-                 "records")
+                 "records", "draws")
 
     def __init__(self, iso2: str, windows: Sequence[TimeRange], seed: int):
         self.iso2 = iso2
@@ -132,6 +134,10 @@ class _CountryState:
         self.rng = substream(seed, "curation", iso2)
         self.next_record_id = 1
         self.records: List[OutageRecord] = []
+        # RNG-draw cursor for provenance capsules; persists across
+        # advances (and ships to process workers) so capsule substream
+        # coordinates are chunking-independent and match a batch run.
+        self.draws = DrawCursor()
 
 
 class StreamEngine:
@@ -383,19 +389,26 @@ class StreamEngine:
                 open_ = _Open(key=span.start, span=span, signals=visible)
                 ws.opens[open_.key] = open_
                 consumed.add(open_.key)
-                events.append(self._emit("open", cs.iso2, ws, open_))
+                events.append(self._emit(
+                    "open", cs.iso2, ws, open_,
+                    capsule_id=self._lifecycle_capsule(
+                        "open", cs.iso2, ws, open_)))
                 continue
             keep = matches[0]
             for key in matches[1:]:
                 merged = ws.opens.pop(key)
-                events.append(self._emit("close", cs.iso2, ws, merged,
-                                         outcome="merged"))
+                events.append(self._emit(
+                    "close", cs.iso2, ws, merged, outcome="merged",
+                    capsule_id=self._merged_capsule(cs.iso2, ws, merged)))
             consumed.add(keep)
             open_ = ws.opens[keep]
             if open_.span != span or open_.signals != visible:
                 open_.span = span
                 open_.signals = visible
-                events.append(self._emit("update", cs.iso2, ws, open_))
+                events.append(self._emit(
+                    "update", cs.iso2, ws, open_,
+                    capsule_id=self._lifecycle_capsule(
+                        "update", cs.iso2, ws, open_)))
         return events
 
     def _close_window(self, cs: _CountryState, ws: _WindowState,
@@ -416,44 +429,86 @@ class StreamEngine:
                 for key in matches:
                     events.append(self._emit(
                         "close", cs.iso2, ws, ws.opens.pop(key),
-                        outcome="dismissed"))
+                        outcome="dismissed",
+                        capsule_id=outcome.capsule_id))
                 continue
             if matches:
                 for key in matches[1:]:
+                    merged = ws.opens.pop(key)
                     events.append(self._emit(
-                        "close", cs.iso2, ws, ws.opens.pop(key),
-                        outcome="merged"))
+                        "close", cs.iso2, ws, merged, outcome="merged",
+                        capsule_id=self._merged_capsule(cs.iso2, ws,
+                                                        merged)))
                 open_ = ws.opens.pop(matches[0])
                 open_.span = outcome.span
                 open_.signals = outcome.signals
                 events.append(self._emit(
                     "close", cs.iso2, ws, open_,
-                    outcome=outcome.outcome, record=outcome.record))
+                    outcome=outcome.outcome, record=outcome.record,
+                    capsule_id=outcome.capsule_id))
                 continue
             if not outcome.signals and outcome.outcome != "recorded":
                 continue  # never visible, never opened: no lifecycle
             # Opened and closed within one advance: synthesize the open
-            # so every close has a matching open on the wire.
+            # so every close has a matching open on the wire.  Both
+            # sides reference the adjudication capsule.
             open_ = _Open(key=outcome.span.start, span=outcome.span,
                           signals=outcome.signals)
-            events.append(self._emit("open", cs.iso2, ws, open_))
+            events.append(self._emit("open", cs.iso2, ws, open_,
+                                     capsule_id=outcome.capsule_id))
             events.append(self._emit(
                 "close", cs.iso2, ws, open_, outcome=outcome.outcome,
-                record=outcome.record))
+                record=outcome.record, capsule_id=outcome.capsule_id))
         for key in sorted(ws.opens):
-            events.append(self._emit("close", cs.iso2, ws,
-                                     ws.opens.pop(key), outcome="merged"))
+            merged = ws.opens.pop(key)
+            events.append(self._emit(
+                "close", cs.iso2, ws, merged, outcome="merged",
+                capsule_id=self._merged_capsule(cs.iso2, ws, merged)))
         return events
+
+    def _lifecycle_capsule(self, state: str, iso2: str, ws: _WindowState,
+                           open_: _Open,
+                           outcome: Optional[str] = None) -> Optional[str]:
+        """Mint a lifecycle capsule for a provisional event (or None).
+
+        Provisional spans depend on how the feed was chunked, so these
+        capsules are lifecycle evidence only — ``runs diff
+        --provenance`` compares adjudication capsules exclusively.
+        """
+        recorder = current().provenance
+        if recorder is None:
+            return None
+        payload: Dict = {
+            "stage": "lifecycle",
+            "state": state,
+            "country_iso2": iso2,
+            "window_start": ws.window.start,
+            "span": {"start": open_.span.start, "end": open_.span.end},
+            "signals": sorted(k.value for k in open_.signals),
+        }
+        if outcome is not None:
+            payload["outcome"] = outcome
+        return recorder.emit(payload)
+
+    def _merged_capsule(self, iso2: str, ws: _WindowState,
+                        open_: _Open) -> Optional[str]:
+        """Capsule + decision counter for a merge-into-neighbour close."""
+        current().metrics.counter("curation.decision.merged",
+                                  reason="merged_into_neighbor").inc()
+        return self._lifecycle_capsule("close", iso2, ws, open_,
+                                       outcome="merged")
 
     def _emit(self, state: str, iso2: str, ws: _WindowState, open_: _Open,
               outcome: Optional[str] = None,
-              record: Optional[OutageRecord] = None) -> StreamEvent:
+              record: Optional[OutageRecord] = None,
+              capsule_id: Optional[str] = None) -> StreamEvent:
         assert self._watermark is not None
         return StreamEvent(
             seq=next(self._seq), state=state, key=f"{iso2}:{open_.key}",
             country_iso2=iso2, window_start=ws.window.start,
             span=open_.span, signals=open_.signals,
-            watermark=self._watermark, outcome=outcome, record=record)
+            watermark=self._watermark, outcome=outcome, record=record,
+            capsule_id=capsule_id)
 
     # -- adjudication backends -------------------------------------------------
 
@@ -478,6 +533,8 @@ class StreamEngine:
                     for iso2 in sorted(due)}
                 return {iso2: future.result()
                         for iso2, future in futures.items()}
+        obs = current()
+        with_provenance = obs.provenance is not None
         pool = self._ensure_pool()
         futures = {}
         for iso2 in sorted(due):
@@ -487,13 +544,17 @@ class StreamEngine:
                 self._platform_config, self._curation_config,
                 self._period, iso2, work[iso2],
                 cs.rng.bit_generator.state, cs.next_record_id,
-                self._signal_cache_size)
+                self._signal_cache_size, with_provenance, cs.draws.index)
         out: Dict[str, List[WindowAdjudication]] = {}
         for iso2, future in futures.items():
-            adjudications, rng_state, next_record_id = future.result()
+            (adjudications, rng_state, next_record_id, capsules,
+             draw_index) = future.result()
             cs = self._countries[iso2]
             cs.rng.bit_generator.state = rng_state
             cs.next_record_id = next_record_id
+            cs.draws.index = draw_index
+            if capsules:
+                obs.adopt_provenance(capsules)
             out[iso2] = adjudications
         return out
 
@@ -506,7 +567,8 @@ class StreamEngine:
         record_ids = itertools.count(cs.next_record_id)
         adjudications = [
             self._pipeline.adjudicate_window(iso2, window, self._period,
-                                             episodes, cs.rng, record_ids)
+                                             episodes, cs.rng, record_ids,
+                                             draws=cs.draws)
             for window, episodes in work]
         cs.next_record_id = next(record_ids)
         return adjudications

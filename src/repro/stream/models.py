@@ -106,6 +106,12 @@ class StreamEvent:
     ``recorded`` (with the curated :class:`~repro.ioda.records.
     OutageRecord`), ``dismissed``, or ``merged`` — and only a ``close``
     does.
+
+    ``capsule_id`` references the provenance lineage capsule behind the
+    event when the session runs with provenance enabled (the
+    adjudication capsule on a decided ``close``, a lifecycle capsule on
+    provisional states), and is ``None`` otherwise.  It is journal-only
+    metadata: the record payload is identical either way.
     """
 
     seq: int
@@ -118,6 +124,7 @@ class StreamEvent:
     watermark: int
     outcome: Optional[str] = None
     record: Optional[OutageRecord] = None
+    capsule_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.state not in EVENT_STATES:
@@ -152,4 +159,6 @@ class StreamEvent:
             out["outcome"] = self.outcome
         if self.record is not None:
             out["record"] = record_to_dict(self.record)
+        if self.capsule_id is not None:
+            out["capsule_id"] = self.capsule_id
         return out

@@ -293,3 +293,7 @@ class StreamSession:
         metrics.gauge("stream.open_events").set(engine.open_event_count)
         metrics.gauge("stream.windows_active").set(
             engine.active_window_count)
+        recorder = self._obs.provenance
+        if recorder is not None:
+            metrics.gauge("stream.provenance_capsules").set(
+                len(recorder.capsules))

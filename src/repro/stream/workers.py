@@ -12,9 +12,13 @@ Curation consumes its per-country RNG substream strictly in candidate
 order, so the engine ships the generator's exact bit-state out and
 takes the advanced state back — the draws land exactly where a serial
 run would land them, which is what keeps the process backend
-byte-identical.  Stream workers do not collect observability (the
-engine's telemetry reports watermark progress from the parent side);
-records, outcomes, and RNG state are the entire contract.
+byte-identical.  Stream workers do not collect spans or heartbeats
+(the engine's telemetry reports watermark progress from the parent
+side), but when the parent session records provenance they build a
+worker-local recorder, thread the country's RNG-draw cursor through
+adjudication, and ship the minted lineage capsules home alongside the
+advanced cursor — the provenance twin of
+:meth:`repro.obs.trace.Tracer.adopt`.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ioda.curation import CurationConfig, CurationPipeline, \
     WindowAdjudication
 from repro.ioda.platform import PlatformConfig
+from repro.obs.provenance import DrawCursor
+from repro.obs.runtime import Observability, activate
 from repro.rng import substream
 from repro.signals.alerts import AlertEpisode
 from repro.signals.kinds import SignalKind
@@ -47,12 +53,16 @@ def adjudicate_country_subprocess(
         rng_state: dict,
         next_record_id: int,
         signal_cache_size: Optional[int] = None,
-) -> Tuple[List[WindowAdjudication], dict, int]:
+        provenance: bool = False,
+        draw_index: int = 0,
+) -> Tuple[List[WindowAdjudication], dict, int, List[dict], int]:
     """Adjudicate one country's closed windows over the resident world.
 
     Module-level so it pickles by reference.  Returns the adjudications
-    in window order plus the advanced RNG state and next record id for
-    the parent to fold back into its country state.
+    in window order plus the advanced RNG state, next record id, any
+    lineage capsules captured (empty unless ``provenance``), and the
+    advanced RNG-draw cursor index, for the parent to fold back into
+    its country state.
     """
     from repro.exec.workers import resident_world
 
@@ -62,8 +72,21 @@ def adjudicate_country_subprocess(
     rng = substream(scenario.seed, "curation", iso2)
     rng.bit_generator.state = rng_state
     record_ids = itertools.count(next_record_id)
-    adjudications = [
-        pipeline.adjudicate_window(iso2, window, period, episodes, rng,
-                                   record_ids)
-        for window, episodes in work]
-    return adjudications, rng.bit_generator.state, next(record_ids)
+    draws = DrawCursor(draw_index)
+    if provenance:
+        local = Observability()
+        local.enable_provenance()
+        with activate(local):
+            adjudications = [
+                pipeline.adjudicate_window(iso2, window, period, episodes,
+                                           rng, record_ids, draws=draws)
+                for window, episodes in work]
+        capsules = list(local.provenance.capsules)
+    else:
+        adjudications = [
+            pipeline.adjudicate_window(iso2, window, period, episodes, rng,
+                                       record_ids)
+            for window, episodes in work]
+        capsules = []
+    return (adjudications, rng.bit_generator.state, next(record_ids),
+            capsules, draws.index)
