@@ -274,6 +274,19 @@ class RunResult:
         """The merged analysis dataset (``events.merged``)."""
         return self.events.merged
 
+    def serve(self, root: Union[str, Path], **build_options):
+        """Precompute this run's servable artifact store under ``root``.
+
+        Convenience front for
+        :func:`repro.serve.artifacts.build_store`: event feeds, signal
+        tiles, and reports land in a content-addressed store whose
+        blake2b addresses double as the HTTP ETags served by ``repro
+        serve run``.  Returns the opened
+        :class:`~repro.serve.artifacts.ArtifactStore`.
+        """
+        from repro.serve.artifacts import build_store
+        return build_store(self, root, **build_options)
+
 
 def run(*, seed: int = 2023, workers: int = 1, backend: str = "thread",
         shards: Optional[int] = None,

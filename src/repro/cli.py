@@ -52,6 +52,16 @@
   perf+fidelity baseline under ``benchmarks/baselines/``, ``perf
   compare BASELINE`` re-runs and diffs with tolerance bands (non-zero
   exit on regression), ``perf report`` renders the trajectory table.
+- ``serve``    — the async serving layer: ``serve build`` precomputes a
+  run's content-addressed artifact store (event feeds, signal tiles,
+  reports; blake2b addresses double as HTTP ETags), ``serve run``
+  serves it over HTTP until interrupted, and ``serve loadgen`` replays
+  a seeded deterministic traffic mix (``--mix
+  dashboard|events|zoom``) at ``--concurrency`` simulated clients —
+  in-process, ``--tcp`` against a private spawned server, or ``--url``
+  against a running one — printing the SLO report (p50/p99 per route,
+  throughput, cache hit-rate) with ``--record``/``--compare`` gating
+  it against a stored perf baseline.
 
 ``run`` also accepts ``--profile`` (per-span CPU/RSS readings into the
 span attributes and journal) and ``--profile-alloc DEPTH`` (add
@@ -402,6 +412,109 @@ def build_parser() -> argparse.ArgumentParser:
                              dest="baseline_dir",
                              help=f"baseline directory (default "
                                   f"{BASELINE_DIR})")
+
+    serve = commands.add_parser(
+        "serve", help="build / run / load-test the async serving layer")
+    serve_commands = serve.add_subparsers(dest="serve_command",
+                                          required=True)
+    serve_build = serve_commands.add_parser(
+        "build", help="precompute a run's servable artifact store")
+    serve_build.add_argument("--out", type=Path,
+                             default=Path("artifacts/store"),
+                             help="store directory (default "
+                                  "artifacts/store)")
+    serve_build.add_argument("--run", dest="run_token", default=None,
+                             metavar="RUN_ID",
+                             help="rebuild from a registered run's "
+                                  "config (resolved against "
+                                  "--runs-dir) instead of the global "
+                                  "run flags")
+    serve_build.add_argument("--countries", type=int, default=None,
+                             metavar="N",
+                             help="cap the tile pyramid at the N "
+                                  "most-evented countries (default: "
+                                  "all countries with curated records)")
+    serve_build.add_argument("--zooms", default="0,1,2",
+                             help="comma-separated zoom levels "
+                                  "(default 0,1,2)")
+    serve_build.add_argument("--tile-bins", type=int, dest="tile_bins",
+                             default=None, metavar="N",
+                             help="max points per tile (default 512)")
+    serve_build.add_argument("--page-size", type=int, dest="page_size",
+                             default=50, metavar="N",
+                             help="default event page size recorded in "
+                                  "the manifest (default 50)")
+    serve_run = serve_commands.add_parser(
+        "run", help="serve a built store over HTTP until interrupted")
+    serve_run.add_argument("--store", type=Path,
+                           default=Path("artifacts/store"),
+                           help="store directory (default "
+                                "artifacts/store)")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=8099)
+    serve_run.add_argument("--serve-cache-size", type=int, default=None,
+                           dest="serve_cache_size", metavar="N",
+                           help="bound on the hot-artifact LRU "
+                                "(default 256)")
+    serve_loadgen = serve_commands.add_parser(
+        "loadgen", help="run a seeded load burst; print the SLO report")
+    serve_loadgen.add_argument("--store", type=Path,
+                               default=Path("artifacts/store"),
+                               help="store directory (default "
+                                    "artifacts/store)")
+    serve_loadgen.add_argument("--mix", default="dashboard",
+                               choices=("dashboard", "events", "zoom"),
+                               help="client behaviour mix (default "
+                                    "dashboard)")
+    serve_loadgen.add_argument("--concurrency", type=int, default=256,
+                               help="concurrent simulated clients "
+                                    "(default 256)")
+    serve_loadgen.add_argument("--requests", type=int, default=40,
+                               dest="requests_per_client",
+                               help="requests per client, including "
+                                    "the index bootstrap (default 40)")
+    serve_loadgen.add_argument("--loadgen-seed", type=int, default=1,
+                               dest="loadgen_seed",
+                               help="client-mix seed (default 1)")
+    serve_loadgen.add_argument("--tcp", action="store_true",
+                               help="drive a private server over real "
+                                    "sockets instead of in-process "
+                                    "calls")
+    serve_loadgen.add_argument("--url", default=None,
+                               help="target an already-running server "
+                                    "(http://host:port) instead of "
+                                    "spawning one; cache counters are "
+                                    "then unavailable")
+    serve_loadgen.add_argument("--serve-cache-size", type=int,
+                               default=None, dest="serve_cache_size",
+                               metavar="N",
+                               help="bound on the spawned app's "
+                                    "hot-artifact LRU (default 256)")
+    serve_loadgen.add_argument("--report", type=Path, default=None,
+                               metavar="PATH",
+                               help="write the SLO report JSON here")
+    serve_loadgen.add_argument("--json", action="store_true",
+                               help="print the SLO report as JSON")
+    serve_loadgen.add_argument("--record", default=None, metavar="NAME",
+                               help="store the SLO statistics as a "
+                                    "named perf baseline")
+    serve_loadgen.add_argument("--compare", default=None, metavar="NAME",
+                               help="diff the SLO statistics against a "
+                                    "stored baseline; exits non-zero "
+                                    "on regression")
+    serve_loadgen.add_argument("--dir", type=Path, default=BASELINE_DIR,
+                               dest="baseline_dir",
+                               help=f"baseline directory (default "
+                                    f"{BASELINE_DIR})")
+    serve_loadgen.add_argument("--tolerance", type=float, default=1.0,
+                               help="scale on the perf tolerance bands "
+                                    "(default 1.0)")
+    serve_loadgen.add_argument("--min-seconds", type=float,
+                               default=0.05, dest="min_seconds",
+                               help="absolute slack in seconds on "
+                                    "every latency band (default "
+                                    "0.05; latencies are milliseconds, "
+                                    "not pipeline stages)")
     return parser
 
 
@@ -937,6 +1050,106 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServeError
+    from repro.serve import ArtifactStore, LoadgenConfig, ServeApp, \
+        build_store, run_loadgen, serve_forever
+
+    if args.serve_command == "build":
+        if args.run_token is not None:
+            try:
+                record = _registry(args).get(args.run_token)
+            except KeyError as exc:
+                print(f"repro: error: no such run: {args.run_token} "
+                      f"({exc.args[0]})", file=sys.stderr)
+                return 2
+            seed = int(record.config.get("seed", args.seed))
+            result = api.run(seed=seed,
+                             cache_dir=_usable_cache_dir(args.cache_dir),
+                             workers=args.workers, backend=args.backend)
+        else:
+            result = _run(args)
+        try:
+            zooms = tuple(int(z) for z in args.zooms.split(","))
+        except ValueError:
+            print(f"repro: error: bad --zooms spec: {args.zooms!r}",
+                  file=sys.stderr)
+            return 2
+        build_options = {"page_size": args.page_size, "zooms": zooms,
+                         "max_countries": args.countries}
+        if args.tile_bins is not None:
+            build_options["tile_bins"] = args.tile_bins
+        started = time.time()
+        store = build_store(result, args.out, **build_options)
+        resources = store.resources()
+        print(f"built {args.out}: {len(resources)} artifacts "
+              f"({store.meta.get('records')} events, "
+              f"{store.meta.get('countries')} tile countries, "
+              f"zooms {store.meta.get('zooms')}) "
+              f"in {time.time() - started:.1f}s")
+        return 0
+
+    try:
+        store = ArtifactStore.open(args.store)
+    except ServeError as exc:
+        if args.serve_command == "loadgen" and args.url is not None:
+            store = None
+        else:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.serve_command == "run":
+        app = (ServeApp(store, cache_size=args.serve_cache_size)
+               if args.serve_cache_size is not None else ServeApp(store))
+        serve_forever(app, host=args.host, port=args.port)
+        return 0
+
+    if args.serve_command == "loadgen":
+        config = LoadgenConfig(
+            mix=args.mix, concurrency=args.concurrency,
+            requests_per_client=args.requests_per_client,
+            seed=args.loadgen_seed)
+        report = run_loadgen(store, url=args.url, config=config,
+                             tcp=args.tcp,
+                             cache_size=args.serve_cache_size)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print("\n".join(report.rows()))
+        if args.report is not None:
+            path = report.save(args.report)
+            print(f"wrote {path}")
+        if args.record is not None:
+            baseline = PerfBaseline.capture(
+                name=args.record, config=config.as_dict(),
+                statistics=report.statistics())
+            path = save_baseline(
+                baseline, args.baseline_dir / f"{args.record}.json")
+            print(f"wrote {path}")
+        if args.compare is not None:
+            as_path = Path(args.compare)
+            path = (as_path
+                    if as_path.suffix == ".json" or as_path.exists()
+                    else args.baseline_dir / f"{args.compare}.json")
+            if not path.exists():
+                print(f"repro: error: no such baseline: {path}",
+                      file=sys.stderr)
+                return 2
+            baseline = load_baseline(path)
+            current = PerfBaseline.capture(
+                name="current", config=config.as_dict(),
+                statistics=report.statistics())
+            comparison = compare_baselines(
+                current, baseline, tolerance=args.tolerance,
+                min_seconds=args.min_seconds)
+            print("\n".join(comparison.rows()))
+            return 0 if comparison.ok else 1
+        return 0
+    return 2
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "stream": _cmd_stream,
@@ -951,6 +1164,7 @@ _COMMANDS = {
     "runs": _cmd_runs,
     "metrics": _cmd_metrics,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
 }
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "PaginationError",
     "CursorError",
     "StreamError",
+    "ServeError",
     "ResilienceError",
     "TransientSourceError",
     "SourceTimeoutError",
@@ -85,6 +86,12 @@ class StreamError(ReproError):
     misaligned or conflicting bins, a non-monotonic watermark, bins
     missing under an advanced watermark, or pushes into a closed
     window/session."""
+
+
+class ServeError(ReproError):
+    """The serving layer hit an invalid store, route, or harness state:
+    a missing or corrupt artifact store, a build over an empty run, or
+    a load-generation mix that cannot be satisfied."""
 
 
 class ResilienceError(ReproError):

@@ -34,7 +34,45 @@ from repro.signals.entities import Entity
 from repro.signals.kinds import SignalKind
 from repro.timeutils.timestamps import TimeRange
 
-__all__ = ["SignalPayload", "EventPage", "IODAClient"]
+__all__ = ["SignalPayload", "EventPage", "IODAClient", "encode_cursor",
+           "decode_cursor"]
+
+
+def encode_cursor(position: int, query_key: str) -> str:
+    """Mint an opaque cursor token for ``position`` within a query.
+
+    ``query_key`` identifies the exact query (filters + feed revision)
+    the cursor binds to; :func:`decode_cursor` refuses the token under
+    any other key.  Shared by :class:`IODAClient` and the serving
+    layer's event routes (:mod:`repro.serve.routes`) so their cursor
+    contracts are literally the same code.
+    """
+    token = f"v1:{position}:{query_key}".encode("ascii")
+    return base64.urlsafe_b64encode(token).decode("ascii")
+
+
+def decode_cursor(cursor: str, query_key: str) -> int:
+    """Recover the page position from a cursor minted under ``query_key``.
+
+    Raises :class:`~repro.errors.CursorError` on tampered, truncated,
+    or unsupported-version tokens, and on any key mismatch (different
+    filters, different client, or a moved feed revision).
+    """
+    try:
+        token = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        version, position, key = token.decode("ascii").split(":", 2)
+    except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
+        raise CursorError(f"malformed cursor: {cursor!r}") from exc
+    if version != "v1":
+        raise CursorError(f"unsupported cursor version: {version!r}")
+    if key != query_key:
+        raise CursorError(
+            "cursor was issued for a different query or feed "
+            "revision; restart pagination without a cursor")
+    try:
+        return int(position)
+    except ValueError as exc:
+        raise CursorError(f"malformed cursor: {cursor!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -89,6 +127,10 @@ class IODAClient:
         self._feed = feed
         self._revision = revision
         self._records = sorted(records, key=lambda r: r.span.start)
+        # The only hashed ingredient of a query key is the platform
+        # config, which cannot change after construction — fingerprint
+        # it once here so paging never re-hashes (see _query_key).
+        self._base_key = fingerprint(platform.config)
 
     # -- signals --------------------------------------------------------------
 
@@ -186,35 +228,21 @@ class IODAClient:
     def _query_key(self, country_iso2: Optional[str],
                    from_ts: Optional[int], until_ts: Optional[int],
                    records: Sequence[OutageRecord]) -> str:
-        """Fingerprint of the filters and feed revision a cursor binds to."""
+        """The key binding a cursor to its filters and feed revision.
+
+        Pure string assembly over the pre-hashed ``_base_key`` — the
+        hot paging path never calls :func:`fingerprint`.
+        """
         if self._revision is not None:
             revision = (self._revision()
                         if callable(self._revision) else self._revision)
         else:
             revision = len(records)
-        return fingerprint(
-            country_iso2.upper() if country_iso2 else None,
-            from_ts, until_ts, revision)
+        country = country_iso2.upper() if country_iso2 else "-"
+        return (f"{self._base_key}.{country}"
+                f".{'-' if from_ts is None else from_ts}"
+                f".{'-' if until_ts is None else until_ts}"
+                f".r{revision}")
 
-    @staticmethod
-    def _encode_cursor(position: int, query_key: str) -> str:
-        token = f"v1:{position}:{query_key}".encode("ascii")
-        return base64.urlsafe_b64encode(token).decode("ascii")
-
-    @staticmethod
-    def _decode_cursor(cursor: str, query_key: str) -> int:
-        try:
-            token = base64.urlsafe_b64decode(cursor.encode("ascii"))
-            version, position, key = token.decode("ascii").split(":")
-        except (binascii.Error, UnicodeDecodeError, ValueError) as exc:
-            raise CursorError(f"malformed cursor: {cursor!r}") from exc
-        if version != "v1":
-            raise CursorError(f"unsupported cursor version: {version!r}")
-        if key != query_key:
-            raise CursorError(
-                "cursor was issued for a different query or feed "
-                "revision; restart pagination without a cursor")
-        try:
-            return int(position)
-        except ValueError as exc:
-            raise CursorError(f"malformed cursor: {cursor!r}") from exc
+    _encode_cursor = staticmethod(encode_cursor)
+    _decode_cursor = staticmethod(decode_cursor)

@@ -41,13 +41,15 @@ results — serial/parallel byte-identity holds with tracing on.
 from repro.obs.baseline import BASELINE_DIR, BaselineComparison, \
     PerfBaseline, compare_baselines, list_baselines, load_baseline, \
     save_baseline, trajectory_rows
-from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.export import chrome_trace, escape_label_value, \
+    snapshot_to_openmetrics, split_series_key, unescape_label_value, \
+    write_chrome_trace
 from repro.obs.health import CheckResult, HealthCheck, HealthPolicy, \
     HealthReport, default_policy, evaluate_run, run_statistics
 from repro.obs.journal import JOURNAL_VERSION, RunJournal, iter_journal, \
     read_journal
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
-    NullMetrics, series_key, snapshot_to_openmetrics
+    NullMetrics, series_key
 from repro.obs.profile import ProfileConfig, SpanProfiler
 from repro.obs.provenance import DrawCursor, ExplainReport, \
     ProvenanceDiff, ProvenanceError, ProvenanceRecorder, capsule_id_for, \
@@ -108,6 +110,7 @@ __all__ = [
     "default_policy",
     "diff_events",
     "diff_provenance",
+    "escape_label_value",
     "explain_record",
     "evaluate_run",
     "iter_journal",
@@ -123,7 +126,9 @@ __all__ = [
     "snapshot_to_openmetrics",
     "sorted_capsules",
     "span_path_seconds",
+    "split_series_key",
     "summarize_events",
     "trajectory_rows",
+    "unescape_label_value",
     "write_chrome_trace",
 ]

@@ -1,23 +1,38 @@
-"""Chrome ``trace_event`` export.
+"""Exporters: Chrome ``trace_event`` JSON and OpenMetrics text.
 
-Converts a run's span records into the Trace Event Format consumed by
-``chrome://tracing`` and https://ui.perfetto.dev — each span becomes a
-complete ("ph": "X") event with microsecond timestamps relative to the
-run start, placed on a track per worker (pid/tid derived from the
-span's ``"<pid>/<thread>"`` worker tag).  Span-tree links survive the
-export: every event's ``args`` carries ``span_id``/``parent_id`` on top
-of the span's own attributes.
+Two export surfaces live here:
+
+- **Chrome trace**: converts a run's span records into the Trace Event
+  Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev —
+  each span becomes a complete ("ph": "X") event with microsecond
+  timestamps relative to the run start, placed on a track per worker
+  (pid/tid derived from the span's ``"<pid>/<thread>"`` worker tag).
+  Span-tree links survive the export: every event's ``args`` carries
+  ``span_id``/``parent_id`` on top of the span's own attributes.
+- **OpenMetrics**: renders a :meth:`~repro.obs.metrics.MetricsRegistry.
+  snapshot` as Prometheus/OpenMetrics text exposition — the scrape
+  payload behind ``repro metrics export`` and the serving layer's
+  ``/metrics`` endpoint.  Label values survive *verbatim*: the serving
+  layer labels series with request routes (``/events?cursor=...``) that
+  can legally carry ``,``/``=``/``}``/``"``/newlines/backslashes, so
+  the series-key codec (:func:`escape_label_value` /
+  :func:`unescape_label_value`, used by
+  :func:`repro.obs.metrics.series_key`) backslash-escapes the key
+  syntax and the OpenMetrics writer re-escapes per the exposition
+  grammar (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline → ``\\n``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.obs.trace import SpanRecord
 
-__all__ = ["chrome_trace", "write_chrome_trace"]
+__all__ = ["chrome_trace", "escape_label_value", "snapshot_to_openmetrics",
+           "split_series_key", "unescape_label_value",
+           "write_chrome_trace"]
 
 
 def _split_worker(worker: str) -> tuple[str, str]:
@@ -63,3 +78,177 @@ def write_chrome_trace(spans: Sequence[SpanRecord],
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(chrome_trace(spans)), encoding="utf-8")
     return path
+
+
+# -- OpenMetrics text exposition ---------------------------------------------------
+
+#: Characters that collide with the ``name{k=v,...}`` series-key syntax.
+#: ``\n`` is escaped too so a series key always stays on one line.
+_KEY_ESCAPES = {"\\": "\\\\", ",": "\\,", "}": "\\}", "\n": "\\n"}
+_KEY_UNESCAPES = {"\\": "\\", ",": ",", "}": "}", "n": "\n"}
+
+
+def escape_label_value(value: str) -> str:
+    """A label value made safe for the ``name{k=v,...}`` key syntax.
+
+    >>> escape_label_value('/events?cursor=a,b')
+    '/events?cursor=a\\\\,b'
+    """
+    out = []
+    for ch in value:
+        out.append(_KEY_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def unescape_label_value(text: str) -> str:
+    """Invert :func:`escape_label_value` (unknown escapes pass through)."""
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            follower = text[i + 1]
+            if follower in _KEY_UNESCAPES:
+                out.append(_KEY_UNESCAPES[follower])
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _split_escaped(inner: str) -> List[str]:
+    """Split ``k=v,k=v`` clauses on commas that are not escaped."""
+    clauses: List[str] = []
+    current: List[str] = []
+    i = 0
+    while i < len(inner):
+        ch = inner[i]
+        if ch == "\\" and i + 1 < len(inner):
+            current.append(ch)
+            current.append(inner[i + 1])
+            i += 2
+            continue
+        if ch == ",":
+            clauses.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    clauses.append("".join(current))
+    return clauses
+
+
+def split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`repro.obs.metrics.series_key`.
+
+    ``name{k=v,...}`` → ``(name, labels)``, with the label values
+    unescaped back to their original text — hostile values containing
+    ``,``/``=``/``}``/newlines round-trip losslessly.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    if inner.endswith("}"):
+        # The closing brace is part of a value only when escaped, i.e.
+        # preceded by an odd-length run of backslashes.
+        backslashes = len(inner) - 1 - len(inner[:-1].rstrip("\\"))
+        if backslashes % 2 == 0:
+            inner = inner[:-1]
+    labels: Dict[str, str] = {}
+    for clause in _split_escaped(inner):
+        if not clause:
+            continue
+        label, _, value = clause.partition("=")
+        labels[label] = unescape_label_value(value)
+    return name, labels
+
+
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name for a dotted series name."""
+    cleaned = "".join(c if c.isalnum() or c in "_:" else "_"
+                      for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    escaped = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\") \
+            .replace('"', '\\"').replace("\n", "\\n")
+        escaped.append(f'{key}="{value}"')
+    return "{" + ",".join(escaped) + "}"
+
+
+def _value_str(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return format(number, ".10g")
+
+
+def snapshot_to_openmetrics(snapshot: Mapping[str, Any]) -> str:
+    """A metrics snapshot as OpenMetrics text exposition.
+
+    Accepts the :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    shape (which is also the journal's ``metrics`` event, minus its
+    ``type`` key) and renders the Prometheus text format exposed by
+    ``repro metrics export`` and the serving layer's ``/metrics``
+    endpoint: dotted series names become ``repro_``-prefixed underscore
+    names, labels survive with exposition-grammar escaping, counters
+    gain the ``_total`` suffix, and histograms emit cumulative
+    ``_bucket{le=...}`` samples plus ``_sum``/``_count``.  Output is
+    deterministic (sorted by metric name, then label set) and ends
+    with the ``# EOF`` terminator.
+    """
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(metric: str, kind: str) -> List[str]:
+        entry = families.get(metric)
+        if entry is None:
+            entry = families[metric] = (kind, [])
+        return entry[1]
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = split_series_key(key)
+        metric = _metric_name(name)
+        family(metric, "counter").append(
+            f"{metric}_total{_label_str(labels)} {_value_str(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = split_series_key(key)
+        metric = _metric_name(name)
+        family(metric, "gauge").append(
+            f"{metric}{_label_str(labels)} {_value_str(value)}")
+    for key, summary in snapshot.get("histograms", {}).items():
+        name, labels = split_series_key(key)
+        metric = _metric_name(name)
+        samples = family(metric, "histogram")
+        cumulative = 0
+        bounds = list(summary.get("buckets", ()))
+        counts = list(summary.get("bucket_counts",
+                                  [0] * (len(bounds) + 1)))
+        for upper, n in zip(bounds + ["+Inf"], counts):
+            cumulative += int(n)
+            le = ("+Inf" if upper == "+Inf"
+                  else format(float(upper), ".10g"))
+            samples.append(
+                f"{metric}_bucket{_label_str({**labels, 'le': le})} "
+                f"{cumulative}")
+        samples.append(
+            f"{metric}_sum{_label_str(labels)} "
+            f"{_value_str(summary.get('sum', 0.0))}")
+        samples.append(
+            f"{metric}_count{_label_str(labels)} "
+            f"{_value_str(summary.get('count', 0))}")
+
+    lines: List[str] = []
+    for metric in sorted(families):
+        kind, samples = families[metric]
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.extend(samples)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

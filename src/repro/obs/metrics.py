@@ -19,8 +19,10 @@ instrumentation costs nothing when no observability session is active.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Mapping, Optional, \
+from typing import Any, Dict, Iterable, Mapping, Optional, \
     Sequence, Tuple
+
+from repro.obs.export import escape_label_value, snapshot_to_openmetrics
 
 __all__ = ["ATTEMPT_BUCKETS", "Counter", "Gauge", "Histogram",
            "MetricsRegistry", "NullMetrics", "series_key",
@@ -38,10 +40,17 @@ ATTEMPT_BUCKETS: Tuple[float, ...] = (
 
 
 def series_key(name: str, labels: Mapping[str, Any]) -> str:
-    """The canonical series identifier: ``name{k=v,...}`` (labels sorted)."""
+    """The canonical series identifier: ``name{k=v,...}`` (labels sorted).
+
+    Label *values* are escaped so the key syntax survives hostile
+    content — a route label like ``/events?cursor=a,b`` cannot smuggle
+    in an extra clause or truncate the key; see
+    :func:`repro.obs.export.split_series_key` for the lossless inverse.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={escape_label_value(str(labels[k]))}"
+                     for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -324,109 +333,3 @@ class NullMetrics:
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         return None
-
-
-# -- OpenMetrics text exposition ---------------------------------------------------
-
-
-def _split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Invert :func:`series_key`: ``name{k=v,...}`` → (name, labels)."""
-    if "{" not in key:
-        return key, {}
-    name, _, inner = key.partition("{")
-    labels: Dict[str, str] = {}
-    for clause in inner.rstrip("}").split(","):
-        if not clause:
-            continue
-        label, _, value = clause.partition("=")
-        labels[label] = value
-    return name, labels
-
-
-def _metric_name(name: str) -> str:
-    """A Prometheus-legal metric name for a dotted series name."""
-    cleaned = "".join(c if c.isalnum() or c in "_:" else "_"
-                      for c in name)
-    if cleaned and cleaned[0].isdigit():
-        cleaned = "_" + cleaned
-    return "repro_" + cleaned
-
-
-def _label_str(labels: Mapping[str, str]) -> str:
-    if not labels:
-        return ""
-    escaped = []
-    for key in sorted(labels):
-        value = str(labels[key]).replace("\\", "\\\\") \
-            .replace('"', '\\"').replace("\n", "\\n")
-        escaped.append(f'{key}="{value}"')
-    return "{" + ",".join(escaped) + "}"
-
-
-def _value_str(value: Any) -> str:
-    number = float(value)
-    if number == int(number) and abs(number) < 1e15:
-        return str(int(number))
-    return format(number, ".10g")
-
-
-def snapshot_to_openmetrics(snapshot: Mapping[str, Any]) -> str:
-    """A metrics snapshot as OpenMetrics text exposition.
-
-    Accepts the :meth:`MetricsRegistry.snapshot` shape (which is also
-    the journal's ``metrics`` event, minus its ``type`` key) and
-    renders the Prometheus text format the future serving layer will
-    expose on a scrape endpoint: dotted series names become
-    ``repro_``-prefixed underscore names, labels survive as-is,
-    counters gain the ``_total`` suffix, and histograms emit cumulative
-    ``_bucket{le=...}`` samples plus ``_sum``/``_count``.  Output is
-    deterministic (sorted by metric name, then label set) and ends
-    with the ``# EOF`` terminator.
-    """
-    families: Dict[str, Tuple[str, List[str]]] = {}
-
-    def family(metric: str, kind: str) -> List[str]:
-        entry = families.get(metric)
-        if entry is None:
-            entry = families[metric] = (kind, [])
-        return entry[1]
-
-    for key, value in snapshot.get("counters", {}).items():
-        name, labels = _split_series_key(key)
-        metric = _metric_name(name)
-        family(metric, "counter").append(
-            f"{metric}_total{_label_str(labels)} {_value_str(value)}")
-    for key, value in snapshot.get("gauges", {}).items():
-        name, labels = _split_series_key(key)
-        metric = _metric_name(name)
-        family(metric, "gauge").append(
-            f"{metric}{_label_str(labels)} {_value_str(value)}")
-    for key, summary in snapshot.get("histograms", {}).items():
-        name, labels = _split_series_key(key)
-        metric = _metric_name(name)
-        samples = family(metric, "histogram")
-        cumulative = 0
-        bounds = list(summary.get("buckets", ()))
-        counts = list(summary.get("bucket_counts",
-                                  [0] * (len(bounds) + 1)))
-        for upper, n in zip(bounds + ["+Inf"], counts):
-            cumulative += int(n)
-            le = ("+Inf" if upper == "+Inf"
-                  else format(float(upper), ".10g"))
-            samples.append(
-                f"{metric}_bucket{_label_str({**labels, 'le': le})} "
-                f"{cumulative}")
-        samples.append(
-            f"{metric}_sum{_label_str(labels)} "
-            f"{_value_str(summary.get('sum', 0.0))}")
-        samples.append(
-            f"{metric}_count{_label_str(labels)} "
-            f"{_value_str(summary.get('count', 0))}")
-
-    lines: List[str] = []
-    for metric in sorted(families):
-        kind, samples = families[metric]
-        lines.append(f"# TYPE {metric} {kind}")
-        lines.extend(samples)
-    lines.append("# EOF")
-    return "\n".join(lines) + "\n"

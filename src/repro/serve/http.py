@@ -1,0 +1,162 @@
+"""A minimal asyncio HTTP/1.1 transport for :class:`ServeApp`.
+
+Stdlib-only by design (the repo bakes in no server framework): an
+:func:`asyncio.start_server` loop parses request lines and headers,
+hands each request to :meth:`ServeApp.handle`, and writes the response
+with ``Content-Length`` framing.  Keep-alive is honoured (HTTP/1.1
+default; ``Connection: close`` respected), request bodies are not —
+every route is GET/HEAD, so a request with a body is answered 411/400
+territory we simply treat as a parse error.
+
+``port=0`` binds an ephemeral port (the bound address is on
+:attr:`ServeServer.address` after :meth:`~ServeServer.start`), which is
+how the load harness and the CI smoke spawn a private server without
+port coordination.
+
+    server = ServeServer(app)
+    await server.start()
+    ...
+    await server.stop()
+
+or, from synchronous code, :func:`serve_forever` (the CLI's
+``repro serve run``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.serve.routes import Response, ServeApp
+
+__all__ = ["ServeServer", "serve_forever"]
+
+_MAX_REQUEST_BYTES = 65536
+
+_REASONS = {200: "OK", 304: "Not Modified", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error"}
+
+
+class ServeServer:
+    """One :class:`ServeApp` bound to a TCP listener."""
+
+    def __init__(self, app: ServeApp, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.app = app
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    async def start(self) -> "ServeServer":
+        self._server = await asyncio.start_server(
+            self._connection, self._host, self._port)
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection loop ----------------------------------------------------
+
+    async def _connection(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers = request
+                try:
+                    response = await self.app.handle(method, target,
+                                                     headers)
+                except Exception:
+                    response = Response(500, b"internal server error",
+                                        {"Content-Type": "text/plain"})
+                keep_alive = headers.get("connection", "").lower() \
+                    != "close"
+                self._write_response(writer, method, response,
+                                     keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(raw) > _MAX_REQUEST_BYTES:
+            return None
+        try:
+            head = raw.decode("latin-1")
+            request_line, *header_lines = head.split("\r\n")
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            return None
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    def _write_response(self, writer: asyncio.StreamWriter,
+                        method: str, response: Response,
+                        keep_alive: bool) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        lines = [f"HTTP/1.1 {response.status} {reason}"]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(response.body)}")
+        lines.append("Connection: "
+                     + ("keep-alive" if keep_alive else "close"))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head if method == "HEAD"
+                     else head + response.body)
+
+
+def serve_forever(app: ServeApp, *, host: str = "127.0.0.1",
+                  port: int = 8099) -> None:
+    """Run the server until interrupted (the CLI entry point)."""
+
+    async def main() -> None:
+        server = await ServeServer(app, host=host, port=port).start()
+        bound_host, bound_port = server.address
+        print(f"serving {app.store.root} on "
+              f"http://{bound_host}:{bound_port}")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

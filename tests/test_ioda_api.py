@@ -185,6 +185,31 @@ class TestEventFeed:
         with pytest.raises(TimeRangeError):
             client.get_events(limit=0)
 
+    def test_paging_does_not_refingerprint(self, platform,
+                                           pipeline_result,
+                                           monkeypatch):
+        # The query-key hash is pure in the platform config, so it is
+        # computed exactly once — at construction — and never again
+        # while paging.
+        import repro.ioda.api as api_module
+        calls = []
+        real = api_module.fingerprint
+
+        def counting(*parts):
+            calls.append(parts)
+            return real(*parts)
+
+        monkeypatch.setattr(api_module, "fingerprint", counting)
+        client = IODAClient(platform, pipeline_result.curated_records)
+        assert len(calls) == 1
+        cursor = None
+        for _ in range(5):
+            page = client.get_events(limit=10, cursor=cursor)
+            if page.cursor is None:
+                break
+            cursor = page.cursor
+        assert len(calls) == 1
+
 
 class TestUserImpact:
     def test_shutdown_countries_cover_large_population(

@@ -161,6 +161,70 @@ class TestOpenMetrics:
             == snapshot_to_openmetrics(metrics.snapshot())
 
 
+#: Route-shaped label values the serving layer can legally produce —
+#: query strings with commas/equals, quotes, backslashes, braces,
+#: newlines, and trailing escapes.
+HOSTILE_VALUES = [
+    "/events?cursor=djE6NTA6YWJj",
+    "/events?country=SY,IR&limit=25",
+    'say "hi"',
+    "back\\slash",
+    "tricky\\",
+    "brace}value",
+    "multi\nline",
+    "a=b,c=d}e\\f\ng",
+    "",
+]
+
+
+class TestHostileLabels:
+    def test_series_key_round_trips_hostile_values(self):
+        from repro.obs import series_key, split_series_key
+        for value in HOSTILE_VALUES:
+            key = series_key("serve.requests",
+                             {"route": value, "status": "200"})
+            name, labels = split_series_key(key)
+            assert name == "serve.requests"
+            assert labels == {"route": value, "status": "200"}, value
+
+    def test_hostile_values_cannot_smuggle_clauses(self):
+        from repro.obs import split_series_key, series_key
+        key = series_key("m", {"a": "x,b=evil"})
+        _, labels = split_series_key(key)
+        assert labels == {"a": "x,b=evil"}
+        assert "b" not in labels
+
+    def test_registry_keeps_hostile_labels_as_one_series(self):
+        metrics = MetricsRegistry()
+        for _ in range(3):
+            metrics.counter("serve.requests",
+                            route="/events?cursor=a,b", status=200).inc()
+        snapshot = metrics.snapshot()
+        assert len(snapshot["counters"]) == 1
+        assert list(snapshot["counters"].values()) == [3]
+
+    def test_exposition_escapes_newline_quote_backslash(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.requests",
+                        route='a"b\\c\nd', status=200).inc()
+        text = metrics.to_openmetrics()
+        # The exposition grammar's escapes, not the series-key ones.
+        assert 'route="a\\"b\\\\c\\nd"' in text
+        assert "\n".join(l for l in text.splitlines()
+                         if "route=" in l).count("\n") == 0
+
+    def test_exposition_is_parseable_line_per_sample(self):
+        metrics = MetricsRegistry()
+        for value in HOSTILE_VALUES:
+            metrics.counter("serve.requests", route=value).inc()
+        lines = metrics.to_openmetrics().splitlines()
+        samples = [l for l in lines if not l.startswith("#")]
+        # One line per series: hostile values never split a sample
+        # across lines or merge two samples onto one.
+        assert len(samples) == len(HOSTILE_VALUES)
+        assert all(l.rsplit(" ", 1)[1] == "1" for l in samples)
+
+
 class TestCliExport:
     @pytest.fixture(scope="class")
     def journal(self, tmp_path_factory):
